@@ -1,0 +1,128 @@
+// Microbenchmarks of the hot kernels on the SGNS critical path: vector
+// dot/axpy at the paper's dimensionality (200) and the bench dimensionality
+// (32), sigmoid table vs exact, alias-method negative sampling, one full
+// sgnsStep, and the bit-vector ops the sparse sync depends on.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/sgns.h"
+#include "text/sampling.h"
+#include "util/alias_sampler.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+#include "util/sigmoid_table.h"
+#include "util/vecmath.h"
+
+namespace {
+
+using namespace gw2v;
+
+void BM_Dot(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(dim, 0.5f), b(dim, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Dot)->Arg(32)->Arg(200);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(dim, 0.5f), y(dim, 0.25f);
+  for (auto _ : state) {
+    util::axpy(0.01f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Axpy)->Arg(32)->Arg(200);
+
+void BM_SigmoidTable(benchmark::State& state) {
+  const util::SigmoidTable table;
+  float x = -5.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table(x));
+    x = x > 5.0f ? -5.0f : x + 0.001f;
+  }
+}
+BENCHMARK(BM_SigmoidTable);
+
+void BM_SigmoidExact(benchmark::State& state) {
+  float x = -5.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::SigmoidTable::exact(x));
+    x = x > 5.0f ? -5.0f : x + 0.001f;
+  }
+}
+BENCHMARK(BM_SigmoidExact);
+
+void BM_AliasSample(benchmark::State& state) {
+  const auto vocab = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(vocab);
+  util::Rng rng(1);
+  for (auto& w : weights) w = 0.1 + rng.uniformDouble();
+  const util::AliasSampler sampler{std::span<const double>(weights)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(400'000);
+
+void BM_NegativeSamplerExcluding(benchmark::State& state) {
+  std::vector<std::uint64_t> counts(10'000);
+  util::Rng rng(2);
+  for (auto& c : counts) c = 1 + rng.bounded(1000);
+  const text::NegativeSampler sampler(counts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng, 5));
+  }
+}
+BENCHMARK(BM_NegativeSamplerExcluding);
+
+void BM_SgnsStep(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  const auto negs = static_cast<unsigned>(state.range(1));
+  graph::ModelGraph model(1000, dim);
+  model.randomizeEmbeddings(3);
+  const util::SigmoidTable sigmoid;
+  core::SgnsScratch scratch(dim);
+  util::Rng rng(4);
+  std::vector<text::WordId> negatives(negs);
+  for (auto _ : state) {
+    const auto center = static_cast<text::WordId>(rng.bounded(1000));
+    const auto context = static_cast<text::WordId>(rng.bounded(1000));
+    for (auto& n : negatives) n = static_cast<text::WordId>(rng.bounded(1000));
+    benchmark::DoNotOptimize(
+        core::sgnsStep(model, center, context, negatives, 0.025f, sigmoid, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgnsStep)->Args({32, 5})->Args({32, 15})->Args({200, 15});
+
+void BM_BitVectorSet(benchmark::State& state) {
+  util::BitVector bv(1 << 20);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    bv.set(rng.bounded(1 << 20));
+  }
+}
+BENCHMARK(BM_BitVectorSet);
+
+void BM_BitVectorForEachSet(benchmark::State& state) {
+  const auto density = static_cast<std::size_t>(state.range(0));
+  util::BitVector bv(1 << 18);
+  for (std::size_t i = 0; i < (1 << 18); i += density) bv.set(i);
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    bv.forEachSet([&](std::size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitVectorForEachSet)->Arg(2)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

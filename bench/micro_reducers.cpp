@@ -1,0 +1,62 @@
+// Microbenchmarks of the three reduction operators (SUM / AVG / model
+// combiner) folding k host deltas per node row — the per-node cost of the
+// sync engine's accumulate loop. MC adds one dot + one squared-norm per
+// contribution over SUM; this quantifies that overhead (it is negligible
+// next to the bytes moved, which is the paper's point).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "comm/reducer.h"
+#include "core/model_combiner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gw2v;
+
+std::unique_ptr<comm::Reducer> makeReducer(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<comm::SumReducer>();
+    case 1: return std::make_unique<comm::AvgReducer>();
+    default: return std::make_unique<core::ModelCombinerReducer>();
+  }
+}
+
+void BM_Reduce(benchmark::State& state) {
+  const auto kind = static_cast<int>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto contributions = static_cast<std::size_t>(state.range(2));
+  const auto reducer = makeReducer(kind);
+
+  util::Rng rng(1);
+  std::vector<std::vector<float>> deltas(contributions, std::vector<float>(dim));
+  for (auto& d : deltas) {
+    for (auto& v : d) v = rng.uniformFloat(-0.1f, 0.1f);
+  }
+  std::vector<float> acc(dim);
+
+  for (auto _ : state) {
+    std::copy(deltas[0].begin(), deltas[0].end(), acc.begin());
+    for (std::size_t i = 1; i < contributions; ++i) reducer->accumulate(acc, deltas[i]);
+    reducer->finalize(acc, static_cast<unsigned>(contributions));
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetLabel(reducer->name());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(contributions));
+}
+
+// kind (0=SUM, 1=AVG, 2=MC) x dim x contributions
+BENCHMARK(BM_Reduce)
+    ->Args({0, 32, 8})
+    ->Args({1, 32, 8})
+    ->Args({2, 32, 8})
+    ->Args({0, 200, 32})
+    ->Args({1, 200, 32})
+    ->Args({2, 200, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

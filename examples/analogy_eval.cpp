@@ -1,0 +1,73 @@
+// Analogical-reasoning evaluation walkthrough (paper Section 5.1): train on
+// a synthetic corpus, then print the per-category accuracy table exactly as
+// the original compute-accuracy tooling does, plus a few example analogy
+// predictions.
+//
+//   ./examples/analogy_eval [epochs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/shared_memory.h"
+#include "eval/analogy.h"
+#include "eval/embedding_view.h"
+#include "synth/generator.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+int main(int argc, char** argv) {
+  using namespace gw2v;
+  const unsigned epochs = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+
+  synth::CorpusSpec spec;
+  spec.totalTokens = 250'000;
+  spec.fillerVocab = 800;
+  spec.relations = synth::defaultRelations(16);
+  spec.factProbability = 0.6;
+  const synth::CorpusGenerator gen(spec);
+  const std::string body = gen.generateText();
+
+  text::Vocabulary vocab;
+  text::forEachToken(body, [&](std::string_view tok) { vocab.addToken(tok); });
+  vocab.finalize(5);
+  const auto corpus = text::encode(body, vocab);
+
+  baselines::SharedMemoryOptions opts;
+  opts.sgns.dim = 32;
+  opts.sgns.negatives = 10;
+  opts.sgns.subsample = 1e-3;
+  opts.epochs = epochs;
+  opts.trackLoss = false;
+  std::printf("training %u epochs on %zu tokens (vocab %u)...\n", epochs, corpus.size(),
+              vocab.size());
+  const auto trained = baselines::trainHogwild(vocab, corpus, opts);
+
+  const eval::AnalogyTask task(gen.analogySuite(60), vocab);
+  const eval::EmbeddingView view(trained.model, vocab);
+  const auto report = task.evaluate(view);
+
+  std::printf("\n%-32s %10s   (%s)\n", "category", "accuracy", "sem/syn");
+  for (std::size_t i = 0; i < report.perCategory.size(); ++i) {
+    std::printf("%-32s %9.1f%%   (%s)\n", report.perCategory[i].first.c_str(),
+                report.perCategory[i].second,
+                task.categories()[i].semantic ? "semantic" : "syntactic");
+  }
+  std::printf("\nsemantic %.2f%%  syntactic %.2f%%  total %.2f%%  (%zu questions)\n",
+              report.semantic, report.syntactic, report.total, task.totalQuestions());
+
+  // A few concrete predictions, word2vec-demo style.
+  std::printf("\nexample predictions (a : b :: c : ?):\n");
+  int shown = 0;
+  for (const auto& cat : task.categories()) {
+    if (cat.questions.empty()) continue;
+    const auto& q = cat.questions.front();
+    const auto predicted = view.predictAnalogy(q.a, q.b, q.c);
+    std::printf("  [%-28s] %s : %s :: %s : %s  (expect %s) %s\n", cat.name.c_str(),
+                vocab.wordOf(q.a).c_str(), vocab.wordOf(q.b).c_str(),
+                vocab.wordOf(q.c).c_str(),
+                predicted == text::kInvalidWord ? "?" : vocab.wordOf(predicted).c_str(),
+                vocab.wordOf(q.expected).c_str(), predicted == q.expected ? "OK" : "x");
+    if (++shown == 6) break;
+  }
+  return 0;
+}

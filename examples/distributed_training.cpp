@@ -1,0 +1,69 @@
+// Distributed training walkthrough: sweeps hosts and communication
+// strategies on one corpus and reports simulated time, traffic, and final
+// accuracy — a miniature of the paper's Section 5 methodology.
+//
+//   ./examples/distributed_training [max_hosts] [epochs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/trainer.h"
+#include "eval/analogy.h"
+#include "eval/embedding_view.h"
+#include "synth/generator.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+int main(int argc, char** argv) {
+  using namespace gw2v;
+  const unsigned maxHosts = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 16;
+  const unsigned epochs = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 6;
+
+  synth::CorpusSpec spec;
+  spec.totalTokens = 200'000;
+  spec.fillerVocab = 700;
+  spec.relations = synth::defaultRelations(12);
+  const synth::CorpusGenerator gen(spec);
+  const std::string body = gen.generateText();
+  text::Vocabulary vocab;
+  text::forEachToken(body, [&](std::string_view tok) { vocab.addToken(tok); });
+  vocab.finalize(5);
+  const auto corpus = text::encode(body, vocab);
+  const eval::AnalogyTask task(gen.analogySuite(30), vocab);
+
+  std::printf("corpus: %zu tokens, vocab %u, %u epochs\n\n", corpus.size(), vocab.size(),
+              epochs);
+  std::printf("%-6s %-16s %-5s %10s %10s %10s %8s\n", "hosts", "strategy", "red.",
+              "sim time", "compute", "traffic", "accuracy");
+
+  for (unsigned hosts = 1; hosts <= maxHosts; hosts *= 2) {
+    for (const auto strategy :
+         {comm::SyncStrategy::kRepModelOpt, comm::SyncStrategy::kPullModel}) {
+      core::TrainOptions opts;
+      opts.sgns.dim = 32;
+      opts.sgns.negatives = 8;
+      opts.sgns.subsample = 1e-3;
+      opts.epochs = epochs;
+      opts.numHosts = hosts;
+      opts.strategy = strategy;
+      opts.reduction = core::Reduction::kModelCombiner;
+      opts.trackLoss = false;
+
+      const core::GraphWord2Vec trainer(vocab, opts);
+      const auto result = trainer.train(corpus);
+      const auto acc =
+          task.evaluate(eval::EmbeddingView(result.model, vocab)).total;
+      std::printf("%-6u %-16s %-5s %9.2fs %9.2fs %8.1fMB %7.1f%%\n", hosts,
+                  comm::syncStrategyName(strategy),
+                  core::reductionName(opts.reduction), result.cluster.simulatedSeconds(),
+                  result.cluster.maxComputeSeconds(),
+                  static_cast<double>(result.cluster.totalBytes()) / 1e6, acc);
+      std::fflush(stdout);
+      if (hosts == 1) break;  // strategies are identical on one host
+    }
+  }
+
+  std::printf("\nNote: accuracy holds as hosts grow (the model-combiner property), while\n"
+              "simulated time falls and traffic rises — the paper's core trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: generate a synthetic corpus, train GraphWord2Vec on a
+// simulated 4-host cluster with the model combiner, and query the result.
+//
+//   ./examples/quickstart [hosts] [epochs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/trainer.h"
+#include "eval/analogy.h"
+#include "eval/embedding_view.h"
+#include "synth/generator.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+int main(int argc, char** argv) {
+  using namespace gw2v;
+
+  const unsigned hosts = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const unsigned epochs = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+
+  // 1. A small synthetic corpus with planted analogy structure.
+  synth::CorpusSpec spec;
+  spec.totalTokens = 150'000;
+  spec.fillerVocab = 600;
+  spec.relations = synth::defaultRelations(12);
+  const synth::CorpusGenerator gen(spec);
+  const std::string text = gen.generateText();
+  std::printf("corpus: %zu bytes of text\n", text.size());
+
+  // 2. Vocabulary pass + id encoding (Algorithm 1, lines 3-4).
+  text::Vocabulary vocab;
+  text::forEachToken(text, [&](std::string_view tok) { vocab.addToken(tok); });
+  vocab.finalize(/*minCount=*/5);
+  const std::vector<text::WordId> corpus = text::encode(text, vocab);
+  std::printf("vocabulary: %u words, %zu training tokens\n", vocab.size(), corpus.size());
+
+  // 3. Train on a simulated cluster with the model combiner.
+  core::TrainOptions opts;
+  opts.sgns.dim = 32;
+  opts.sgns.window = 5;
+  opts.sgns.negatives = 8;
+  opts.epochs = epochs;
+  opts.numHosts = hosts;
+  opts.reduction = core::Reduction::kModelCombiner;
+  opts.strategy = comm::SyncStrategy::kRepModelOpt;
+
+  const eval::AnalogyTask task(gen.analogySuite(/*maxQuestionsPerCategory=*/40), vocab);
+  std::printf("analogy suite: %zu questions across %zu categories\n\n", task.totalQuestions(),
+              task.categories().size());
+
+  const core::GraphWord2Vec trainer(vocab, opts);
+  const core::TrainResult result = trainer.train(
+      corpus, [&](const core::EpochStats& st, const graph::ModelGraph& model) {
+        const eval::EmbeddingView view(model, vocab);
+        const eval::AccuracyReport acc = task.evaluate(view);
+        std::printf("epoch %2u  loss %.4f  accuracy: sem %5.1f%%  syn %5.1f%%  total %5.1f%%\n",
+                    st.epoch, st.avgLoss, acc.semantic, acc.syntactic, acc.total);
+      });
+
+  std::printf("\ntrained %llu examples on %u hosts\n",
+              static_cast<unsigned long long>(result.totalExamples), hosts);
+  std::printf("simulated cluster time: %.2fs (compute %.2fs + modelled comm %.2fs)\n",
+              result.cluster.simulatedSeconds(), result.cluster.maxComputeSeconds(),
+              result.cluster.maxModelledCommSeconds());
+  std::printf("total traffic: %.1f MB\n\n",
+              static_cast<double>(result.cluster.totalBytes()) / 1e6);
+
+  // 4. Query the embedding space.
+  const eval::EmbeddingView view(result.model, vocab);
+  const std::string probe = gen.aWord(0, 0);
+  if (const auto id = vocab.idOf(probe)) {
+    std::printf("nearest neighbours of '%s':\n", probe.c_str());
+    for (const auto& nb : view.nearestTo(*id, 5)) {
+      std::printf("  %-16s %.3f\n", vocab.wordOf(nb.word).c_str(), nb.similarity);
+    }
+  }
+  return 0;
+}

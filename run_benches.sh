@@ -1,0 +1,8 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper (see EXPERIMENTS.md).
+for b in /root/repo/build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue   # skip CMake artifacts
+  echo "##### $b"
+  "$b"
+  echo
+done

@@ -1,0 +1,187 @@
+#include "baselines/parameter_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/serialize.h"
+#include "runtime/do_all.h"
+#include "text/corpus.h"
+#include "text/sampling.h"
+#include "util/bitvector.h"
+#include "util/sigmoid_table.h"
+#include "util/vecmath.h"
+
+namespace gw2v::baselines {
+
+namespace {
+constexpr int kTagRequest = 100;  // worker -> server (pull request or push)
+constexpr int kTagReply = 101;    // server -> worker (pulled rows)
+constexpr std::uint8_t kMsgPull = 0;
+constexpr std::uint8_t kMsgPush = 1;
+}  // namespace
+
+ParameterServerResult trainParameterServer(const text::Vocabulary& vocab,
+                                           std::span<const text::WordId> corpus,
+                                           const ParameterServerOptions& opts) {
+  if (opts.numHosts < 2)
+    throw std::invalid_argument("trainParameterServer: needs >= 2 hosts (1 server + workers)");
+  const unsigned numWorkers = opts.numHosts - 1;
+  const std::uint32_t vocabSize = vocab.size();
+  const std::uint32_t dim = opts.sgns.dim;
+
+  const text::SubsampleFilter subsampler(vocab.counts(), opts.sgns.subsample);
+  const text::NegativeSampler negSampler(vocab.counts());
+  const util::SigmoidTable sigmoid;
+  const auto parts = text::partitionCorpus(corpus, numWorkers);
+
+  ParameterServerResult result;
+  result.model.init(vocabSize, dim);
+  result.model.randomizeEmbeddings(opts.seed);
+  graph::ModelGraph& serverModel = result.model;
+
+  std::vector<std::uint64_t> perWorkerExamples(numWorkers, 0);
+  const std::uint64_t totalRounds = static_cast<std::uint64_t>(opts.epochs) * opts.roundsPerEpoch;
+
+  const auto body = [&](sim::HostContext& ctx) {
+    auto& net = ctx.network();
+    if (ctx.id() == 0) {
+      // ---- Server: handle pulls and pushes in arrival order. ----
+      std::uint64_t pending = totalRounds * numWorkers * 2;  // each round: 1 pull + 1 push
+      while (pending > 0) {
+        auto [src, payload] = net.recvAny(0, kTagRequest, sim::CommPhase::kControl);
+        comm::ByteReader r(payload);
+        const auto kind = r.get<std::uint8_t>();
+        if (kind == kMsgPull) {
+          const std::uint32_t count = r.get<std::uint32_t>();
+          comm::ByteWriter w;
+          ctx.computeTimer().start();
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint32_t n = r.get<std::uint32_t>();
+            w.put(n);
+            w.putSpan(std::span<const float>(serverModel.row(graph::Label::kEmbedding, n)));
+            w.putSpan(std::span<const float>(serverModel.row(graph::Label::kTraining, n)));
+          }
+          ctx.computeTimer().stop();
+          net.send(0, src, kTagReply, w.take(), sim::CommPhase::kBroadcast);
+        } else {
+          // Push: apply the raw delta immediately — no reconciliation.
+          ctx.computeTimer().start();
+          const std::uint32_t count = r.get<std::uint32_t>();
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint32_t n = r.get<std::uint32_t>();
+            util::add(r.view<float>(dim), serverModel.mutableRow(graph::Label::kEmbedding, n));
+            util::add(r.view<float>(dim), serverModel.mutableRow(graph::Label::kTraining, n));
+          }
+          ctx.computeTimer().stop();
+        }
+        --pending;
+      }
+      return;
+    }
+
+    // ---- Worker. ----
+    const unsigned worker = ctx.id() - 1;
+    const std::span<const text::WordId> tokens = parts[worker];
+    graph::ModelGraph local(vocabSize, dim);
+    local.randomizeEmbeddings(opts.seed);
+    core::SgnsScratch scratch(dim);
+    util::BitVector access(vocabSize);
+    // Snapshot of pulled rows, for delta computation after the round.
+    std::vector<float> pulledBase;
+    std::vector<std::uint32_t> accessList;
+
+    for (unsigned epoch = 0; epoch < opts.epochs; ++epoch) {
+      for (unsigned s = 0; s < opts.roundsPerEpoch; ++s) {
+        const std::uint64_t round = static_cast<std::uint64_t>(epoch) * opts.roundsPerEpoch + s;
+        const float frac = 1.0f - static_cast<float>(round) / static_cast<float>(totalRounds);
+        const float alpha = opts.sgns.alpha * std::max(frac, opts.minAlphaFraction);
+        const auto [lo, hi] = runtime::blockRange(tokens.size(), opts.roundsPerEpoch, s);
+        const auto chunk = tokens.subspan(lo, hi - lo);
+        const std::uint64_t rngSeed = util::hash64(
+            opts.seed ^ (0x4242ULL + worker) ^ (round << 8));
+
+        // Inspect to build the pull set (same trick as PullModel).
+        ctx.computeTimer().start();
+        access.reset();
+        {
+          util::Rng rng(rngSeed);
+          core::forEachTrainingStep(chunk, opts.sgns, subsampler, negSampler, rng,
+                                    [&](text::WordId center, text::WordId context,
+                                        std::span<const text::WordId> negs) {
+                                      access.set(center);
+                                      access.set(context);
+                                      for (const auto n : negs) access.set(n);
+                                    });
+        }
+        accessList.clear();
+        access.forEachSet([&](std::size_t n) { accessList.push_back(static_cast<std::uint32_t>(n)); });
+        ctx.computeTimer().stop();
+
+        // Pull.
+        {
+          comm::ByteWriter w;
+          w.put(kMsgPull);
+          w.put(static_cast<std::uint32_t>(accessList.size()));
+          for (const auto n : accessList) w.put(n);
+          net.send(ctx.id(), 0, kTagRequest, w.take(), sim::CommPhase::kControl);
+        }
+        {
+          const auto payload = net.recv(ctx.id(), 0, kTagReply, sim::CommPhase::kBroadcast);
+          comm::ByteReader r(payload);
+          pulledBase.resize(accessList.size() * static_cast<std::size_t>(dim) * 2);
+          for (std::size_t i = 0; i < accessList.size(); ++i) {
+            const std::uint32_t n = r.get<std::uint32_t>();
+            const auto e = r.view<float>(dim);
+            const auto t = r.view<float>(dim);
+            util::copyInto(e, local.mutableRow(graph::Label::kEmbedding, n));
+            util::copyInto(t, local.mutableRow(graph::Label::kTraining, n));
+            util::copyInto(e, std::span<float>(pulledBase.data() + i * dim * 2, dim));
+            util::copyInto(t, std::span<float>(pulledBase.data() + i * dim * 2 + dim, dim));
+          }
+        }
+
+        // Compute on (stale) pulled parameters.
+        ctx.computeTimer().start();
+        {
+          util::Rng rng(rngSeed);
+          core::forEachTrainingStep(chunk, opts.sgns, subsampler, negSampler, rng,
+                                    [&](text::WordId center, text::WordId context,
+                                        std::span<const text::WordId> negs) {
+                                      core::sgnsStep(local, center, context, negs, alpha,
+                                                     sigmoid, scratch, false);
+                                      ++perWorkerExamples[worker];
+                                    });
+        }
+        // Push deltas relative to the pulled snapshot.
+        comm::ByteWriter w;
+        w.put(kMsgPush);
+        w.put(static_cast<std::uint32_t>(accessList.size()));
+        std::vector<float> delta(dim);
+        for (std::size_t i = 0; i < accessList.size(); ++i) {
+          const std::uint32_t n = accessList[i];
+          w.put(n);
+          util::sub(local.row(graph::Label::kEmbedding, n),
+                    std::span<const float>(pulledBase.data() + i * dim * 2, dim), delta);
+          w.putSpan(std::span<const float>(delta));
+          util::sub(local.row(graph::Label::kTraining, n),
+                    std::span<const float>(pulledBase.data() + i * dim * 2 + dim, dim), delta);
+          w.putSpan(std::span<const float>(delta));
+        }
+        ctx.computeTimer().stop();
+        net.send(ctx.id(), 0, kTagRequest, w.take(), sim::CommPhase::kReduce);
+        local.clearTouched();
+      }
+    }
+  };
+
+  sim::ClusterOptions copts;
+  copts.numHosts = opts.numHosts;
+  copts.workerThreadsPerHost = 1;
+  copts.networkModel = opts.netModel;
+  result.cluster = sim::runCluster(copts, body);
+  for (const auto e : perWorkerExamples) result.totalExamples += e;
+  return result;
+}
+
+}  // namespace gw2v::baselines

@@ -1,0 +1,59 @@
+#pragma once
+
+// Reduction operators applied when reconciling proxies of the same node.
+//
+// The sync engine works in *delta space*: each host ships `current - baseline`
+// for the rows it touched, and the master folds the incoming deltas into one
+// combined step, then applies it to its canonical (baseline) value:
+//
+//   value' = baseline + finalize(accumulate(d_0, d_1, ..., d_k))
+//
+// Streaming interface: the first contribution copy-initializes the
+// accumulator; each later one is folded by accumulate(); finalize() runs once
+// with the contribution count. SUM/AVG reproduce the paper's baselines; the
+// model combiner (core/model_combiner.h) implements Section 3.
+
+#include <span>
+
+#include "util/vecmath.h"
+
+namespace gw2v::comm {
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  /// Fold `next` into `acc` (acc already holds >= 1 contribution).
+  virtual void accumulate(std::span<float> acc, std::span<const float> next) const = 0;
+
+  /// Post-process after all contributions are in.
+  virtual void finalize(std::span<float> /*acc*/, unsigned /*contributions*/) const {}
+
+  /// Human-readable name for experiment output.
+  virtual const char* name() const = 0;
+};
+
+/// g = sum_i d_i. The "overly aggressive" reduction: with k near-parallel
+/// deltas the effective learning rate is k·alpha — diverges (Section 1).
+class SumReducer final : public Reducer {
+ public:
+  void accumulate(std::span<float> acc, std::span<const float> next) const override {
+    util::add(next, acc);
+  }
+  const char* name() const override { return "SUM"; }
+};
+
+/// g = mean_i d_i. Converges but approaches batch gradient descent as hosts
+/// grow — slow (Section 2.3).
+class AvgReducer final : public Reducer {
+ public:
+  void accumulate(std::span<float> acc, std::span<const float> next) const override {
+    util::add(next, acc);
+  }
+  void finalize(std::span<float> acc, unsigned contributions) const override {
+    if (contributions > 1) util::scale(1.0f / static_cast<float>(contributions), acc);
+  }
+  const char* name() const override { return "AVG"; }
+};
+
+}  // namespace gw2v::comm

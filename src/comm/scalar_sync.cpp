@@ -1,0 +1,113 @@
+#include "comm/scalar_sync.h"
+
+#include <cassert>
+
+#include "comm/serialize.h"
+#include "sim/network.h"
+
+namespace gw2v::comm {
+
+ScalarSyncEngine::ScalarSyncEngine(sim::HostContext& ctx, std::span<float> values,
+                                   util::BitVector& touched,
+                                   const graph::BlockedPartition& partition,
+                                   ScalarReduceOp op, sim::NetworkModel netModel)
+    : ctx_(ctx),
+      values_(values),
+      touched_(touched),
+      partition_(partition),
+      op_(op),
+      netModel_(netModel) {
+  assert(values_.size() == partition_.numNodes());
+  assert(touched_.size() >= partition_.numNodes());
+}
+
+std::uint64_t ScalarSyncEngine::sync() {
+  auto& net = ctx_.network();
+  const unsigned numHosts = ctx_.numHosts();
+  const sim::HostId me = ctx_.id();
+  const auto better = [this](float candidate, float current) {
+    return op_ == ScalarReduceOp::kMin ? candidate < current : candidate > current;
+  };
+
+  const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
+  const int reduceTag = static_cast<int>(round_ * 2 + 0);
+  const int bcastTag = static_cast<int>(round_ * 2 + 1);
+
+  // Reduce: touched labels to their masters.
+  for (unsigned peer = 0; peer < numHosts; ++peer) {
+    if (peer == me) continue;
+    const auto [lo, hi] = partition_.masterRange(peer);
+    ByteWriter w;
+    std::uint32_t count = 0;
+    for (std::uint32_t n = lo; n < hi; ++n) count += touched_.test(n) ? 1 : 0;
+    w.put(count);
+    for (std::uint32_t n = lo; n < hi; ++n) {
+      if (!touched_.test(n)) continue;
+      w.put(n);
+      w.put(values_[n]);
+    }
+    net.send(me, peer, reduceTag, w.take(), sim::CommPhase::kReduce);
+  }
+
+  // Master-side fold. Track which owned labels improved.
+  std::uint64_t changed = 0;
+  const auto [ownLo, ownHi] = partition_.masterRange(me);
+  util::BitVector improved(ownHi - ownLo);
+  // The master's own relaxations count as improvements to publish too.
+  for (std::uint32_t n = ownLo; n < ownHi; ++n) {
+    if (touched_.test(n)) improved.set(n - ownLo);
+  }
+  for (unsigned src = 0; src < numHosts; ++src) {
+    if (src == me) continue;
+    const auto payload = net.recv(me, src, reduceTag, sim::CommPhase::kReduce);
+    ByteReader r(payload);
+    const std::uint32_t count = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t n = r.get<std::uint32_t>();
+      const float v = r.get<float>();
+      if (better(v, values_[n])) {
+        values_[n] = v;
+        improved.set(n - ownLo);
+        ++changed;
+      }
+    }
+  }
+
+  // Broadcast improved masters to every host.
+  for (unsigned peer = 0; peer < numHosts; ++peer) {
+    if (peer == me) continue;
+    ByteWriter w;
+    w.put(static_cast<std::uint32_t>(improved.count()));
+    improved.forEachSet([&](std::size_t off) {
+      const auto n = static_cast<std::uint32_t>(ownLo + off);
+      w.put(n);
+      w.put(values_[n]);
+    });
+    net.send(me, peer, bcastTag, w.take(), sim::CommPhase::kBroadcast);
+  }
+  for (unsigned src = 0; src < numHosts; ++src) {
+    if (src == me) continue;
+    const auto payload = net.recv(me, src, bcastTag, sim::CommPhase::kBroadcast);
+    ByteReader r(payload);
+    const std::uint32_t count = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t n = r.get<std::uint32_t>();
+      const float v = r.get<float>();
+      // Masters are authoritative: their folded value overwrites mirrors
+      // (it can only be better-or-equal under an idempotent reduction).
+      if (values_[n] != v) {
+        values_[n] = v;
+        ++changed;
+      }
+    }
+  }
+
+  touched_.reset();
+  ++round_;
+  ctx_.addModelledCommSeconds(
+      netModel_.exchangeSeconds(sim::delta(before, sim::snapshot(ctx_.commStats()))));
+  ctx_.barrier();
+  return changed;
+}
+
+}  // namespace gw2v::comm

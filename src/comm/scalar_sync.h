@@ -1,0 +1,52 @@
+#pragma once
+
+// Gluon-lite synchronization for classic graph analytics: scalar node labels
+// reconciled in *value space* with an idempotent reduction (MIN for
+// SSSP/BFS/CC, MAX for e.g. widest-path) — the reduction-operator flavour the
+// paper's Section 2.4 describes for sssp. This complements SyncEngine, which
+// reconciles dense model rows in delta space.
+//
+// Protocol per round (RepModel-Opt style): hosts send touched labels to each
+// node's master; the master folds them with the operator and its own value;
+// every label improved at the master is broadcast to all hosts. sync()
+// returns the number of labels that changed on this host (via fold or
+// broadcast), which callers combine across hosts to detect quiescence.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/partition.h"
+#include "sim/cluster.h"
+#include "sim/network_model.h"
+#include "util/bitvector.h"
+
+namespace gw2v::comm {
+
+enum class ScalarReduceOp : int { kMin = 0, kMax = 1 };
+
+class ScalarSyncEngine {
+ public:
+  /// `values` and `touched` are the host's label array and dirty bits; both
+  /// must outlive the engine and have one slot per node.
+  ScalarSyncEngine(sim::HostContext& ctx, std::span<float> values, util::BitVector& touched,
+                   const graph::BlockedPartition& partition, ScalarReduceOp op,
+                   sim::NetworkModel netModel = {});
+
+  /// One BSP sync round; clears the touched bits. Returns how many of this
+  /// host's labels changed (master folds + received broadcasts).
+  std::uint64_t sync();
+
+  std::uint64_t rounds() const noexcept { return round_; }
+
+ private:
+  sim::HostContext& ctx_;
+  std::span<float> values_;
+  util::BitVector& touched_;
+  const graph::BlockedPartition& partition_;
+  ScalarReduceOp op_;
+  sim::NetworkModel netModel_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace gw2v::comm

@@ -1,0 +1,77 @@
+#pragma once
+
+// Flat byte (de)serialization for sync messages. Trivially-copyable scalars
+// only; all hosts are the same binary so no endianness concerns.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gw2v::comm {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + sizeof(T));
+    std::memcpy(bytes_.data() + at, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void putSpan(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + v.size_bytes());
+    if (!v.empty()) std::memcpy(bytes_.data() + at, v.data(), v.size_bytes());
+  }
+
+  std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    require(sizeof(T));
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Zero-copy view of the next n elements of T.
+  template <typename T>
+  std::span<const T> view(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(n * sizeof(T));
+    // The payload buffers we read from are freshly allocated vectors; float
+    // alignment within them holds because every field is 4-byte sized.
+    const T* p = reinterpret_cast<const T*>(bytes_.data() + pos_);
+    pos_ += n * sizeof(T);
+    return {p, n};
+  }
+
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw std::runtime_error("ByteReader: truncated message");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gw2v::comm

@@ -1,0 +1,290 @@
+#include "comm/sync_engine.h"
+
+#include <cassert>
+
+#include "comm/serialize.h"
+#include "sim/network.h"
+#include "util/vecmath.h"
+
+namespace gw2v::comm {
+
+namespace {
+
+bool isZero(std::span<const float> v) noexcept {
+  for (const float x : v) {
+    if (x != 0.0f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* syncStrategyName(SyncStrategy s) noexcept {
+  switch (s) {
+    case SyncStrategy::kRepModelNaive: return "RepModel-Naive";
+    case SyncStrategy::kRepModelOpt: return "RepModel-Opt";
+    case SyncStrategy::kPullModel: return "PullModel";
+  }
+  return "?";
+}
+
+SyncEngine::SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
+                       const graph::BlockedPartition& partition, const Reducer& reducer,
+                       SyncStrategy strategy, sim::NetworkModel netModel)
+    : ctx_(ctx),
+      model_(model),
+      partition_(partition),
+      reducer_(reducer),
+      strategy_(strategy),
+      netModel_(netModel) {
+  assert(partition_.numNodes() == model_.numNodes());
+  assert(partition_.numHosts() == ctx_.numHosts());
+  rebaseline();
+}
+
+void SyncEngine::rebaseline() {
+  const std::size_t total = static_cast<std::size_t>(model_.numNodes()) * model_.dim();
+  for (int l = 0; l < graph::kNumLabels; ++l) {
+    baseline_[l].resize(total);
+    for (std::uint32_t n = 0; n < model_.numNodes(); ++n) {
+      util::copyInto(model_.row(static_cast<graph::Label>(l), n),
+                     mutableBaselineRow(static_cast<graph::Label>(l), n));
+    }
+  }
+}
+
+std::span<const float> SyncEngine::baselineRow(graph::Label label,
+                                               std::uint32_t node) const noexcept {
+  return {baseline_[static_cast<int>(label)].data() +
+              static_cast<std::size_t>(node) * model_.dim(),
+          model_.dim()};
+}
+
+std::span<float> SyncEngine::mutableBaselineRow(graph::Label label,
+                                                std::uint32_t node) noexcept {
+  return {baseline_[static_cast<int>(label)].data() +
+              static_cast<std::size_t>(node) * model_.dim(),
+          model_.dim()};
+}
+
+void SyncEngine::sync() { doSync(nullptr); }
+
+void SyncEngine::sync(const util::BitVector& willAccessNextRound) {
+  doSync(&willAccessNextRound);
+}
+
+void SyncEngine::doSync(const util::BitVector* willAccess) {
+  auto& net = ctx_.network();
+  const unsigned numHosts = ctx_.numHosts();
+  const sim::HostId me = ctx_.id();
+  const std::uint32_t dim = model_.dim();
+  const bool naive = strategy_ == SyncStrategy::kRepModelNaive;
+  const bool pull = strategy_ == SyncStrategy::kPullModel;
+
+  const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
+
+  // Tags are unique per round so late receivers can never mix rounds.
+  const int reduceTag = static_cast<int>(round_ * 4 + 0);
+  const int bcastTag = static_cast<int>(round_ * 4 + 1);
+  const int ctrlTag = static_cast<int>(round_ * 4 + 2);
+
+  // ---- PullModel inspection exchange: tell each master which of its nodes
+  // this host will access next round. -----------------------------------
+  if (pull && numHosts > 1) {
+    for (unsigned peer = 0; peer < numHosts; ++peer) {
+      if (peer == me) continue;
+      ByteWriter w;
+      std::uint32_t count = 0;
+      const auto [lo, hi] = partition_.masterRange(peer);
+      if (willAccess != nullptr) {
+        for (std::uint32_t n = lo; n < hi; ++n) count += willAccess->test(n) ? 1 : 0;
+      } else {
+        count = hi - lo;
+      }
+      w.put(count);
+      if (willAccess != nullptr) {
+        for (std::uint32_t n = lo; n < hi; ++n) {
+          if (willAccess->test(n)) w.put(n);
+        }
+      } else {
+        for (std::uint32_t n = lo; n < hi; ++n) w.put(n);
+      }
+      net.send(me, peer, ctrlTag, w.take(), sim::CommPhase::kControl);
+    }
+  }
+
+  // ---- Reduce phase: ship touched (or all, for Naive) mirror deltas to
+  // masters. -------------------------------------------------------------
+  const auto [ownLo, ownHi] = partition_.masterRange(me);
+  for (unsigned peer = 0; peer < numHosts; ++peer) {
+    if (peer == me) continue;
+    const auto [lo, hi] = partition_.masterRange(peer);
+    ByteWriter w;
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      const auto label = static_cast<graph::Label>(l);
+      // First pass to count, second to fill (avoids patching offsets).
+      std::uint32_t count = 0;
+      for (std::uint32_t n = lo; n < hi; ++n) {
+        if (naive || model_.isTouched(label, n)) ++count;
+      }
+      w.put(count);
+      std::vector<float> delta(dim);
+      for (std::uint32_t n = lo; n < hi; ++n) {
+        if (!(naive || model_.isTouched(label, n))) continue;
+        util::sub(model_.row(label, n), baselineRow(label, n), delta);
+        w.put(n);
+        w.putSpan(std::span<const float>(delta));
+      }
+    }
+    net.send(me, peer, reduceTag, w.take(), sim::CommPhase::kReduce);
+  }
+
+  // ---- Master-side accumulation over contributions in host-id order. ----
+  const std::uint32_t ownCount = ownHi - ownLo;
+  std::vector<float> acc(static_cast<std::size_t>(ownCount) * dim * graph::kNumLabels, 0.0f);
+  std::vector<std::uint32_t> contributions(static_cast<std::size_t>(ownCount) * graph::kNumLabels,
+                                           0);
+  const auto accRow = [&](int l, std::uint32_t n) -> std::span<float> {
+    const std::size_t idx =
+        (static_cast<std::size_t>(l) * ownCount + (n - ownLo)) * dim;
+    return {acc.data() + idx, dim};
+  };
+  const auto contribAt = [&](int l, std::uint32_t n) -> std::uint32_t& {
+    return contributions[static_cast<std::size_t>(l) * ownCount + (n - ownLo)];
+  };
+  const auto foldContribution = [&](int l, std::uint32_t n, std::span<const float> delta) {
+    if (isZero(delta)) return;  // untouched mirror in a Naive round, or a no-op update
+    auto a = accRow(l, n);
+    if (contribAt(l, n) == 0) {
+      util::copyInto(delta, a);
+    } else {
+      reducer_.accumulate(a, delta);
+    }
+    ++contribAt(l, n);
+  };
+
+  std::vector<float> scratch(dim);
+  for (unsigned src = 0; src < numHosts; ++src) {
+    if (src == me) {
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        const auto label = static_cast<graph::Label>(l);
+        for (std::uint32_t n = ownLo; n < ownHi; ++n) {
+          if (!(naive || model_.isTouched(label, n))) continue;
+          util::sub(model_.row(label, n), baselineRow(label, n), scratch);
+          foldContribution(l, n, scratch);
+        }
+      }
+      continue;
+    }
+    const std::vector<std::uint8_t> payload = net.recv(me, src, reduceTag, sim::CommPhase::kReduce);
+    ByteReader r(payload);
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      const std::uint32_t count = r.get<std::uint32_t>();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t n = r.get<std::uint32_t>();
+        foldContribution(l, n, r.view<float>(dim));
+      }
+    }
+  }
+
+  // Apply combined steps to canonical values (master's own rows + baseline).
+  for (int l = 0; l < graph::kNumLabels; ++l) {
+    const auto label = static_cast<graph::Label>(l);
+    for (std::uint32_t n = ownLo; n < ownHi; ++n) {
+      const std::uint32_t c = contribAt(l, n);
+      if (c == 0) continue;
+      auto a = accRow(l, n);
+      reducer_.finalize(a, c);
+      auto base = mutableBaselineRow(label, n);
+      util::add(a, base);
+      util::copyInto(base, model_.mutableRow(label, n));
+    }
+  }
+
+  // ---- Gather PullModel recipient lists at the master. -------------------
+  std::vector<std::vector<std::uint32_t>> pullWants;  // per peer: owned nodes it reads
+  if (pull && numHosts > 1) {
+    pullWants.resize(numHosts);
+    for (unsigned peer = 0; peer < numHosts; ++peer) {
+      if (peer == me) continue;
+      const std::vector<std::uint8_t> payload =
+          net.recv(me, peer, ctrlTag, sim::CommPhase::kControl);
+      ByteReader r(payload);
+      const std::uint32_t count = r.get<std::uint32_t>();
+      pullWants[peer].reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) pullWants[peer].push_back(r.get<std::uint32_t>());
+    }
+  }
+
+  // ---- Broadcast phase: ship canonical values to mirrors. ----------------
+  for (unsigned peer = 0; peer < numHosts; ++peer) {
+    if (peer == me) continue;
+    ByteWriter w;
+    const auto emit = [&](int l, std::uint32_t n) {
+      w.put(n);
+      w.putSpan(std::span<const float>(model_.row(static_cast<graph::Label>(l), n)));
+    };
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      std::uint32_t count = 0;
+      if (naive) {
+        count = ownCount;
+      } else if (pull) {
+        count = static_cast<std::uint32_t>(pullWants[peer].size());
+      } else {
+        for (std::uint32_t n = ownLo; n < ownHi; ++n) count += contribAt(l, n) > 0 ? 1 : 0;
+      }
+      w.put(count);
+      if (naive) {
+        for (std::uint32_t n = ownLo; n < ownHi; ++n) emit(l, n);
+      } else if (pull) {
+        for (const std::uint32_t n : pullWants[peer]) emit(l, n);
+      } else {
+        for (std::uint32_t n = ownLo; n < ownHi; ++n) {
+          if (contribAt(l, n) > 0) emit(l, n);
+        }
+      }
+    }
+    net.send(me, peer, bcastTag, w.take(), sim::CommPhase::kBroadcast);
+  }
+
+  // Locally-touched mirror rows whose fresh value we may never receive
+  // (PullModel): rebase so future deltas are relative to what we hold.
+  for (int l = 0; l < graph::kNumLabels; ++l) {
+    const auto label = static_cast<graph::Label>(l);
+    model_.touched(label).forEachSet([&](std::size_t n32) {
+      const auto n = static_cast<std::uint32_t>(n32);
+      if (n >= ownLo && n < ownHi) return;  // masters already canonical
+      util::copyInto(model_.row(label, n), mutableBaselineRow(label, n));
+    });
+  }
+
+  // ---- Receive broadcasts and overwrite mirrors + baselines. -------------
+  for (unsigned src = 0; src < numHosts; ++src) {
+    if (src == me) continue;
+    const std::vector<std::uint8_t> payload =
+        net.recv(me, src, bcastTag, sim::CommPhase::kBroadcast);
+    ByteReader r(payload);
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      const auto label = static_cast<graph::Label>(l);
+      const std::uint32_t count = r.get<std::uint32_t>();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t n = r.get<std::uint32_t>();
+        const auto value = r.view<float>(dim);
+        util::copyInto(value, model_.mutableRow(label, n));
+        util::copyInto(value, mutableBaselineRow(label, n));
+      }
+    }
+  }
+
+  model_.clearTouched();
+  ++round_;
+
+  // Modelled communication time for this host's share of the exchange.
+  const sim::CommSnapshot after = sim::snapshot(ctx_.commStats());
+  ctx_.addModelledCommSeconds(netModel_.exchangeSeconds(sim::delta(before, after)));
+
+  // BSP rounds end at a barrier: nobody computes ahead of stragglers.
+  ctx_.barrier();
+}
+
+}  // namespace gw2v::comm

@@ -1,0 +1,84 @@
+#pragma once
+
+// Gluon-lite bulk-synchronous model synchronization (paper Sections 4.3-4.4).
+//
+// Every host holds a full replica of the ModelGraph; each node has one master
+// host (BlockedPartition) and mirrors everywhere else. A sync round is:
+//
+//   reduce:    every host ships the *delta* (current - baseline) of rows it
+//              touched to the row's master; the master folds deltas with the
+//              configured Reducer in host-id order (deterministic) and
+//              applies the combined step to its canonical value.
+//   broadcast: masters ship fresh canonical values back to mirrors.
+//
+// Three strategies reproduce the paper's variants:
+//   RepModel-Naive : reduce ships every mirror, broadcast ships every master.
+//   RepModel-Opt   : bit-vector tracked — reduce ships only touched mirrors,
+//                    broadcast ships only nodes any host updated. (Default.)
+//   PullModel      : reduce as Opt; an inspection pass supplies the set of
+//                    nodes this host will access next round, masters push
+//                    values only to hosts that will read them.
+//
+// All three produce bit-identical models for the same inputs (verified by
+// tests); they differ only in bytes moved — which is the paper's Fig 8/9
+// story.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/reducer.h"
+#include "graph/model_graph.h"
+#include "graph/partition.h"
+#include "sim/cluster.h"
+#include "sim/network_model.h"
+#include "util/bitvector.h"
+
+namespace gw2v::comm {
+
+enum class SyncStrategy : int { kRepModelNaive = 0, kRepModelOpt = 1, kPullModel = 2 };
+
+const char* syncStrategyName(SyncStrategy s) noexcept;
+
+class SyncEngine {
+ public:
+  SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
+             const graph::BlockedPartition& partition, const Reducer& reducer,
+             SyncStrategy strategy, sim::NetworkModel netModel = {});
+
+  /// One BSP sync round (Naive/Opt). For PullModel this overload treats
+  /// "will access" as "everything" — prefer the BitVector overload there.
+  void sync();
+
+  /// PullModel round: `willAccessNextRound` is the inspection result — node
+  /// ids this host reads in the upcoming compute round.
+  void sync(const util::BitVector& willAccessNextRound);
+
+  /// Rounds completed so far.
+  std::uint64_t rounds() const noexcept { return round_; }
+
+  SyncStrategy strategy() const noexcept { return strategy_; }
+
+  /// Reset baselines to the current model (call after any out-of-band model
+  /// overwrite, e.g. initial broadcast of host 0's random init).
+  void rebaseline();
+
+ private:
+  void doSync(const util::BitVector* willAccess);
+
+  std::span<const float> baselineRow(graph::Label label, std::uint32_t node) const noexcept;
+  std::span<float> mutableBaselineRow(graph::Label label, std::uint32_t node) noexcept;
+
+  sim::HostContext& ctx_;
+  graph::ModelGraph& model_;
+  const graph::BlockedPartition& partition_;
+  const Reducer& reducer_;
+  SyncStrategy strategy_;
+  sim::NetworkModel netModel_;
+
+  /// Model snapshot at last sync; deltas are measured against this.
+  std::vector<float> baseline_[graph::kNumLabels];
+
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace gw2v::comm

@@ -1,0 +1,52 @@
+#include "core/cbow.h"
+
+#include <cmath>
+
+#include "util/vecmath.h"
+
+namespace gw2v::core {
+
+float cbowStep(graph::ModelGraph& model, text::WordId center,
+               std::span<const text::WordId> contexts,
+               std::span<const text::WordId> negatives, float alpha,
+               const util::SigmoidTable& sigmoid, CbowScratch& scratch, bool collectLoss) {
+  const std::uint32_t dim = model.dim();
+  float* __restrict__ neu1 = scratch.neu1.data();
+  float* __restrict__ neu1e = scratch.neu1e.data();
+  for (std::uint32_t d = 0; d < dim; ++d) {
+    neu1[d] = 0.0f;
+    neu1e[d] = 0.0f;
+  }
+
+  for (const text::WordId c : contexts) {
+    const auto row = model.row(graph::Label::kEmbedding, c);
+    for (std::uint32_t d = 0; d < dim; ++d) neu1[d] += row[d];
+  }
+  const float inv = 1.0f / static_cast<float>(contexts.size());
+  for (std::uint32_t d = 0; d < dim; ++d) neu1[d] *= inv;
+
+  float loss = 0.0f;
+  const auto trainTarget = [&](text::WordId target, float label) {
+    auto trn = model.mutableRow(graph::Label::kTraining, target);
+    const float f = util::dot(scratch.neu1, trn);
+    const float g = (label - sigmoid(f)) * alpha;
+    if (collectLoss) {
+      const float p = util::SigmoidTable::exact(label > 0.5f ? f : -f);
+      loss += -std::log(p > 1e-7f ? p : 1e-7f);
+    }
+    const float* __restrict__ pt = trn.data();
+    for (std::uint32_t d = 0; d < dim; ++d) neu1e[d] += g * pt[d];
+    util::axpy(g, scratch.neu1, trn);
+    model.markTouched(graph::Label::kTraining, target);
+  };
+  trainTarget(center, 1.0f);
+  for (const text::WordId neg : negatives) trainTarget(neg, 0.0f);
+
+  for (const text::WordId c : contexts) {
+    util::add(scratch.neu1e, model.mutableRow(graph::Label::kEmbedding, c));
+    model.markTouched(graph::Label::kEmbedding, c);
+  }
+  return loss;
+}
+
+}  // namespace gw2v::core

@@ -1,0 +1,77 @@
+#include "core/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gw2v::core {
+
+HuffmanTree::HuffmanTree(std::span<const std::uint64_t> counts) {
+  vocabSize_ = static_cast<std::uint32_t>(counts.size());
+  if (vocabSize_ == 0) throw std::invalid_argument("HuffmanTree: empty vocabulary");
+  offsets_.assign(vocabSize_, 0);
+  lengths_.assign(vocabSize_, 0);
+  if (vocabSize_ == 1) return;  // single word: empty path
+
+  // Two-queue Huffman construction. Leaves are node ids [0, V); inner nodes
+  // are [V, 2V-1) created in ascending-weight order, so a simple cursor over
+  // each queue always yields the global minimum.
+  const std::uint32_t totalNodes = 2 * vocabSize_ - 1;
+  std::vector<std::uint64_t> weight(totalNodes, 0);
+  std::vector<std::uint32_t> parent(totalNodes, 0);
+  std::vector<std::uint8_t> branch(totalNodes, 0);
+
+  std::vector<std::uint32_t> leaves(vocabSize_);
+  std::iota(leaves.begin(), leaves.end(), 0u);
+  std::stable_sort(leaves.begin(), leaves.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return counts[a] < counts[b];
+  });
+  for (std::uint32_t i = 0; i < vocabSize_; ++i) weight[i] = counts[i];
+
+  std::size_t leafCursor = 0;
+  std::uint32_t innerConsume = vocabSize_;  // next existing inner node to consume
+  std::uint32_t innerNext = vocabSize_;     // next inner node id to create
+  const auto popMin = [&]() -> std::uint32_t {
+    const bool leafAvailable = leafCursor < leaves.size();
+    const bool innerAvailable = innerConsume < innerNext;
+    if (leafAvailable &&
+        (!innerAvailable || weight[leaves[leafCursor]] <= weight[innerConsume])) {
+      return leaves[leafCursor++];
+    }
+    return innerConsume++;
+  };
+
+  for (std::uint32_t a = 0; a < vocabSize_ - 1; ++a) {
+    const std::uint32_t min1 = popMin();
+    const std::uint32_t min2 = popMin();
+    weight[innerNext] = weight[min1] + weight[min2];
+    parent[min1] = innerNext;
+    parent[min2] = innerNext;
+    branch[min2] = 1;
+    ++innerNext;
+  }
+
+  // Extract root-first code/point paths per word.
+  const std::uint32_t root = totalNodes - 1;
+  std::uint8_t codeBuf[kMaxCodeLength];
+  std::uint32_t pointBuf[kMaxCodeLength];
+  for (std::uint32_t w = 0; w < vocabSize_; ++w) {
+    unsigned depth = 0;
+    for (std::uint32_t node = w; node != root; node = parent[node]) {
+      if (depth >= kMaxCodeLength)
+        throw std::runtime_error("HuffmanTree: code length exceeds kMaxCodeLength");
+      codeBuf[depth] = branch[node];
+      pointBuf[depth] = parent[node] - vocabSize_;  // inner-node id
+      ++depth;
+    }
+    offsets_[w] = static_cast<std::uint32_t>(codeStorage_.size());
+    lengths_[w] = static_cast<std::uint8_t>(depth);
+    // Reverse so paths read root -> leaf.
+    for (unsigned i = 0; i < depth; ++i) {
+      codeStorage_.push_back(codeBuf[depth - 1 - i]);
+      pointStorage_.push_back(pointBuf[depth - 1 - i]);
+    }
+  }
+}
+
+}  // namespace gw2v::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Huffman coding of the vocabulary for hierarchical softmax — the word2vec.c
+// alternative to negative sampling (paper Section 6: "using hierarchical
+// softmax instead of full softmax ... improves both the quality of the
+// vectors and the training speed"). Each word gets a root-to-leaf path of
+// inner nodes (`points`) and branch directions (`code` bits); frequent words
+// get short codes, so expected update cost is O(log V) weighted toward the
+// head of the distribution.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gw2v::core {
+
+class HuffmanTree {
+ public:
+  static constexpr unsigned kMaxCodeLength = 64;
+
+  /// Build from per-word counts (any order; zero counts allowed).
+  explicit HuffmanTree(std::span<const std::uint64_t> counts);
+
+  std::uint32_t vocabSize() const noexcept { return vocabSize_; }
+  /// Number of inner nodes (= vocabSize - 1 for vocab >= 2).
+  std::uint32_t innerNodes() const noexcept { return vocabSize_ > 1 ? vocabSize_ - 1 : 0; }
+
+  /// Branch directions from the root for word w (0 = toward the combined
+  /// lighter subtree, 1 = heavier, following word2vec.c's convention).
+  std::span<const std::uint8_t> code(std::uint32_t w) const noexcept {
+    return {codeStorage_.data() + offsets_[w], lengths_[w]};
+  }
+
+  /// Inner-node ids along the path for word w (same length as code(w)).
+  /// Ids are in [0, innerNodes()) with the root always at id innerNodes()-1.
+  std::span<const std::uint32_t> points(std::uint32_t w) const noexcept {
+    return {pointStorage_.data() + offsets_[w], lengths_[w]};
+  }
+
+  unsigned codeLength(std::uint32_t w) const noexcept { return lengths_[w]; }
+
+ private:
+  std::uint32_t vocabSize_ = 0;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint8_t> codeStorage_;
+  std::vector<std::uint32_t> pointStorage_;
+};
+
+}  // namespace gw2v::core

@@ -1,0 +1,67 @@
+#pragma once
+
+// The model combiner (paper Section 3) — the headline contribution.
+//
+// Given independently computed per-host steps ("gradients") g_1..g_k for the
+// same parameter vector, the combiner folds them left-to-right: each incoming
+// gradient is projected onto the orthogonal complement of the running
+// combination g, and the projection is added:
+//
+//     g'_i = g_i - (g^T g_i / ||g||^2) g        (Fig 2c)
+//     g   <- g + g'_i
+//
+// Properties (proved in the paper, unit-tested here):
+//   * parallel gradients collapse:  combine(g, g) = g      (not 2g — no blowup)
+//   * orthogonal gradients add:     combine(g1, g2) = g1 + g2
+//   * validity: ||g'_i|| <= ||g_i|| and the step still decreases L_i
+//     (Eqs 3-4), so the combined step is equivalent to a sequential SGD
+//     that under-decays some losses (Eq 6) — it never diverges the way SUM
+//     does, and never slows to batch-GD the way AVG does.
+
+#include <span>
+
+#include "comm/reducer.h"
+#include "util/vecmath.h"
+
+namespace gw2v::core {
+
+/// Fold `next` into the running combination `acc` by orthogonal projection.
+inline void combineGradient(std::span<float> acc, std::span<const float> next) noexcept {
+  const float g2 = util::squaredNorm(acc);
+  if (g2 <= 1e-30f) {
+    // Degenerate running combination: nothing to project against.
+    util::add(next, acc);
+    return;
+  }
+  const float proj = util::dot(acc, next) / g2;
+  float* __restrict__ pa = acc.data();
+  const float* __restrict__ pn = next.data();
+  const std::size_t n = acc.size();
+  const float keep = 1.0f - proj;
+  for (std::size_t i = 0; i < n; ++i) pa[i] = keep * pa[i] + pn[i];
+}
+
+/// The projected component g' of `next` w.r.t. combination `g` (exposed for
+/// property tests of Eqs 3-4).
+inline void projectedComponent(std::span<const float> g, std::span<const float> next,
+                               std::span<float> out) noexcept {
+  const float g2 = util::squaredNorm(g);
+  if (g2 <= 1e-30f) {
+    util::copyInto(next, out);
+    return;
+  }
+  const float proj = util::dot(g, next) / g2;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = next[i] - proj * g[i];
+}
+
+/// Gluon reduction operator wrapping the combiner (paper Section 4.3: "we
+/// use our model combiner function instead" of averaging/adding).
+class ModelCombinerReducer final : public comm::Reducer {
+ public:
+  void accumulate(std::span<float> acc, std::span<const float> next) const override {
+    combineGradient(acc, next);
+  }
+  const char* name() const override { return "MC"; }
+};
+
+}  // namespace gw2v::core

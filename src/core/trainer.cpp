@@ -1,0 +1,311 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/cbow.h"
+#include "core/huffman.h"
+#include "core/model_combiner.h"
+#include "graph/partition.h"
+#include "runtime/do_all.h"
+#include "runtime/per_thread.h"
+#include "text/corpus.h"
+#include "text/sampling.h"
+#include "util/sigmoid_table.h"
+
+namespace gw2v::core {
+
+const char* reductionName(Reduction r) noexcept {
+  switch (r) {
+    case Reduction::kModelCombiner: return "MC";
+    case Reduction::kAverage: return "AVG";
+    case Reduction::kSum: return "SUM";
+  }
+  return "?";
+}
+
+unsigned defaultSyncRounds(unsigned numHosts) noexcept {
+  const unsigned s = numHosts * 3 / 2;
+  return s == 0 ? 1 : s;
+}
+
+namespace {
+
+std::unique_ptr<comm::Reducer> makeReducer(Reduction r) {
+  switch (r) {
+    case Reduction::kModelCombiner: return std::make_unique<ModelCombinerReducer>();
+    case Reduction::kAverage: return std::make_unique<comm::AvgReducer>();
+    case Reduction::kSum: return std::make_unique<comm::SumReducer>();
+  }
+  throw std::invalid_argument("unknown reduction");
+}
+
+}  // namespace
+
+GraphWord2Vec::GraphWord2Vec(const text::Vocabulary& vocab, TrainOptions opts)
+    : vocab_(vocab), opts_(opts) {
+  if (!vocab.finalized()) throw std::invalid_argument("GraphWord2Vec: vocabulary not finalized");
+  if (vocab.size() == 0) throw std::invalid_argument("GraphWord2Vec: empty vocabulary");
+  if (opts_.numHosts == 0) throw std::invalid_argument("GraphWord2Vec: numHosts must be >= 1");
+  if (opts_.epochs == 0) throw std::invalid_argument("GraphWord2Vec: epochs must be >= 1");
+  if (opts_.sgns.window == 0) throw std::invalid_argument("GraphWord2Vec: window must be >= 1");
+  if (opts_.sgns.architecture == Architecture::kCbow &&
+      opts_.sgns.objective == Objective::kHierarchicalSoftmax) {
+    throw std::invalid_argument("GraphWord2Vec: CBOW + hierarchical softmax not supported");
+  }
+  if (opts_.syncRoundsPerEpoch == 0)
+    opts_.syncRoundsPerEpoch = defaultSyncRounds(opts_.numHosts);
+}
+
+TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
+                                 const EpochObserver& observer) const {
+  const unsigned numHosts = opts_.numHosts;
+  const unsigned rounds = opts_.syncRoundsPerEpoch;
+  const unsigned epochs = opts_.epochs;
+  const std::uint32_t vocabSize = vocab_.size();
+  const std::uint32_t dim = opts_.sgns.dim;
+  const bool pull = opts_.strategy == comm::SyncStrategy::kPullModel;
+
+  for (const text::WordId w : corpus) {
+    if (w >= vocabSize) throw std::out_of_range("GraphWord2Vec: corpus id out of vocabulary");
+  }
+
+  // Shared read-only state; real hosts would build identical copies from
+  // their vocabulary pass (deterministic), so sharing is safe and faithful.
+  const text::SubsampleFilter subsampler(vocab_.counts(), opts_.sgns.subsample);
+  const text::NegativeSampler negSampler(vocab_.counts());
+  const util::SigmoidTable sigmoid;
+  const std::unique_ptr<comm::Reducer> reducer = makeReducer(opts_.reduction);
+  const bool hs = opts_.sgns.objective == Objective::kHierarchicalSoftmax;
+  const std::unique_ptr<HuffmanTree> huffman =
+      hs ? std::make_unique<HuffmanTree>(vocab_.counts()) : nullptr;
+  // Under HS the driver must not draw (or consume RNG for) negatives.
+  SgnsParams driverParams = opts_.sgns;
+  if (hs) driverParams.negatives = 0;
+
+  const std::vector<std::vector<text::WordId>> parts = text::partitionCorpus(corpus, numHosts);
+  const graph::BlockedPartition partition(vocabSize, numHosts);
+
+  // Full replica per host, identically initialized (deterministic per-node
+  // seeding means no init broadcast is needed, as in the paper). A resumed
+  // run copies the checkpoint instead.
+  if (opts_.initialModel != nullptr &&
+      (opts_.initialModel->numNodes() != vocabSize || opts_.initialModel->dim() != dim)) {
+    throw std::invalid_argument("GraphWord2Vec: initialModel shape mismatch");
+  }
+  std::vector<std::unique_ptr<graph::ModelGraph>> replicas(numHosts);
+  for (unsigned h = 0; h < numHosts; ++h) {
+    replicas[h] = std::make_unique<graph::ModelGraph>(vocabSize, dim);
+    if (opts_.initialModel != nullptr) {
+      for (std::uint32_t n = 0; n < vocabSize; ++n) {
+        for (int l = 0; l < graph::kNumLabels; ++l) {
+          const auto label = static_cast<graph::Label>(l);
+          util::copyInto(opts_.initialModel->row(label, n),
+                         replicas[h]->mutableRow(label, n));
+        }
+      }
+    } else {
+      replicas[h]->randomizeEmbeddings(opts_.seed);
+    }
+  }
+
+  std::vector<EpochStats> epochStats(epochs);
+  std::vector<std::uint64_t> perHostExamples(numHosts, 0);
+
+  const auto body = [&](sim::HostContext& ctx) {
+    const unsigned host = ctx.id();
+    graph::ModelGraph& model = *replicas[host];
+    comm::SyncEngine sync(ctx, model, partition, *reducer, opts_.strategy, opts_.netModel);
+    // With shuffling on, the host re-permutes a private copy each epoch.
+    std::vector<text::WordId> shuffled;
+    if (opts_.shuffleEachEpoch) shuffled = parts[host];
+    const std::span<const text::WordId> tokens =
+        opts_.shuffleEachEpoch ? std::span<const text::WordId>(shuffled)
+                               : std::span<const text::WordId>(parts[host]);
+    const unsigned numThreads = ctx.pool().numThreads();
+
+    const bool cbow = opts_.sgns.architecture == Architecture::kCbow;
+    std::vector<SgnsScratch> scratch;
+    std::vector<CbowScratch> cbowScratch;
+    scratch.reserve(numThreads);
+    cbowScratch.reserve(numThreads);
+    for (unsigned t = 0; t < numThreads; ++t) {
+      scratch.emplace_back(dim);
+      cbowScratch.emplace_back(dim);
+    }
+
+    util::BitVector willAccess(vocabSize);
+
+    const std::uint64_t totalRounds = static_cast<std::uint64_t>(epochs) * rounds;
+    const auto alphaFor = [&](std::uint64_t roundIdx) {
+      const float frac =
+          1.0f - static_cast<float>(roundIdx) / static_cast<float>(totalRounds);
+      return opts_.sgns.alpha * std::max(frac, opts_.minAlphaFraction);
+    };
+    const auto threadSeed = [&](unsigned epoch, unsigned s, unsigned t) {
+      std::uint64_t x = opts_.seed;
+      x = util::hash64(x ^ (0x1111ULL + host));
+      x = util::hash64(x ^ ((static_cast<std::uint64_t>(epoch) << 20) | s));
+      x = util::hash64(x ^ (0x7777ULL + t));
+      return x;
+    };
+    const auto chunkOf = [&](unsigned s) {
+      const auto [lo, hi] = runtime::blockRange(tokens.size(), rounds, s);
+      return tokens.subspan(lo, hi - lo);
+    };
+
+    // PullModel inspection: dry-run the edge stream of round (epoch, s) with
+    // the exact RNG seeds compute will use, recording every node accessed.
+    const auto inspect = [&](unsigned epoch, unsigned s) {
+      willAccess.reset();
+      const auto chunk = chunkOf(s);
+      for (unsigned t = 0; t < numThreads; ++t) {
+        const auto [lo, hi] = runtime::blockRange(chunk.size(), numThreads, t);
+        util::Rng rng(threadSeed(epoch, s, t));
+        if (cbow) {
+          forEachCbowStep(chunk.subspan(lo, hi - lo), opts_.sgns, subsampler, negSampler, rng,
+                          [&](text::WordId center, std::span<const text::WordId> contexts,
+                              std::span<const text::WordId> negs) {
+                            willAccess.set(center);
+                            for (const text::WordId c : contexts) willAccess.set(c);
+                            for (const text::WordId n : negs) willAccess.set(n);
+                          });
+        } else {
+          forEachTrainingStep(
+              chunk.subspan(lo, hi - lo), driverParams, subsampler, negSampler, rng,
+              [&](text::WordId center, text::WordId context,
+                  std::span<const text::WordId> negs) {
+                willAccess.set(context);
+                if (hs) {
+                  for (const std::uint32_t p : huffman->points(center)) willAccess.set(p);
+                } else {
+                  willAccess.set(center);
+                  for (const text::WordId n : negs) willAccess.set(n);
+                }
+              });
+        }
+      }
+    };
+
+    std::uint64_t hostExamples = 0;
+    for (unsigned epoch = 0; epoch < epochs; ++epoch) {
+      if (opts_.shuffleEachEpoch) {
+        ctx.computeTimer().start();
+        util::Rng rng(util::hash64(opts_.seed ^ 0xf00dULL ^
+                                   ((static_cast<std::uint64_t>(host) << 32) | epoch)));
+        for (std::size_t i = shuffled.size(); i > 1; --i) {
+          std::swap(shuffled[i - 1], shuffled[rng.bounded(i)]);
+        }
+        ctx.computeTimer().stop();
+      }
+      runtime::PerThread<double> lossAcc(numThreads, 0.0);
+      runtime::PerThread<std::uint64_t> exampleAcc(numThreads, 0);
+
+      for (unsigned s = 0; s < rounds; ++s) {
+        if (pull) {
+          // Inspection is host CPU work — it is PullModel's overhead and is
+          // charged to compute time, as in the paper's accounting.
+          ctx.computeTimer().start();
+          inspect(epoch, s);
+          ctx.computeTimer().stop();
+          sync.sync(willAccess);  // reduces the previous round, pulls this one
+        }
+
+        const float alpha = alphaFor(static_cast<std::uint64_t>(epoch) * rounds + s);
+        const auto chunk = chunkOf(s);
+        ctx.computeTimer().start();
+        ctx.pool().onEach([&](unsigned t) {
+          const auto [lo, hi] = runtime::blockRange(chunk.size(), numThreads, t);
+          util::Rng rng(threadSeed(epoch, s, t));
+          double loss = 0.0;
+          std::uint64_t examples = 0;
+          if (cbow) {
+            forEachCbowStep(chunk.subspan(lo, hi - lo), opts_.sgns, subsampler, negSampler,
+                            rng,
+                            [&](text::WordId center, std::span<const text::WordId> contexts,
+                                std::span<const text::WordId> negs) {
+                              loss += cbowStep(model, center, contexts, negs, alpha, sigmoid,
+                                               cbowScratch[t], opts_.trackLoss);
+                              ++examples;
+                            });
+          } else {
+            forEachTrainingStep(
+                chunk.subspan(lo, hi - lo), driverParams, subsampler, negSampler, rng,
+                [&](text::WordId center, text::WordId context,
+                    std::span<const text::WordId> negs) {
+                  loss += hs ? hsStep(model, center, context, *huffman, alpha, sigmoid,
+                                      scratch[t], opts_.trackLoss)
+                             : sgnsStep(model, center, context, negs, alpha, sigmoid,
+                                        scratch[t], opts_.trackLoss);
+                  ++examples;
+                });
+          }
+          lossAcc.local(t) += loss;
+          exampleAcc.local(t) += examples;
+        });
+        ctx.computeTimer().stop();
+
+        if (!pull) sync.sync();
+      }
+
+      const double hostLoss = lossAcc.reduce(0.0, [](double a, double b) { return a + b; });
+      const std::uint64_t hostEpochExamples = exampleAcc.reduce(
+          std::uint64_t{0}, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      hostExamples += hostEpochExamples;
+
+      if (opts_.trackLoss) {
+        double sums[2] = {hostLoss, static_cast<double>(hostEpochExamples)};
+        ctx.network().allReduceSum(host, sums);
+        if (host == 0) {
+          EpochStats& st = epochStats[epoch];
+          st.epoch = epoch + 1;
+          st.examples = static_cast<std::uint64_t>(sums[1]);
+          st.avgLoss = sums[1] > 0 ? sums[0] / sums[1] : 0.0;
+          st.alphaEnd = alphaFor(static_cast<std::uint64_t>(epoch + 1) * rounds);
+        }
+      } else if (host == 0) {
+        EpochStats& st = epochStats[epoch];
+        st.epoch = epoch + 1;
+        st.examples = hostEpochExamples;  // host 0 share only (loss untracked)
+        st.alphaEnd = alphaFor(static_cast<std::uint64_t>(epoch + 1) * rounds);
+      }
+
+      if (observer && host == 0) observer(epochStats[epoch], model);
+    }
+
+    if (pull) {
+      // Flush the final round's deltas to the masters (empty pull set: no
+      // broadcast needed — the canonical model is composed host-side below).
+      util::BitVector none(vocabSize);
+      sync.sync(none);
+    }
+    perHostExamples[host] = hostExamples;
+  };
+
+  sim::ClusterOptions copts;
+  copts.numHosts = numHosts;
+  copts.workerThreadsPerHost = opts_.workerThreadsPerHost;
+  copts.networkModel = opts_.netModel;
+
+  TrainResult result;
+  result.cluster = sim::runCluster(copts, body);
+  result.epochs = std::move(epochStats);
+
+  // Compose the canonical model: each host's master range is authoritative.
+  result.model.init(vocabSize, dim);
+  for (unsigned h = 0; h < numHosts; ++h) {
+    const auto [lo, hi] = partition.masterRange(h);
+    for (std::uint32_t n = lo; n < hi; ++n) {
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        const auto label = static_cast<graph::Label>(l);
+        util::copyInto(replicas[h]->row(label, n), result.model.mutableRow(label, n));
+      }
+    }
+  }
+  for (const auto e : perHostExamples) result.totalExamples += e;
+  return result;
+}
+
+}  // namespace gw2v::core

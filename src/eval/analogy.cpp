@@ -1,0 +1,60 @@
+#include "eval/analogy.h"
+
+namespace gw2v::eval {
+
+AnalogyTask::AnalogyTask(const std::vector<synth::AnalogyCategory>& suite,
+                         const text::Vocabulary& vocab) {
+  categories_.reserve(suite.size());
+  for (const auto& cat : suite) {
+    ResolvedCategory rc;
+    rc.name = cat.name;
+    rc.semantic = cat.semantic;
+    for (const auto& q : cat.questions) {
+      const auto a = vocab.idOf(q.a);
+      const auto b = vocab.idOf(q.b);
+      const auto c = vocab.idOf(q.c);
+      const auto d = vocab.idOf(q.expected);
+      if (a && b && c && d) rc.questions.push_back({*a, *b, *c, *d});
+    }
+    categories_.push_back(std::move(rc));
+  }
+}
+
+std::size_t AnalogyTask::totalQuestions() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : categories_) n += c.questions.size();
+  return n;
+}
+
+AccuracyReport AnalogyTask::evaluate(const EmbeddingView& view) const {
+  AccuracyReport report;
+  double semSum = 0.0, synSum = 0.0;
+  unsigned semCats = 0, synCats = 0;
+
+  for (const auto& cat : categories_) {
+    double acc = 0.0;
+    if (!cat.questions.empty()) {
+      unsigned correct = 0;
+      for (const auto& q : cat.questions) {
+        if (view.predictAnalogy(q.a, q.b, q.c) == q.expected) ++correct;
+      }
+      acc = 100.0 * static_cast<double>(correct) / static_cast<double>(cat.questions.size());
+    }
+    report.perCategory.emplace_back(cat.name, acc);
+    if (cat.semantic) {
+      semSum += acc;
+      ++semCats;
+    } else {
+      synSum += acc;
+      ++synCats;
+    }
+  }
+
+  report.semantic = semCats > 0 ? semSum / semCats : 0.0;
+  report.syntactic = synCats > 0 ? synSum / synCats : 0.0;
+  const unsigned cats = semCats + synCats;
+  report.total = cats > 0 ? (semSum + synSum) / cats : 0.0;
+  return report;
+}
+
+}  // namespace gw2v::eval

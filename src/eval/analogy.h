@@ -1,0 +1,50 @@
+#pragma once
+
+// Analogical-reasoning accuracy (paper Section 5.1): questions of the form
+// a : b :: c : ? over 14 categories, split into semantic and syntactic;
+// per-category accuracies are averaged into semantic / syntactic / total
+// scores, as the paper reports in Table 3 and Figures 6-7.
+
+#include <string>
+#include <vector>
+
+#include "eval/embedding_view.h"
+#include "synth/generator.h"
+#include "text/vocabulary.h"
+
+namespace gw2v::eval {
+
+/// One question with vocabulary ids resolved.
+struct ResolvedQuestion {
+  text::WordId a, b, c, expected;
+};
+
+struct ResolvedCategory {
+  std::string name;
+  bool semantic = true;
+  std::vector<ResolvedQuestion> questions;
+};
+
+struct AccuracyReport {
+  double semantic = 0.0;
+  double syntactic = 0.0;
+  double total = 0.0;
+  std::vector<std::pair<std::string, double>> perCategory;
+};
+
+class AnalogyTask {
+ public:
+  /// Resolve words against the vocabulary; questions with out-of-vocabulary
+  /// words are dropped (mirrors the original compute-accuracy scripts).
+  AnalogyTask(const std::vector<synth::AnalogyCategory>& suite, const text::Vocabulary& vocab);
+
+  AccuracyReport evaluate(const EmbeddingView& view) const;
+
+  std::size_t totalQuestions() const noexcept;
+  const std::vector<ResolvedCategory>& categories() const noexcept { return categories_; }
+
+ private:
+  std::vector<ResolvedCategory> categories_;
+};
+
+}  // namespace gw2v::eval

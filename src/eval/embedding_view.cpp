@@ -1,0 +1,68 @@
+#include "eval/embedding_view.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/vecmath.h"
+
+namespace gw2v::eval {
+
+EmbeddingView::EmbeddingView(const graph::ModelGraph& model, const text::Vocabulary& vocab)
+    : vocab_(&vocab), numWords_(model.numNodes()), dim_(model.dim()) {
+  data_.resize(static_cast<std::size_t>(numWords_) * dim_);
+  for (std::uint32_t w = 0; w < numWords_; ++w) {
+    const auto src = model.row(graph::Label::kEmbedding, w);
+    float n = util::norm(src);
+    if (n <= 0.0f) n = 1.0f;
+    float* dst = data_.data() + static_cast<std::size_t>(w) * dim_;
+    for (std::uint32_t d = 0; d < dim_; ++d) dst[d] = src[d] / n;
+  }
+}
+
+std::vector<Neighbor> EmbeddingView::nearest(std::span<const float> query, unsigned k,
+                                             std::span<const text::WordId> exclude) const {
+  std::vector<float> q(query.begin(), query.end());
+  float n = util::norm(q);
+  if (n <= 0.0f) n = 1.0f;
+  for (auto& v : q) v /= n;
+
+  std::vector<Neighbor> best;
+  best.reserve(k + 1);
+  for (std::uint32_t w = 0; w < numWords_; ++w) {
+    if (std::find(exclude.begin(), exclude.end(), w) != exclude.end()) continue;
+    const float sim = util::dot(q, vectorOf(w));
+    if (best.size() < k) {
+      best.push_back({w, sim});
+      std::push_heap(best.begin(), best.end(),
+                     [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
+    } else if (!best.empty() && sim > best.front().similarity) {
+      std::pop_heap(best.begin(), best.end(),
+                    [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
+      best.back() = {w, sim};
+      std::push_heap(best.begin(), best.end(),
+                     [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
+    }
+  }
+  std::sort(best.begin(), best.end(),
+            [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
+  return best;
+}
+
+std::vector<Neighbor> EmbeddingView::nearestTo(text::WordId w, unsigned k) const {
+  const text::WordId ex[] = {w};
+  return nearest(vectorOf(w), k, ex);
+}
+
+text::WordId EmbeddingView::predictAnalogy(text::WordId a, text::WordId b,
+                                           text::WordId c) const {
+  std::vector<float> target(dim_);
+  const auto va = vectorOf(a);
+  const auto vb = vectorOf(b);
+  const auto vc = vectorOf(c);
+  for (std::uint32_t d = 0; d < dim_; ++d) target[d] = vb[d] - va[d] + vc[d];
+  const text::WordId ex[] = {a, b, c};
+  const auto top = nearest(target, 1, ex);
+  return top.empty() ? text::kInvalidWord : top.front().word;
+}
+
+}  // namespace gw2v::eval

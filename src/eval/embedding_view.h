@@ -1,0 +1,55 @@
+#pragma once
+
+// Read-only, unit-normalized view of trained embeddings for evaluation
+// (cosine similarity, nearest neighbours, analogies) — the protocol of the
+// original Word2Vec distance/accuracy tools.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/model_graph.h"
+#include "text/vocabulary.h"
+
+namespace gw2v::eval {
+
+struct Neighbor {
+  text::WordId word;
+  float similarity;
+};
+
+class EmbeddingView {
+ public:
+  /// Copies and L2-normalizes every embedding row.
+  EmbeddingView(const graph::ModelGraph& model, const text::Vocabulary& vocab);
+
+  std::uint32_t vocabSize() const noexcept { return numWords_; }
+  std::uint32_t dim() const noexcept { return dim_; }
+  const text::Vocabulary& vocab() const noexcept { return *vocab_; }
+
+  std::span<const float> vectorOf(text::WordId w) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(w) * dim_, dim_};
+  }
+
+  /// Top-k most similar words to an arbitrary (not necessarily normalized)
+  /// query vector, excluding ids in `exclude`.
+  std::vector<Neighbor> nearest(std::span<const float> query, unsigned k,
+                                std::span<const text::WordId> exclude = {}) const;
+
+  /// Top-k neighbours of a word (excludes the word itself).
+  std::vector<Neighbor> nearestTo(text::WordId w, unsigned k) const;
+
+  /// argmax_x cos(e_x, e_b - e_a + e_c) excluding {a,b,c} — the analogy
+  /// prediction rule of the paper's Section 5.1.
+  text::WordId predictAnalogy(text::WordId a, text::WordId b, text::WordId c) const;
+
+ private:
+  const text::Vocabulary* vocab_;
+  std::uint32_t numWords_;
+  std::uint32_t dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace gw2v::eval

@@ -1,0 +1,72 @@
+#include "eval/question_words.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gw2v::eval {
+
+std::vector<synth::AnalogyCategory> parseQuestionWords(const std::string& body) {
+  std::vector<synth::AnalogyCategory> suite;
+  std::istringstream in(body);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line == "\r") continue;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first.empty()) continue;
+    if (first == ":") {
+      synth::AnalogyCategory cat;
+      ls >> cat.name;
+      if (cat.name.empty())
+        throw std::runtime_error("question-words: missing category name at line " +
+                                 std::to_string(lineNo));
+      cat.semantic = cat.name.rfind("gram", 0) != 0;
+      suite.push_back(std::move(cat));
+      continue;
+    }
+    if (suite.empty())
+      throw std::runtime_error("question-words: question before any category at line " +
+                               std::to_string(lineNo));
+    synth::AnalogyQuestion q;
+    q.a = first;
+    std::string extra;
+    if (!(ls >> q.b >> q.c >> q.expected) || (ls >> extra))
+      throw std::runtime_error("question-words: expected 4 words at line " +
+                               std::to_string(lineNo));
+    suite.back().questions.push_back(std::move(q));
+  }
+  return suite;
+}
+
+std::vector<synth::AnalogyCategory> loadQuestionWords(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadQuestionWords: cannot open " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return parseQuestionWords(body.str());
+}
+
+std::string formatQuestionWords(const std::vector<synth::AnalogyCategory>& suite) {
+  std::ostringstream out;
+  for (const auto& cat : suite) {
+    out << ": " << cat.name << '\n';
+    for (const auto& q : cat.questions) {
+      out << q.a << ' ' << q.b << ' ' << q.c << ' ' << q.expected << '\n';
+    }
+  }
+  return out.str();
+}
+
+void saveQuestionWords(const std::string& path,
+                       const std::vector<synth::AnalogyCategory>& suite) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveQuestionWords: cannot open " + path);
+  out << formatQuestionWords(suite);
+  if (!out) throw std::runtime_error("saveQuestionWords: write failed");
+}
+
+}  // namespace gw2v::eval

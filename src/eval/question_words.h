@@ -1,0 +1,35 @@
+#pragma once
+
+// Read/write analogy suites in the original question-words.txt format:
+//
+//   : capital-common-countries
+//   Athens Greece Baghdad Iraq
+//   ...
+//
+// so real evaluation sets drop in unchanged, and the synthetic suites can be
+// exported for use with the original word2vec compute-accuracy tool.
+// Categories whose name starts with "gram" are bucketed as syntactic,
+// following the original scripts.
+
+#include <string>
+#include <vector>
+
+#include "synth/generator.h"
+
+namespace gw2v::eval {
+
+/// Parse question-words.txt content; throws std::runtime_error on lines
+/// that are neither ": name" headers nor 4-token questions.
+std::vector<synth::AnalogyCategory> parseQuestionWords(const std::string& body);
+
+/// Load from a file.
+std::vector<synth::AnalogyCategory> loadQuestionWords(const std::string& path);
+
+/// Serialize a suite back to the format.
+std::string formatQuestionWords(const std::vector<synth::AnalogyCategory>& suite);
+
+/// Write to a file.
+void saveQuestionWords(const std::string& path,
+                       const std::vector<synth::AnalogyCategory>& suite);
+
+}  // namespace gw2v::eval

@@ -1,0 +1,72 @@
+#include "eval/vectors_io.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace gw2v::eval {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+void saveTextVectors(const std::string& path, const graph::ModelGraph& model,
+                     const text::Vocabulary& vocab) {
+  if (model.numNodes() != vocab.size())
+    throw std::invalid_argument("saveTextVectors: model/vocabulary size mismatch");
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) throw std::runtime_error("saveTextVectors: cannot open " + path);
+  std::fprintf(f.get(), "%u %u\n", model.numNodes(), model.dim());
+  for (std::uint32_t w = 0; w < model.numNodes(); ++w) {
+    std::fputs(vocab.wordOf(w).c_str(), f.get());
+    for (const float v : model.row(graph::Label::kEmbedding, w)) {
+      std::fprintf(f.get(), " %.6g", static_cast<double>(v));
+    }
+    std::fputc('\n', f.get());
+  }
+  if (std::ferror(f.get())) throw std::runtime_error("saveTextVectors: write failed");
+}
+
+LoadedVectors loadTextVectors(const std::string& path) {
+  File f(std::fopen(path.c_str(), "r"));
+  if (!f) throw std::runtime_error("loadTextVectors: cannot open " + path);
+
+  unsigned numWords = 0, dim = 0;
+  if (std::fscanf(f.get(), "%u %u", &numWords, &dim) != 2 || dim == 0)
+    throw std::runtime_error("loadTextVectors: malformed header in " + path);
+
+  LoadedVectors out;
+  out.model.init(numWords, dim);
+  std::vector<std::string> words(numWords);
+  char wordBuf[4096];
+  for (unsigned w = 0; w < numWords; ++w) {
+    if (std::fscanf(f.get(), "%4095s", wordBuf) != 1)
+      throw std::runtime_error("loadTextVectors: truncated file (word)");
+    words[w] = wordBuf;
+    auto row = out.model.mutableRow(graph::Label::kEmbedding, w);
+    for (unsigned d = 0; d < dim; ++d) {
+      float v = 0.0f;
+      if (std::fscanf(f.get(), "%f", &v) != 1)
+        throw std::runtime_error("loadTextVectors: truncated file (vector)");
+      row[d] = v;
+    }
+  }
+
+  // True counts are not stored in the format; synthesize strictly-descending
+  // surrogates so finalize() preserves file order (the writer's id order).
+  for (unsigned w = 0; w < numWords; ++w) {
+    out.vocab.addCount(words[w], static_cast<std::uint64_t>(numWords) - w + 1);
+  }
+  out.vocab.finalize(1);
+  for (unsigned w = 0; w < numWords; ++w) {
+    if (out.vocab.wordOf(w) != words[w])
+      throw std::runtime_error("loadTextVectors: duplicate word in " + path);
+  }
+  return out;
+}
+
+}  // namespace gw2v::eval

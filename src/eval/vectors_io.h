@@ -1,0 +1,28 @@
+#pragma once
+
+// Save/load embeddings in the word2vec text format ("V D\nword v0 v1 ...")
+// so trained models interoperate with the original distance/accuracy tools,
+// gensim's KeyedVectors loader, and friends.
+
+#include <string>
+
+#include "graph/model_graph.h"
+#include "text/vocabulary.h"
+
+namespace gw2v::eval {
+
+/// Write embedding vectors (the kEmbedding label) to `path`.
+void saveTextVectors(const std::string& path, const graph::ModelGraph& model,
+                     const text::Vocabulary& vocab);
+
+struct LoadedVectors {
+  text::Vocabulary vocab;  // counts are unknown: all set to 1, input order kept
+  graph::ModelGraph model;
+};
+
+/// Read a word2vec text file back; throws std::runtime_error on malformed
+/// input. Word ids follow file order (the writer emits frequency order, so a
+/// save/load round trip preserves ids).
+LoadedVectors loadTextVectors(const std::string& path);
+
+}  // namespace gw2v::eval

@@ -1,0 +1,83 @@
+#include "eval/wordsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/vecmath.h"
+
+namespace gw2v::eval {
+
+namespace {
+
+/// Ranks with ties averaged (the standard Spearman convention).
+std::vector<double> tiedRanks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = a.size();
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+double spearmanCorrelation(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const auto ra = tiedRanks(a);
+  const auto rb = tiedRanks(b);
+  return pearson(ra, rb);
+}
+
+WordSimTask::WordSimTask(const std::vector<SimilarityPair>& pairs,
+                         const text::Vocabulary& vocab) {
+  for (const auto& p : pairs) {
+    const auto a = vocab.idOf(p.first);
+    const auto b = vocab.idOf(p.second);
+    if (a && b) resolved_.push_back({*a, *b, p.gold});
+  }
+}
+
+double WordSimTask::evaluate(const EmbeddingView& view) const {
+  std::vector<double> gold, predicted;
+  gold.reserve(resolved_.size());
+  predicted.reserve(resolved_.size());
+  for (const auto& p : resolved_) {
+    gold.push_back(p.gold);
+    predicted.push_back(
+        static_cast<double>(util::dot(view.vectorOf(p.first), view.vectorOf(p.second))));
+  }
+  return spearmanCorrelation(gold, predicted);
+}
+
+}  // namespace gw2v::eval

@@ -1,0 +1,46 @@
+#pragma once
+
+// Word-similarity evaluation (WordSim-353 style): Spearman rank correlation
+// between human(-surrogate) similarity judgements and embedding cosine
+// similarities — the second standard intrinsic evaluation alongside
+// analogies. For the synthetic corpora, graded gold judgements are derived
+// from the planted structure (same pair >> same relation side > same
+// relation > unrelated).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/embedding_view.h"
+#include "text/vocabulary.h"
+
+namespace gw2v::eval {
+
+/// Spearman rank correlation with average ranks for ties; NaN-free: returns
+/// 0 when either input is constant. Inputs must be equal-length.
+double spearmanCorrelation(std::span<const double> a, std::span<const double> b);
+
+struct SimilarityPair {
+  std::string first, second;
+  double gold = 0.0;  // higher = more similar
+};
+
+class WordSimTask {
+ public:
+  /// Pairs with out-of-vocabulary words are dropped.
+  WordSimTask(const std::vector<SimilarityPair>& pairs, const text::Vocabulary& vocab);
+
+  /// Spearman correlation between gold scores and cosine similarities.
+  double evaluate(const EmbeddingView& view) const;
+
+  std::size_t size() const noexcept { return resolved_.size(); }
+
+ private:
+  struct Resolved {
+    text::WordId first, second;
+    double gold;
+  };
+  std::vector<Resolved> resolved_;
+};
+
+}  // namespace gw2v::eval

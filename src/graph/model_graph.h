@@ -1,0 +1,96 @@
+#pragma once
+
+// The Word2Vec model as a graph: every vocabulary word is a node carrying two
+// dense labels — the embedding vector (hidden layer) and the training vector
+// (output layer) — exactly as Figure 1 (bottom) of the paper lays out. Edges
+// are never materialized: the Skip-Gram operator generates positive pairs by
+// sliding a window over the corpus and negative pairs by sampling.
+//
+// Rows are cache-line padded; Hogwild workers update rows concurrently and
+// benignly race within a row (the word2vec.c discipline).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "util/aligned.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace gw2v::graph {
+
+enum class Label : int { kEmbedding = 0, kTraining = 1 };
+inline constexpr int kNumLabels = 2;
+
+class ModelGraph {
+ public:
+  ModelGraph() = default;
+
+  ModelGraph(std::uint32_t numNodes, std::uint32_t dim) { init(numNodes, dim); }
+
+  void init(std::uint32_t numNodes, std::uint32_t dim) {
+    if (dim == 0) throw std::invalid_argument("ModelGraph: dim must be >= 1");
+    numNodes_ = numNodes;
+    dim_ = dim;
+    stride_ = static_cast<std::uint32_t>(util::paddedRowWidth(dim, sizeof(float)));
+    const std::size_t total = static_cast<std::size_t>(numNodes) * stride_;
+    embedding_.assign(total, 0.0f);
+    training_.assign(total, 0.0f);
+    for (auto& bv : touched_) bv.resize(numNodes);
+  }
+
+  std::uint32_t numNodes() const noexcept { return numNodes_; }
+  std::uint32_t dim() const noexcept { return dim_; }
+
+  /// word2vec.c initialization: embeddings uniform in [-0.5/dim, 0.5/dim),
+  /// training vectors zero. Seeded per node so the layout is reproducible
+  /// regardless of traversal order (hosts must agree bit-for-bit).
+  void randomizeEmbeddings(std::uint64_t seed) {
+    const float inv = 0.5f / static_cast<float>(dim_);
+    for (std::uint32_t n = 0; n < numNodes_; ++n) {
+      util::Rng rng(util::hash64(seed ^ (0xabcdULL + n)));
+      auto row = mutableRow(Label::kEmbedding, n);
+      for (auto& v : row) v = rng.uniformFloat(-inv, inv);
+    }
+  }
+
+  std::span<const float> row(Label label, std::uint32_t node) const noexcept {
+    const auto& m = label == Label::kEmbedding ? embedding_ : training_;
+    return {m.data() + static_cast<std::size_t>(node) * stride_, dim_};
+  }
+
+  std::span<float> mutableRow(Label label, std::uint32_t node) noexcept {
+    auto& m = label == Label::kEmbedding ? embedding_ : training_;
+    return {m.data() + static_cast<std::size_t>(node) * stride_, dim_};
+  }
+
+  /// Sparse-sync support: mark and query the per-label dirty bit-vector.
+  void markTouched(Label label, std::uint32_t node) noexcept {
+    touched_[static_cast<int>(label)].set(node);
+  }
+  bool isTouched(Label label, std::uint32_t node) const noexcept {
+    return touched_[static_cast<int>(label)].test(node);
+  }
+  const util::BitVector& touched(Label label) const noexcept {
+    return touched_[static_cast<int>(label)];
+  }
+  void clearTouched() noexcept {
+    for (auto& bv : touched_) bv.reset();
+  }
+
+  /// Bytes a full replica of the model occupies (both labels, unpadded) —
+  /// the quantity the paper's "model fits in ~4GB" discussion refers to.
+  std::uint64_t modelBytes() const noexcept {
+    return static_cast<std::uint64_t>(numNodes_) * dim_ * sizeof(float) * kNumLabels;
+  }
+
+ private:
+  std::uint32_t numNodes_ = 0;
+  std::uint32_t dim_ = 0;
+  std::uint32_t stride_ = 0;
+  util::AlignedVector<float> embedding_;
+  util::AlignedVector<float> training_;
+  util::BitVector touched_[kNumLabels];
+};
+
+}  // namespace gw2v::graph

@@ -1,0 +1,68 @@
+#include "graph/model_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace gw2v::graph {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'W', '2', 'V', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+void saveCheckpoint(const std::string& path, const ModelGraph& model) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("saveCheckpoint: cannot open " + path);
+  const std::uint32_t header[2] = {model.numNodes(), model.dim()};
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+      std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    throw std::runtime_error("saveCheckpoint: write failed");
+  }
+  for (int l = 0; l < kNumLabels; ++l) {
+    for (std::uint32_t n = 0; n < model.numNodes(); ++n) {
+      const auto row = model.row(static_cast<Label>(l), n);
+      if (std::fwrite(row.data(), sizeof(float), row.size(), f.get()) != row.size())
+        throw std::runtime_error("saveCheckpoint: write failed");
+    }
+  }
+}
+
+ModelGraph loadCheckpoint(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("loadCheckpoint: cannot open " + path);
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint32_t header[2] = {0, 0};
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("loadCheckpoint: bad magic in " + path);
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 || version != kVersion)
+    throw std::runtime_error("loadCheckpoint: unsupported version in " + path);
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1 || header[1] == 0)
+    throw std::runtime_error("loadCheckpoint: bad header in " + path);
+
+  ModelGraph model(header[0], header[1]);
+  for (int l = 0; l < kNumLabels; ++l) {
+    for (std::uint32_t n = 0; n < model.numNodes(); ++n) {
+      auto row = model.mutableRow(static_cast<Label>(l), n);
+      if (std::fread(row.data(), sizeof(float), row.size(), f.get()) != row.size())
+        throw std::runtime_error("loadCheckpoint: truncated file " + path);
+    }
+  }
+  // Any trailing bytes indicate corruption.
+  char extra;
+  if (std::fread(&extra, 1, 1, f.get()) == 1)
+    throw std::runtime_error("loadCheckpoint: trailing bytes in " + path);
+  return model;
+}
+
+}  // namespace gw2v::graph

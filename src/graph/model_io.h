@@ -1,0 +1,19 @@
+#pragma once
+
+// Binary checkpointing of the full model graph (both labels), so long
+// training runs can snapshot after any epoch and resume or ship the exact
+// state elsewhere. Format: magic, version, numNodes, dim, embedding rows,
+// training rows (unpadded little-endian float32).
+
+#include <string>
+
+#include "graph/model_graph.h"
+
+namespace gw2v::graph {
+
+void saveCheckpoint(const std::string& path, const ModelGraph& model);
+
+/// Throws std::runtime_error on missing/corrupt/truncated files.
+ModelGraph loadCheckpoint(const std::string& path);
+
+}  // namespace gw2v::graph

@@ -1,0 +1,90 @@
+#pragma once
+
+// Master/mirror partitioning policies (CuSP-style, simplified).
+//
+// GraphWord2Vec replicates every node on every host ("we modified Gluon to
+// customize the partitioning and enable this" — Section 4.2), so the only
+// per-node decision is which host owns the *master* proxy. We provide the
+// blocked policy the paper illustrates (contiguous chunks, Figure 4) plus a
+// hash policy for load-balance comparisons.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace gw2v::graph {
+
+class NodePartition {
+ public:
+  NodePartition(std::uint32_t numNodes, unsigned numHosts)
+      : numNodes_(numNodes), numHosts_(numHosts) {
+    if (numHosts == 0) throw std::invalid_argument("NodePartition: numHosts must be >= 1");
+  }
+  virtual ~NodePartition() = default;
+
+  std::uint32_t numNodes() const noexcept { return numNodes_; }
+  unsigned numHosts() const noexcept { return numHosts_; }
+
+  /// Host owning the master proxy of `node`.
+  virtual unsigned masterOf(std::uint32_t node) const noexcept = 0;
+
+  /// Number of masters owned by `host`.
+  std::uint32_t mastersOf(unsigned host) const noexcept {
+    std::uint32_t c = 0;
+    for (std::uint32_t n = 0; n < numNodes_; ++n) c += masterOf(n) == host ? 1 : 0;
+    return c;
+  }
+
+ protected:
+  std::uint32_t numNodes_;
+  unsigned numHosts_;
+};
+
+/// Contiguous blocks of node ids per host (Figure 4's P1..P4 layout).
+class BlockedPartition final : public NodePartition {
+ public:
+  using NodePartition::NodePartition;
+
+  unsigned masterOf(std::uint32_t node) const noexcept override {
+    // Host h owns [floor(n*h/H), floor(n*(h+1)/H)). Start from the obvious
+    // candidate and nudge; rounding puts it at most one host off.
+    const std::uint64_t n = numNodes_;
+    unsigned host =
+        n == 0 ? 0
+               : static_cast<unsigned>(static_cast<std::uint64_t>(node) * numHosts_ / n);
+    if (host >= numHosts_) host = numHosts_ - 1;
+    while (host > 0 && node < blockLo(host)) --host;
+    while (host + 1 < numHosts_ && node >= blockLo(host + 1)) ++host;
+    return host;
+  }
+
+  /// [lo, hi) of masters owned by `host`.
+  std::pair<std::uint32_t, std::uint32_t> masterRange(unsigned host) const noexcept {
+    return {blockLo(host), blockLo(host + 1)};
+  }
+
+ private:
+  std::uint32_t blockLo(unsigned host) const noexcept {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(numNodes_) * host / numHosts_);
+  }
+};
+
+/// Hash-based master assignment (decorrelates ownership from word frequency,
+/// since vocab ids are frequency-sorted).
+class HashPartition final : public NodePartition {
+ public:
+  HashPartition(std::uint32_t numNodes, unsigned numHosts, std::uint64_t salt = 0x9e3779b9ULL)
+      : NodePartition(numNodes, numHosts), salt_(salt) {}
+
+  unsigned masterOf(std::uint32_t node) const noexcept override {
+    return static_cast<unsigned>(util::hash64(node ^ salt_) % numHosts_);
+  }
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace gw2v::graph

@@ -1,0 +1,65 @@
+#pragma once
+
+// Galois-lite parallel loop constructs.
+//
+// doAll(pool, begin, end, fn): applies fn(i) to every index in [begin, end)
+// using dynamic chunked scheduling — the same "do_all with a chunked FIFO"
+// shape the Galois runtime provides, which is what GraphWord2Vec's compute
+// phase uses to process its worklist partition with Hogwild updates.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/thread_pool.h"
+
+namespace gw2v::runtime {
+
+struct DoAllOptions {
+  /// Indices handed to a worker per grab; tuned for loop bodies that cost
+  /// microseconds (an SGNS window) rather than nanoseconds.
+  std::size_t chunkSize = 64;
+};
+
+template <typename Fn>
+void doAll(ThreadPool& pool, std::uint64_t begin, std::uint64_t end, Fn&& fn,
+           DoAllOptions opts = {}) {
+  if (begin >= end) return;
+  const std::uint64_t n = end - begin;
+  if (pool.numThreads() == 1 || n <= opts.chunkSize) {
+    for (std::uint64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::uint64_t> next{begin};
+  const std::size_t chunk = opts.chunkSize;
+  pool.onEach([&](unsigned /*tid*/) {
+    for (;;) {
+      const std::uint64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::uint64_t hi = lo + chunk < end ? lo + chunk : end;
+      for (std::uint64_t i = lo; i < hi; ++i) fn(i);
+    }
+  });
+}
+
+/// Static blocked partition of [begin, end) over threads; fn(tid, lo, hi).
+/// Used where each thread needs its own contiguous range (e.g. streaming a
+/// corpus chunk in order).
+template <typename Fn>
+void doAllBlocked(ThreadPool& pool, std::uint64_t begin, std::uint64_t end, Fn&& fn) {
+  const unsigned t = pool.numThreads();
+  const std::uint64_t n = end > begin ? end - begin : 0;
+  pool.onEach([&](unsigned tid) {
+    const std::uint64_t lo = begin + n * tid / t;
+    const std::uint64_t hi = begin + n * (tid + 1) / t;
+    fn(tid, lo, hi);
+  });
+}
+
+/// Evenly split [0, n) into `parts` blocks; returns [lo, hi) of block `i`.
+inline std::pair<std::uint64_t, std::uint64_t> blockRange(std::uint64_t n, unsigned parts,
+                                                          unsigned i) noexcept {
+  return {n * i / parts, n * (i + 1) / parts};
+}
+
+}  // namespace gw2v::runtime

@@ -1,0 +1,40 @@
+#pragma once
+
+// Lightweight per-loop counters (iterations executed, conflicts, pushes) in
+// the style of Galois' LoopStatistics. Aggregated across threads on demand.
+
+#include <cstdint>
+
+#include "runtime/per_thread.h"
+
+namespace gw2v::runtime {
+
+struct LoopCounters {
+  std::uint64_t iterations = 0;
+  std::uint64_t pushes = 0;
+};
+
+class LoopStats {
+ public:
+  explicit LoopStats(unsigned numThreads) : counters_(numThreads) {}
+
+  void recordIteration(unsigned tid, std::uint64_t n = 1) noexcept {
+    counters_.local(tid).iterations += n;
+  }
+  void recordPush(unsigned tid, std::uint64_t n = 1) noexcept {
+    counters_.local(tid).pushes += n;
+  }
+
+  LoopCounters total() const {
+    return counters_.reduce(LoopCounters{}, [](LoopCounters acc, const LoopCounters& c) {
+      acc.iterations += c.iterations;
+      acc.pushes += c.pushes;
+      return acc;
+    });
+  }
+
+ private:
+  PerThread<LoopCounters> counters_;
+};
+
+}  // namespace gw2v::runtime

@@ -1,0 +1,39 @@
+#pragma once
+
+// Per-thread storage, cache-line padded to avoid false sharing — the
+// Galois PerThreadStorage idiom used for per-worker RNG streams, scratch
+// gradient buffers, and loop statistics.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace gw2v::runtime {
+
+template <typename T>
+class PerThread {
+ public:
+  explicit PerThread(unsigned numThreads, const T& init = T{})
+      : slots_(numThreads, Padded{init}) {}
+
+  T& local(unsigned tid) noexcept { return slots_[tid].value; }
+  const T& local(unsigned tid) const noexcept { return slots_[tid].value; }
+
+  unsigned size() const noexcept { return static_cast<unsigned>(slots_.size()); }
+
+  /// Fold all slots into `acc` with fn(acc, slot).
+  template <typename Acc, typename Fn>
+  Acc reduce(Acc acc, Fn&& fn) const {
+    for (const auto& s : slots_) acc = fn(acc, s.value);
+    return acc;
+  }
+
+ private:
+  struct alignas(util::kCacheLine) Padded {
+    T value;
+  };
+  std::vector<Padded> slots_;
+};
+
+}  // namespace gw2v::runtime

@@ -1,0 +1,59 @@
+#include "runtime/thread_pool.h"
+
+namespace gw2v::runtime {
+
+ThreadPool::ThreadPool(unsigned numThreads) : numThreads_(numThreads == 0 ? 1 : numThreads) {
+  workers_.reserve(numThreads_ - 1);
+  for (unsigned t = 1; t < numThreads_; ++t) {
+    workers_.emplace_back([this, t] { workerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  cvStart_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::onEach(const std::function<void(unsigned)>& fn) {
+  if (numThreads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    remaining_ = numThreads_ - 1;
+    ++epoch_;
+  }
+  cvStart_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cvDone_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::workerLoop(unsigned tid) {
+  std::uint64_t seenEpoch = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cvStart_.wait(lock, [&] { return shutdown_ || epoch_ != seenEpoch; });
+      if (shutdown_) return;
+      seenEpoch = epoch_;
+      job = job_;
+    }
+    if (job != nullptr) {
+      (*job)(tid);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) cvDone_.notify_one();
+    }
+  }
+}
+
+}  // namespace gw2v::runtime

@@ -1,0 +1,49 @@
+#pragma once
+
+// Galois-lite: a small fork-join thread pool.
+//
+// The pool owns (numThreads - 1) worker threads; the caller's thread acts as
+// worker 0, so a pool of size 1 executes everything inline with zero
+// synchronization. Work is dispatched as "run this callable on every worker"
+// (on_each), which is the primitive the Galois runtime builds do_all on.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gw2v::runtime {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned numThreads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned numThreads() const noexcept { return numThreads_; }
+
+  /// Run fn(threadId) on all threads (including the caller as thread 0) and
+  /// wait for completion. Not reentrant.
+  void onEach(const std::function<void(unsigned)>& fn);
+
+ private:
+  void workerLoop(unsigned tid);
+
+  unsigned numThreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cvStart_;
+  std::condition_variable cvDone_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gw2v::runtime

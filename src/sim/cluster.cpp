@@ -1,0 +1,61 @@
+#include "sim/cluster.h"
+
+#include <stdexcept>
+#include <thread>
+
+namespace gw2v::sim {
+
+ClusterReport runCluster(const ClusterOptions& opts,
+                         const std::function<void(HostContext&)>& body) {
+  if (opts.numHosts == 0) throw std::invalid_argument("runCluster: numHosts must be >= 1");
+
+  Network net(opts.numHosts);
+  std::vector<std::unique_ptr<HostContext>> contexts;
+  contexts.reserve(opts.numHosts);
+  for (HostId h = 0; h < opts.numHosts; ++h) {
+    contexts.push_back(std::make_unique<HostContext>(h, net, opts.workerThreadsPerHost));
+  }
+
+  util::WallTimer wall;
+  std::vector<std::exception_ptr> errors(opts.numHosts);
+  std::vector<std::thread> threads;
+  threads.reserve(opts.numHosts);
+  for (HostId h = 0; h < opts.numHosts; ++h) {
+    threads.emplace_back([&, h] {
+      try {
+        body(*contexts[h]);
+      } catch (...) {
+        errors[h] = std::current_exception();
+        // Poison the fabric so peers blocked in recv/barrier wake up with
+        // NetworkAborted instead of deadlocking.
+        net.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Prefer the root-cause exception over secondary NetworkAborted fallout.
+  std::exception_ptr firstAbort;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const NetworkAborted&) {
+      if (!firstAbort) firstAbort = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (firstAbort) std::rethrow_exception(firstAbort);
+
+  ClusterReport report;
+  report.wallSeconds = wall.seconds();
+  report.hosts.resize(opts.numHosts);
+  for (HostId h = 0; h < opts.numHosts; ++h) {
+    report.hosts[h].computeSeconds = contexts[h]->computeSeconds();
+    report.hosts[h].modelledCommSeconds = contexts[h]->modelledCommSeconds();
+    report.hosts[h].comm = snapshot(net.statsFor(h));
+  }
+  return report;
+}
+
+}  // namespace gw2v::sim

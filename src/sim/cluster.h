@@ -1,0 +1,103 @@
+#pragma once
+
+// SPMD launcher: runs the same program body on H simulated hosts, each a
+// thread with its own HostContext (id, network endpoint, worker pool, CPU
+// busy-time clock). This is the distributed-execution substrate standing in
+// for the paper's 32-node Azure cluster — see DESIGN.md for the substitution
+// rationale.
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "sim/comm_stats.h"
+#include "sim/network.h"
+#include "sim/network_model.h"
+#include "util/timer.h"
+
+namespace gw2v::sim {
+
+class HostContext {
+ public:
+  HostContext(HostId id, Network& net, unsigned workerThreads)
+      : id_(id), net_(net), pool_(workerThreads) {}
+
+  HostId id() const noexcept { return id_; }
+  unsigned numHosts() const noexcept { return net_.numHosts(); }
+  Network& network() noexcept { return net_; }
+  runtime::ThreadPool& pool() noexcept { return pool_; }
+
+  void barrier() { net_.barrier(id_); }
+
+  CommStats& commStats() noexcept { return net_.statsFor(id_); }
+
+  /// Accumulated compute busy time; wrap compute sections in
+  /// computeTimer().start()/stop(). On a 1-core machine this still measures
+  /// the host's own CPU seconds correctly.
+  util::CpuStopwatch& computeTimer() noexcept { return compute_; }
+  double computeSeconds() const noexcept { return compute_.seconds(); }
+
+  /// Modelled communication time accumulated by sync phases.
+  void addModelledCommSeconds(double s) noexcept { simComm_ += s; }
+  double modelledCommSeconds() const noexcept { return simComm_; }
+
+ private:
+  HostId id_;
+  Network& net_;
+  runtime::ThreadPool pool_;
+  util::CpuStopwatch compute_;
+  double simComm_ = 0.0;
+};
+
+struct ClusterOptions {
+  unsigned numHosts = 1;
+  /// Hogwild worker threads *per host*.
+  unsigned workerThreadsPerHost = 1;
+  NetworkModel networkModel{};
+};
+
+struct HostReport {
+  double computeSeconds = 0.0;
+  double modelledCommSeconds = 0.0;
+  CommSnapshot comm{};
+};
+
+struct ClusterReport {
+  std::vector<HostReport> hosts;
+  double wallSeconds = 0.0;
+
+  /// Simulated cluster makespan: slowest host's compute + its modelled comm.
+  double simulatedSeconds() const noexcept {
+    double worst = 0.0;
+    for (const auto& h : hosts) {
+      const double t = h.computeSeconds + h.modelledCommSeconds;
+      if (t > worst) worst = t;
+    }
+    return worst;
+  }
+  double maxComputeSeconds() const noexcept {
+    double worst = 0.0;
+    for (const auto& h : hosts) worst = h.computeSeconds > worst ? h.computeSeconds : worst;
+    return worst;
+  }
+  double maxModelledCommSeconds() const noexcept {
+    double worst = 0.0;
+    for (const auto& h : hosts)
+      worst = h.modelledCommSeconds > worst ? h.modelledCommSeconds : worst;
+    return worst;
+  }
+  std::uint64_t totalBytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& h : hosts) total += h.comm.bytesSent;
+    return total;
+  }
+};
+
+/// Run `body(ctx)` on every simulated host; rethrows the first host
+/// exception after all hosts joined. Returns per-host timing/traffic.
+ClusterReport runCluster(const ClusterOptions& opts,
+                         const std::function<void(HostContext&)>& body);
+
+}  // namespace gw2v::sim

@@ -1,0 +1,89 @@
+#pragma once
+
+// Per-host communication accounting.
+//
+// The paper's Figures 8 and 9 analyse communication *volume* (TB exchanged)
+// and the comp/comm time split. Volume we can count exactly; time on a real
+// cluster is replaced here by a NetworkModel applied to the counted bytes
+// (see DESIGN.md "Simulated time").
+
+#include <atomic>
+#include <cstdint>
+
+namespace gw2v::sim {
+
+/// Which logical phase of the BSP round a message belongs to. Reduce is
+/// mirrors->master traffic, Broadcast is master->mirrors, Control covers
+/// metadata (bit-vectors, will-access sets, sizes).
+enum class CommPhase : int { kReduce = 0, kBroadcast = 1, kControl = 2, kOther = 3 };
+inline constexpr int kNumCommPhases = 4;
+
+struct PhaseCounters {
+  std::atomic<std::uint64_t> bytesSent{0};
+  std::atomic<std::uint64_t> bytesReceived{0};
+  std::atomic<std::uint64_t> messagesSent{0};
+};
+
+class CommStats {
+ public:
+  void recordSend(CommPhase phase, std::uint64_t bytes) noexcept {
+    auto& c = phases_[static_cast<int>(phase)];
+    c.bytesSent.fetch_add(bytes, std::memory_order_relaxed);
+    c.messagesSent.fetch_add(1, std::memory_order_relaxed);
+  }
+  void recordReceive(CommPhase phase, std::uint64_t bytes) noexcept {
+    phases_[static_cast<int>(phase)].bytesReceived.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bytesSent() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : phases_) total += c.bytesSent.load(std::memory_order_relaxed);
+    return total;
+  }
+  std::uint64_t bytesReceived() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : phases_) total += c.bytesReceived.load(std::memory_order_relaxed);
+    return total;
+  }
+  std::uint64_t messagesSent() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : phases_) total += c.messagesSent.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  std::uint64_t bytesSent(CommPhase phase) const noexcept {
+    return phases_[static_cast<int>(phase)].bytesSent.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messagesSent(CommPhase phase) const noexcept {
+    return phases_[static_cast<int>(phase)].messagesSent.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& c : phases_) {
+      c.bytesSent.store(0, std::memory_order_relaxed);
+      c.bytesReceived.store(0, std::memory_order_relaxed);
+      c.messagesSent.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  PhaseCounters phases_[kNumCommPhases];
+};
+
+/// Plain (non-atomic) snapshot used to compute per-round deltas.
+struct CommSnapshot {
+  std::uint64_t bytesSent = 0;
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t messagesSent = 0;
+};
+
+inline CommSnapshot snapshot(const CommStats& s) {
+  return {s.bytesSent(), s.bytesReceived(), s.messagesSent()};
+}
+
+inline CommSnapshot delta(const CommSnapshot& before, const CommSnapshot& after) {
+  return {after.bytesSent - before.bytesSent, after.bytesReceived - before.bytesReceived,
+          after.messagesSent - before.messagesSent};
+}
+
+}  // namespace gw2v::sim

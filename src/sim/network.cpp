@@ -1,0 +1,158 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gw2v::sim {
+
+namespace {
+constexpr int kTagAllReduce = kInternalTagBase + 1;
+constexpr int kTagBroadcast = kInternalTagBase + 2;
+}  // namespace
+
+Network::Network(unsigned numHosts)
+    : numHosts_(numHosts), mailboxes_(numHosts), stats_(numHosts) {
+  if (numHosts == 0) throw std::invalid_argument("Network: numHosts must be >= 1");
+}
+
+void Network::send(HostId src, HostId dst, int tag, std::vector<std::uint8_t> payload,
+                   CommPhase phase) {
+  assert(src < numHosts_ && dst < numHosts_);
+  if (aborted()) throw NetworkAborted();
+  const std::uint64_t wire = payload.size() + kHeaderBytes;
+  stats_[src].recordSend(phase, wire);
+  stats_[dst].recordReceive(phase, wire);
+  if (src == dst) {
+    // Loopback still goes through the mailbox so the programming model is
+    // uniform, but a real NIC would not be crossed; keep the accounting — a
+    // single-host cluster simply has near-zero cross-host traffic by
+    // construction (the sync engine never loops back bulk data).
+  }
+  Mailbox& mb = mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.messages.push_back(Message{src, tag, std::move(payload)});
+  }
+  mb.cv.notify_all();
+}
+
+std::vector<std::uint8_t> Network::recv(HostId dst, HostId src, int tag, CommPhase /*phase*/) {
+  assert(dst < numHosts_ && src < numHosts_);
+  Mailbox& mb = mailboxes_[dst];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  for (;;) {
+    if (aborted()) throw NetworkAborted();
+    const auto it = std::find_if(mb.messages.begin(), mb.messages.end(), [&](const Message& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != mb.messages.end()) {
+      std::vector<std::uint8_t> payload = std::move(it->payload);
+      mb.messages.erase(it);
+      return payload;
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+std::pair<HostId, std::vector<std::uint8_t>> Network::recvAny(HostId dst, int tag,
+                                                              CommPhase /*phase*/) {
+  assert(dst < numHosts_);
+  Mailbox& mb = mailboxes_[dst];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  for (;;) {
+    if (aborted()) throw NetworkAborted();
+    const auto it = std::find_if(mb.messages.begin(), mb.messages.end(),
+                                 [&](const Message& m) { return m.tag == tag; });
+    if (it != mb.messages.end()) {
+      std::pair<HostId, std::vector<std::uint8_t>> out{it->src, std::move(it->payload)};
+      mb.messages.erase(it);
+      return out;
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+void Network::barrier(HostId /*host*/) {
+  std::unique_lock<std::mutex> lock(barrierMutex_);
+  if (aborted()) throw NetworkAborted();
+  const std::uint64_t gen = barrierGeneration_;
+  if (++barrierCount_ == numHosts_) {
+    barrierCount_ = 0;
+    ++barrierGeneration_;
+    barrierCv_.notify_all();
+  } else {
+    barrierCv_.wait(lock, [&] { return barrierGeneration_ != gen || aborted(); });
+    if (barrierGeneration_ == gen && aborted()) {
+      // Leave the count consistent for any post-mortem inspection; the run
+      // is over either way.
+      --barrierCount_;
+      throw NetworkAborted();
+    }
+  }
+}
+
+void Network::abort() noexcept {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrierMutex_);
+    barrierCv_.notify_all();
+  }
+}
+
+void Network::allReduceSum(HostId host, std::span<double> values) {
+  if (numHosts_ == 1) return;
+  if (host == 0) {
+    for (HostId h = 1; h < numHosts_; ++h) {
+      const std::vector<double> contrib = recvVector<double>(0, h, kTagAllReduce);
+      if (contrib.size() != values.size())
+        throw std::runtime_error("allReduceSum: size mismatch across hosts");
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] += contrib[i];
+    }
+    for (HostId h = 1; h < numHosts_; ++h) {
+      sendVector<double>(0, h, kTagAllReduce, std::span<const double>(values));
+    }
+  } else {
+    sendVector<double>(host, 0, kTagAllReduce, std::span<const double>(values));
+    const std::vector<double> result = recvVector<double>(host, 0, kTagAllReduce);
+    std::copy(result.begin(), result.end(), values.begin());
+  }
+}
+
+void Network::broadcast(HostId host, HostId root, std::span<std::uint8_t> data) {
+  if (numHosts_ == 1) return;
+  if (host == root) {
+    for (HostId h = 0; h < numHosts_; ++h) {
+      if (h == root) continue;
+      std::vector<std::uint8_t> copy(data.begin(), data.end());
+      send(root, h, kTagBroadcast, std::move(copy));
+    }
+  } else {
+    const std::vector<std::uint8_t> payload = recv(host, root, kTagBroadcast);
+    if (payload.size() != data.size())
+      throw std::runtime_error("broadcast: size mismatch across hosts");
+    std::copy(payload.begin(), payload.end(), data.begin());
+  }
+}
+
+std::uint64_t Network::totalBytesSent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.bytesSent();
+  return total;
+}
+
+std::uint64_t Network::totalMessagesSent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.messagesSent();
+  return total;
+}
+
+void Network::resetStats() noexcept {
+  for (auto& s : stats_) s.reset();
+}
+
+}  // namespace gw2v::sim

@@ -1,0 +1,125 @@
+#pragma once
+
+// In-process message-passing network connecting simulated hosts.
+//
+// Each host is a thread; hosts exchange byte payloads through per-host
+// mailboxes with (source, tag) matching — the MPI point-to-point subset the
+// Gluon-style sync engine needs — plus a barrier and a few collectives.
+// Every payload is copied through the mailbox (never shared), so the hosts
+// genuinely cannot observe each other's memory except via messages; this is
+// what makes the simulation a faithful stand-in for a distributed cluster.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/comm_stats.h"
+
+namespace gw2v::sim {
+
+using HostId = unsigned;
+
+/// Thrown out of blocking operations on all surviving hosts after abort():
+/// a faulted host poisons the fabric instead of deadlocking its peers.
+struct NetworkAborted : std::runtime_error {
+  NetworkAborted() : std::runtime_error("simulated network aborted by a faulted host") {}
+};
+
+class Network {
+ public:
+  explicit Network(unsigned numHosts);
+
+  unsigned numHosts() const noexcept { return numHosts_; }
+
+  /// Bytes of per-message header accounted on top of the payload (envelope:
+  /// src, dst, tag, size), mirroring a real transport's framing cost.
+  static constexpr std::uint64_t kHeaderBytes = 16;
+
+  void send(HostId src, HostId dst, int tag, std::vector<std::uint8_t> payload,
+            CommPhase phase = CommPhase::kOther);
+
+  /// Blocking receive matching (src, tag) at host `dst`.
+  std::vector<std::uint8_t> recv(HostId dst, HostId src, int tag,
+                                 CommPhase phase = CommPhase::kOther);
+
+  /// Blocking receive matching any source (MPI_ANY_SOURCE); returns the
+  /// sender. Used by the parameter-server baseline's asynchronous pushes.
+  std::pair<HostId, std::vector<std::uint8_t>> recvAny(HostId dst, int tag,
+                                                       CommPhase phase = CommPhase::kOther);
+
+  /// Typed convenience wrappers (trivially-copyable payload elements).
+  template <typename T>
+  void sendVector(HostId src, HostId dst, int tag, std::span<const T> data,
+                  CommPhase phase = CommPhase::kOther) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> bytes(data.size_bytes());
+    if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+    send(src, dst, tag, std::move(bytes), phase);
+  }
+
+  template <typename T>
+  std::vector<T> recvVector(HostId dst, HostId src, int tag,
+                            CommPhase phase = CommPhase::kOther) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> bytes = recv(dst, src, tag, phase);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Global barrier across all hosts.
+  void barrier(HostId host);
+
+  /// Poison the network: every blocked or future blocking call throws
+  /// NetworkAborted. Called when a host dies with an exception.
+  void abort() noexcept;
+  bool aborted() const noexcept { return aborted_.load(std::memory_order_acquire); }
+
+  /// Sum-allreduce of a double vector (flat tree through host 0).
+  void allReduceSum(HostId host, std::span<double> values);
+
+  /// Broadcast from root to everyone (in place at non-roots).
+  void broadcast(HostId host, HostId root, std::span<std::uint8_t> data);
+
+  CommStats& statsFor(HostId host) noexcept { return stats_[host]; }
+  const CommStats& statsFor(HostId host) const noexcept { return stats_[host]; }
+
+  /// Cluster-wide totals.
+  std::uint64_t totalBytesSent() const noexcept;
+  std::uint64_t totalMessagesSent() const noexcept;
+  void resetStats() noexcept;
+
+ private:
+  struct Message {
+    HostId src;
+    int tag;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  unsigned numHosts_;
+  std::atomic<bool> aborted_{false};
+  std::vector<Mailbox> mailboxes_;
+  std::vector<CommStats> stats_;
+
+  std::mutex barrierMutex_;
+  std::condition_variable barrierCv_;
+  unsigned barrierCount_ = 0;
+  std::uint64_t barrierGeneration_ = 0;
+};
+
+/// Reserved tag ranges: user code must stay below kInternalTagBase.
+inline constexpr int kInternalTagBase = 1 << 24;
+
+}  // namespace gw2v::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+// Analytical cost model for the simulated interconnect.
+//
+// The paper evaluates on Azure with 56 Gb/s InfiniBand; our hosts live in one
+// process, so communication *time* is modelled with the standard
+// alpha-beta (latency + bytes/bandwidth) model applied to the exactly-counted
+// traffic. Defaults match the paper's fabric.
+
+#include <cstdint>
+
+#include "sim/comm_stats.h"
+
+namespace gw2v::sim {
+
+struct NetworkModel {
+  /// Per-message latency (alpha), seconds. 2 microseconds is a typical
+  /// InfiniBand RDMA small-message latency.
+  double latencySeconds = 2e-6;
+  /// Effective point-to-point bandwidth (beta), bytes/second.
+  /// 56 Gb/s IB FDR ~ 7 GB/s line rate; ~5.6 GB/s achievable.
+  double bandwidthBytesPerSec = 5.6e9;
+
+  /// Time for one host to push `bytes` over `messages` messages.
+  double transferSeconds(std::uint64_t bytes, std::uint64_t messages) const noexcept {
+    return latencySeconds * static_cast<double>(messages) +
+           static_cast<double>(bytes) / bandwidthBytesPerSec;
+  }
+
+  /// Time for a BSP exchange given one host's send+recv delta: the host's
+  /// NIC is the bottleneck resource, so cost = alpha*msgs + (sent+recv)/beta.
+  double exchangeSeconds(const CommSnapshot& d) const noexcept {
+    return transferSeconds(d.bytesSent + d.bytesReceived, d.messagesSent);
+  }
+};
+
+}  // namespace gw2v::sim

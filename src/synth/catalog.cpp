@@ -1,0 +1,64 @@
+#include "synth/catalog.h"
+
+#include <stdexcept>
+
+namespace gw2v::synth {
+
+std::vector<DatasetInfo> datasetCatalog(double scale) {
+  const auto scaled = [&](std::uint64_t tokens) {
+    const auto t = static_cast<std::uint64_t>(static_cast<double>(tokens) * scale);
+    return t < 20'000 ? std::uint64_t{20'000} : t;
+  };
+
+  std::vector<DatasetInfo> out;
+
+  {
+    DatasetInfo d;
+    d.paperName = "1-billion";
+    d.paperVocab = "399.0K";
+    d.paperTokens = "665.5M";
+    d.paperSize = "3.7GB";
+    d.spec.name = "tiny-1billion";
+    d.spec.fillerVocab = 1200;
+    d.spec.totalTokens = scaled(400'000);
+    d.spec.relations = defaultRelations(20);
+    d.spec.seed = 1001;
+    out.push_back(std::move(d));
+  }
+  {
+    DatasetInfo d;
+    d.paperName = "news";
+    d.paperVocab = "479.3K";
+    d.paperTokens = "714.1M";
+    d.paperSize = "3.9GB";
+    d.spec.name = "tiny-news";
+    d.spec.fillerVocab = 1450;
+    d.spec.totalTokens = scaled(430'000);
+    d.spec.relations = defaultRelations(20);
+    d.spec.seed = 2002;
+    out.push_back(std::move(d));
+  }
+  {
+    DatasetInfo d;
+    d.paperName = "wiki";
+    d.paperVocab = "2759.5K";
+    d.paperTokens = "3594.1M";
+    d.paperSize = "21GB";
+    d.spec.name = "tiny-wiki";
+    d.spec.fillerVocab = 8400;
+    d.spec.totalTokens = scaled(2'160'000);
+    d.spec.relations = defaultRelations(24);
+    d.spec.seed = 3003;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+DatasetInfo datasetByName(const std::string& paperName, double scale) {
+  for (auto& d : datasetCatalog(scale)) {
+    if (d.paperName == paperName) return d;
+  }
+  throw std::invalid_argument("datasetByName: unknown dataset " + paperName);
+}
+
+}  // namespace gw2v::synth

@@ -1,0 +1,32 @@
+#pragma once
+
+// Named dataset configurations mirroring the paper's Table 1.
+//
+// Scaled-down stand-ins (see DESIGN.md): relative ordering of vocabulary and
+// token counts follows the paper (wiki has ~7x the vocab and ~5x the tokens
+// of 1-billion; news is slightly larger than 1-billion).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/spec.h"
+
+namespace gw2v::synth {
+
+struct DatasetInfo {
+  std::string paperName;   // dataset it stands in for
+  std::string paperVocab;  // Table 1 figures, for the bench printout
+  std::string paperTokens;
+  std::string paperSize;
+  CorpusSpec spec;
+};
+
+/// The three datasets of Table 1 at simulation scale. `scale` multiplies
+/// token counts (benches use < 1.0 for quick runs, tests even smaller).
+std::vector<DatasetInfo> datasetCatalog(double scale = 1.0);
+
+/// Look up one dataset by its paper name ("1-billion", "news", "wiki").
+DatasetInfo datasetByName(const std::string& paperName, double scale = 1.0);
+
+}  // namespace gw2v::synth

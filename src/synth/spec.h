@@ -1,0 +1,47 @@
+#pragma once
+
+// Specification of the synthetic corpora.
+//
+// The paper trains on 1-billion / news / wiki, which are multi-GB downloads
+// we cannot ship; DESIGN.md documents the substitution. The generator plants
+// *analogy structure*: each of 14 relation categories (mirroring the 14
+// categories of question-words.txt) has word pairs (a_i, b_i) where every
+// a-word co-occurs with the relation's shared "A-side" context words, every
+// b-word with the shared "B-side" context words, and each pair with its own
+// identity words. SGNS then learns e(b_i) - e(a_i) ~ const per relation —
+// exactly the additive offset structure real analogies exploit — so the
+// analogical-reasoning accuracy is a meaningful convergence metric.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gw2v::synth {
+
+struct RelationSpec {
+  std::string name;
+  bool semantic = true;  // paper buckets categories into semantic/syntactic
+  unsigned pairs = 20;
+};
+
+/// The 14 categories of the original question-words.txt (5 semantic,
+/// 9 syntactic), reproduced by name.
+std::vector<RelationSpec> defaultRelations(unsigned pairsPerRelation = 20);
+
+struct CorpusSpec {
+  std::string name = "tiny";
+  std::vector<RelationSpec> relations = defaultRelations();
+  /// Filler (background) vocabulary size; drawn Zipf(s).
+  std::uint32_t fillerVocab = 1500;
+  double zipfExponent = 1.0;
+  /// Total tokens to generate.
+  std::uint64_t totalTokens = 400'000;
+  /// Probability that a sentence is a "fact" (relation-bearing) sentence.
+  double factProbability = 0.5;
+  /// Shared context words per relation side, identity words per pair.
+  unsigned contextWordsPerSide = 3;
+  unsigned identityWordsPerPair = 2;
+  std::uint64_t seed = 42;
+};
+
+}  // namespace gw2v::synth

@@ -1,0 +1,26 @@
+#include "text/corpus.h"
+
+#include "text/tokenizer.h"
+
+namespace gw2v::text {
+
+std::vector<WordId> encode(std::string_view body, const Vocabulary& vocab) {
+  std::vector<WordId> out;
+  forEachToken(body, [&](std::string_view tok) {
+    if (const auto id = vocab.idOf(tok)) out.push_back(*id);
+  });
+  return out;
+}
+
+std::vector<std::vector<WordId>> partitionCorpus(std::span<const WordId> corpus,
+                                                 unsigned numHosts) {
+  std::vector<std::vector<WordId>> parts(numHosts);
+  for (unsigned h = 0; h < numHosts; ++h) {
+    const auto [lo, hi] = hostSlice(corpus.size(), numHosts, h);
+    parts[h].assign(corpus.begin() + static_cast<std::ptrdiff_t>(lo),
+                    corpus.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  return parts;
+}
+
+}  // namespace gw2v::text

@@ -1,0 +1,35 @@
+#pragma once
+
+// Tokenized corpora and their partitioning across hosts.
+//
+// The paper logically partitions the training corpus file into roughly equal
+// contiguous chunks, one per host, each read in parallel (Section 4.1). Our
+// corpora are id-encoded token vectors; partitioning stays contiguous so
+// each host's worklist is a slice of the original word stream.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace gw2v::text {
+
+/// Encode raw text into word ids (words missing from the vocabulary — e.g.
+/// dropped by min-count — are skipped, as in word2vec.c).
+std::vector<WordId> encode(std::string_view body, const Vocabulary& vocab);
+
+/// Contiguous per-host slice [lo, hi) of an n-token corpus.
+inline std::pair<std::uint64_t, std::uint64_t> hostSlice(std::uint64_t n, unsigned numHosts,
+                                                         unsigned host) noexcept {
+  return {n * host / numHosts, n * (host + 1) / numHosts};
+}
+
+/// Materialize per-host worklists (copies; each simulated host owns its
+/// partition just as a real host would own its file chunk).
+std::vector<std::vector<WordId>> partitionCorpus(std::span<const WordId> corpus,
+                                                 unsigned numHosts);
+
+}  // namespace gw2v::text

@@ -1,0 +1,60 @@
+#include "text/phrases.h"
+
+#include "text/tokenizer.h"
+
+namespace gw2v::text {
+
+namespace {
+std::string bigramKey(const std::string& a, const std::string& b) { return a + '\x1f' + b; }
+}  // namespace
+
+void PhraseDetector::addTokens(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    ++unigrams_[tokens[i]];
+    ++totalTokens_;
+    if (i + 1 < tokens.size()) ++bigrams_[bigramKey(tokens[i], tokens[i + 1])];
+  }
+}
+
+double PhraseDetector::score(const std::string& first, const std::string& second) const {
+  const auto ua = unigrams_.find(first);
+  const auto ub = unigrams_.find(second);
+  if (ua == unigrams_.end() || ub == unigrams_.end()) return 0.0;
+  if (ua->second < opts_.minCount || ub->second < opts_.minCount) return 0.0;
+  const auto bi = bigrams_.find(bigramKey(first, second));
+  if (bi == bigrams_.end() || bi->second < opts_.minCount) return 0.0;
+  const double joint = static_cast<double>(bi->second) - opts_.discount;
+  if (joint <= 0.0) return 0.0;
+  return joint / static_cast<double>(ua->second) / static_cast<double>(ub->second) *
+         static_cast<double>(totalTokens_);
+}
+
+std::vector<std::string> PhraseDetector::apply(const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    if (i + 1 < tokens.size() && score(tokens[i], tokens[i + 1]) > opts_.threshold) {
+      out.push_back(tokens[i] + opts_.joiner + tokens[i + 1]);
+      i += 2;
+    } else {
+      out.push_back(tokens[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PhraseDetector::detectPhrases(std::string_view body,
+                                                       PhraseOptions opts, int passes) {
+  std::vector<std::string> tokens;
+  forEachToken(body, [&](std::string_view tok) { tokens.emplace_back(tok); });
+  for (int pass = 0; pass < passes; ++pass) {
+    PhraseDetector detector(opts);
+    detector.addTokens(tokens);
+    tokens = detector.apply(tokens);
+  }
+  return tokens;
+}
+
+}  // namespace gw2v::text

@@ -1,0 +1,59 @@
+#pragma once
+
+// word2phrase: data-driven bigram detection from the original Word2Vec
+// toolkit (Mikolov et al. 2013, Section 4 "Learning Phrases"). Bigrams whose
+// co-occurrence significantly exceeds chance are merged into single tokens
+// ("new york" -> "new_york") before vocabulary construction:
+//
+//     score(a, b) = (count(ab) - discount) / (count(a) * count(b))
+//
+// scaled by the corpus size; bigrams scoring above `threshold` are joined.
+// Multiple passes merge longer phrases.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gw2v::text {
+
+struct PhraseOptions {
+  /// Minimum count for words and bigrams to be considered (word2phrase: 5).
+  std::uint64_t minCount = 5;
+  /// Score threshold; higher = fewer phrases (word2phrase default: 100).
+  double threshold = 100.0;
+  /// Subtracted from bigram counts to discount rare-word noise.
+  double discount = 5.0;
+  char joiner = '_';
+};
+
+class PhraseDetector {
+ public:
+  explicit PhraseDetector(PhraseOptions opts = {}) : opts_(opts) {}
+
+  /// Count unigrams and bigrams from a token sequence (streamable).
+  void addTokens(const std::vector<std::string>& tokens);
+
+  /// Score a bigram (0 when below min counts).
+  double score(const std::string& first, const std::string& second) const;
+
+  /// Rewrite a token stream, joining detected phrases greedily left-to-right.
+  std::vector<std::string> apply(const std::vector<std::string>& tokens) const;
+
+  /// Convenience: split text on whitespace, detect, and return the rewritten
+  /// token stream after `passes` rounds (each round can extend phrases by
+  /// one word).
+  static std::vector<std::string> detectPhrases(std::string_view body,
+                                                PhraseOptions opts = {}, int passes = 1);
+
+  std::uint64_t totalTokens() const noexcept { return totalTokens_; }
+
+ private:
+  PhraseOptions opts_;
+  std::unordered_map<std::string, std::uint64_t> unigrams_;
+  std::unordered_map<std::string, std::uint64_t> bigrams_;
+  std::uint64_t totalTokens_ = 0;
+};
+
+}  // namespace gw2v::text

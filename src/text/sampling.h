@@ -1,0 +1,82 @@
+#pragma once
+
+// Frequency-dependent sampling used by the Skip-Gram model:
+//
+//  * SubsampleFilter — word2vec's frequent-word downsampling: keep word w
+//    with probability (sqrt(f/t) + 1) * t/f where f is the word's corpus
+//    frequency fraction and t the threshold (paper uses 1e-4).
+//  * NegativeSampler — draws negatives from the unigram^0.75 distribution
+//    (the paper's "negative sampling of most frequent words"), built on the
+//    exact alias method instead of word2vec.c's quantized 100M-slot table.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+
+namespace gw2v::text {
+
+class SubsampleFilter {
+ public:
+  /// threshold <= 0 disables subsampling (every word kept).
+  SubsampleFilter(std::span<const std::uint64_t> counts, double threshold) {
+    keepProb_.resize(counts.size(), 1.0f);
+    if (threshold <= 0.0) return;
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    if (total == 0) return;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const double f = static_cast<double>(counts[i]) / static_cast<double>(total);
+      if (f <= threshold) continue;
+      const double keep = (std::sqrt(f / threshold) + 1.0) * (threshold / f);
+      keepProb_[i] = static_cast<float>(keep < 1.0 ? keep : 1.0);
+    }
+  }
+
+  float keepProbability(WordId w) const noexcept { return keepProb_[w]; }
+
+  bool keep(WordId w, util::Rng& rng) const noexcept {
+    const float p = keepProb_[w];
+    return p >= 1.0f || rng.uniformFloat() < p;
+  }
+
+ private:
+  std::vector<float> keepProb_;
+};
+
+class NegativeSampler {
+ public:
+  static constexpr double kPower = 0.75;
+
+  explicit NegativeSampler(std::span<const std::uint64_t> counts) {
+    std::vector<double> weights(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      weights[i] = std::pow(static_cast<double>(counts[i]), kPower);
+    table_.build(weights);
+  }
+
+  /// Draw one negative, rejecting the excluded (positive-target) word.
+  WordId sample(util::Rng& rng, WordId exclude) const noexcept {
+    // Falls back to a neighbouring id when the vocabulary has one word
+    // (degenerate but must not spin forever).
+    if (table_.size() <= 1) return exclude;
+    for (;;) {
+      const WordId w = table_.sample(rng);
+      if (w != exclude) return w;
+    }
+  }
+
+  WordId sampleAny(util::Rng& rng) const noexcept { return table_.sample(rng); }
+
+  double probabilityOf(WordId w) const noexcept { return table_.probabilityOf(w); }
+  std::size_t vocabSize() const noexcept { return table_.size(); }
+
+ private:
+  util::AliasSampler table_;
+};
+
+}  // namespace gw2v::text

@@ -1,0 +1,64 @@
+#include "text/tokenizer.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace gw2v::text {
+
+std::uint64_t forEachFileToken(const std::string& path,
+                               const std::function<void(std::string_view)>& fn,
+                               std::size_t chunkBytes) {
+  struct Closer {
+    void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+  };
+  std::unique_ptr<std::FILE, Closer> file(std::fopen(path.c_str(), "rb"));
+  if (!file) throw std::runtime_error("forEachFileToken: cannot open " + path);
+
+  std::vector<char> buffer(chunkBytes);
+  std::string carry;  // token fragment spanning a chunk boundary
+  std::uint64_t total = 0;
+
+  for (;;) {
+    const std::size_t got = std::fread(buffer.data(), 1, buffer.size(), file.get());
+    if (got == 0) break;
+    std::string_view chunk(buffer.data(), got);
+
+    if (!carry.empty()) {
+      // Extend the carried fragment to the first whitespace in this chunk.
+      std::size_t end = 0;
+      while (end < chunk.size() && chunk[end] != ' ' && chunk[end] != '\n' &&
+             chunk[end] != '\t' && chunk[end] != '\r')
+        ++end;
+      carry.append(chunk.substr(0, end));
+      if (end < chunk.size()) {
+        fn(carry);
+        ++total;
+        carry.clear();
+        chunk.remove_prefix(end);
+      } else {
+        chunk = {};
+      }
+    }
+
+    // Trailing partial token (chunk ends mid-word) becomes the next carry.
+    std::size_t lastWs = chunk.size();
+    while (lastWs > 0 && chunk[lastWs - 1] != ' ' && chunk[lastWs - 1] != '\n' &&
+           chunk[lastWs - 1] != '\t' && chunk[lastWs - 1] != '\r')
+      --lastWs;
+    const std::string_view tail = chunk.substr(lastWs);
+    forEachToken(chunk.substr(0, lastWs), [&](std::string_view tok) {
+      fn(tok);
+      ++total;
+    });
+    carry.assign(tail);
+  }
+  if (!carry.empty()) {
+    fn(carry);
+    ++total;
+  }
+  return total;
+}
+
+}  // namespace gw2v::text

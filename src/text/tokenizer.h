@@ -1,0 +1,31 @@
+#pragma once
+
+// Whitespace tokenizer over in-memory text or a file streamed in chunks —
+// the "stream C from disk to build vocabulary V" step of Algorithm 1.
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace gw2v::text {
+
+/// Invoke fn(token) for every whitespace-separated token in `text`.
+template <typename Fn>
+void forEachToken(std::string_view text, Fn&& fn) {
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    while (i < n && (text[i] == ' ' || text[i] == '\n' || text[i] == '\t' || text[i] == '\r')) ++i;
+    const std::size_t start = i;
+    while (i < n && !(text[i] == ' ' || text[i] == '\n' || text[i] == '\t' || text[i] == '\r')) ++i;
+    if (i > start) fn(text.substr(start, i - start));
+  }
+}
+
+/// Stream a file from disk in fixed-size chunks, splitting tokens correctly
+/// across chunk boundaries. Returns total tokens seen. Throws on I/O error.
+std::uint64_t forEachFileToken(const std::string& path,
+                               const std::function<void(std::string_view)>& fn,
+                               std::size_t chunkBytes = 1 << 20);
+
+}  // namespace gw2v::text

@@ -1,0 +1,67 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gw2v::text {
+
+void Vocabulary::finalize(std::uint64_t minCount) {
+  if (finalized_) throw std::logic_error("Vocabulary: finalize() called twice");
+
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  entries.reserve(building_.size());
+  for (auto& [word, count] : building_) {
+    if (count >= minCount) entries.emplace_back(word, count);
+  }
+  building_.clear();
+
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  words_.reserve(entries.size());
+  counts_.reserve(entries.size());
+  index_.reserve(entries.size());
+  for (auto& [word, count] : entries) {
+    index_.emplace(word, static_cast<WordId>(words_.size()));
+    words_.push_back(std::move(word));
+    counts_.push_back(count);
+    totalTokens_ += count;
+  }
+  finalized_ = true;
+}
+
+void Vocabulary::save(const std::string& path) const {
+  if (!finalized_) throw std::logic_error("Vocabulary::save: not finalized");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Vocabulary::save: cannot open " + path);
+  for (WordId i = 0; i < size(); ++i) out << words_[i] << ' ' << counts_[i] << '\n';
+  if (!out) throw std::runtime_error("Vocabulary::save: write failed");
+}
+
+Vocabulary Vocabulary::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Vocabulary::load: cannot open " + path);
+  Vocabulary v;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string word;
+    std::uint64_t count = 0;
+    if (!(ls >> word >> count) || count == 0) {
+      throw std::runtime_error("Vocabulary::load: malformed line " + std::to_string(lineNo) +
+                               " in " + path);
+    }
+    v.addCount(word, count);
+  }
+  v.finalize(1);
+  return v;
+}
+
+}  // namespace gw2v::text

@@ -1,0 +1,68 @@
+#pragma once
+
+// Vocabulary construction (paper Section 4.2): one streaming pass over the
+// corpus collects unique words and their frequencies; words are then sorted
+// by descending frequency (the word2vec.c convention — low ids are frequent
+// words, which also makes blocked partitions frequency-stratified) and words
+// below minCount are dropped.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gw2v::text {
+
+using WordId = std::uint32_t;
+inline constexpr WordId kInvalidWord = 0xffffffffu;
+
+class Vocabulary {
+ public:
+  /// Streaming interface: feed tokens (possibly from many chunks), then
+  /// finalize once.
+  void addToken(std::string_view word) { ++building_[std::string(word)]; }
+  void addCount(std::string_view word, std::uint64_t count) {
+    building_[std::string(word)] += count;
+  }
+
+  /// Sort by frequency (ties broken lexicographically for determinism),
+  /// apply min-count filter, assign ids.
+  void finalize(std::uint64_t minCount = 1);
+
+  bool finalized() const noexcept { return finalized_; }
+
+  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(words_.size()); }
+
+  /// Total count of training tokens covered by retained words.
+  std::uint64_t totalTokens() const noexcept { return totalTokens_; }
+
+  std::optional<WordId> idOf(std::string_view word) const {
+    const auto it = index_.find(std::string(word));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& wordOf(WordId id) const noexcept { return words_[id]; }
+  std::uint64_t countOf(WordId id) const noexcept { return counts_[id]; }
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+  /// Write "word count" lines in id order (word2vec.c's -save-vocab format).
+  void save(const std::string& path) const;
+
+  /// Rebuild from a saved vocabulary file; returns a finalized vocabulary
+  /// (no further min-count filtering). Throws on malformed input.
+  static Vocabulary load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> building_;
+  std::vector<std::string> words_;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_map<std::string, WordId> index_;
+  std::uint64_t totalTokens_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace gw2v::text

@@ -1,0 +1,49 @@
+#include "util/alias_sampler.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gw2v::util {
+
+void AliasSampler::build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasSampler: empty weight vector");
+
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasSampler: all weights zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  exact_.assign(n, 0.0);
+
+  // Scaled probabilities; partition into under-full and over-full buckets.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    exact_[i] = weights[i] / total;
+    scaled[i] = exact_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are exactly-1 buckets.
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+}  // namespace gw2v::util

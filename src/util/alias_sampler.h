@@ -1,0 +1,46 @@
+#pragma once
+
+// Walker alias method for O(1) sampling from a discrete distribution.
+//
+// Negative sampling draws from the unigram^0.75 distribution billions of
+// times per training run; word2vec.c uses a 100M-entry table, which wastes
+// memory at small vocabularies and quantizes probabilities. The alias method
+// gives exact probabilities with 2 tables of vocabulary size.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gw2v::util {
+
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Build from (non-negative, not-all-zero) weights.
+  explicit AliasSampler(std::span<const double> weights) { build(weights); }
+
+  void build(std::span<const double> weights);
+
+  /// Draw an index with probability proportional to its weight.
+  std::uint32_t sample(Rng& rng) const noexcept {
+    const std::size_t i = static_cast<std::size_t>(rng.bounded(prob_.size()));
+    return rng.uniformDouble() < prob_[i] ? static_cast<std::uint32_t>(i) : alias_[i];
+  }
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  bool empty() const noexcept { return prob_.empty(); }
+
+  /// Exact probability of drawing index i (for tests).
+  double probabilityOf(std::size_t i) const noexcept { return exact_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> exact_;
+};
+
+}  // namespace gw2v::util

@@ -1,0 +1,53 @@
+#pragma once
+
+// Cache-line / SIMD aligned storage for model matrices.
+//
+// Embedding and training matrices are accessed concurrently by Hogwild
+// worker threads; 64-byte alignment keeps each row on distinct cache lines
+// for typical dimensions and lets the compiler emit aligned vector loads.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace gw2v::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T, std::size_t Alignment = kCacheLine>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Round a row width up so consecutive rows start on cache-line boundaries.
+constexpr std::size_t paddedRowWidth(std::size_t dim, std::size_t elemSize) noexcept {
+  const std::size_t perLine = kCacheLine / elemSize;
+  return ((dim + perLine - 1) / perLine) * perLine;
+}
+
+}  // namespace gw2v::util

@@ -1,0 +1,85 @@
+#pragma once
+
+// Concurrent bit vector used by Gluon-style sparse synchronization to track
+// which graph nodes were touched since the last sync round.
+//
+// set() is thread-safe (relaxed atomic RMW: the bits are consumed only after
+// a barrier, so no ordering beyond the barrier's is required). Iteration and
+// reset happen single-threaded between rounds.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gw2v::util {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, Word{});
+  }
+
+  std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept {
+    words_[i >> 6].v.fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6].v.load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
+  }
+
+  void reset() noexcept {
+    for (auto& w : words_) w.v.store(0, std::memory_order_relaxed);
+  }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const auto& w : words_) c += __builtin_popcountll(w.v.load(std::memory_order_relaxed));
+    return c;
+  }
+
+  /// Invoke fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void forEachSet(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi].v.load(std::memory_order_relaxed);
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// this |= other (sizes must match). Not thread-safe.
+  void orWith(const BitVector& other) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i].v.store(words_[i].v.load(std::memory_order_relaxed) |
+                            other.words_[i].v.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Word {
+    std::atomic<std::uint64_t> v{0};
+    Word() = default;
+    Word(const Word& o) : v(o.v.load(std::memory_order_relaxed)) {}
+    Word& operator=(const Word& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  std::size_t bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace gw2v::util

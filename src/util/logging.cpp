@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace gw2v::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel logThreshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+void setLogThreshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emitLogLine(LogLevel level, const std::string& msg) {
+  std::string line = "[gw2v:";
+  line += levelName(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+}  // namespace detail
+
+}  // namespace gw2v::util

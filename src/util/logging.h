@@ -1,0 +1,47 @@
+#pragma once
+
+// Minimal leveled logging. Thread-safe at line granularity (single write()).
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gw2v::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+LogLevel logThreshold() noexcept;
+void setLogThreshold(LogLevel level) noexcept;
+
+namespace detail {
+void emitLogLine(LogLevel level, const std::string& msg);
+}
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= logThreshold()) {}
+  ~LogLine() {
+    if (enabled_) detail::emitLogLine(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace gw2v::util
+
+#define GW2V_LOG_DEBUG ::gw2v::util::LogLine(::gw2v::util::LogLevel::kDebug)
+#define GW2V_LOG_INFO ::gw2v::util::LogLine(::gw2v::util::LogLevel::kInfo)
+#define GW2V_LOG_WARN ::gw2v::util::LogLine(::gw2v::util::LogLevel::kWarn)
+#define GW2V_LOG_ERROR ::gw2v::util::LogLine(::gw2v::util::LogLevel::kError)

@@ -1,0 +1,9 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace gw2v::util {
+
+double Rng::sqrtLog(double s) noexcept { return std::sqrt(-2.0 * std::log(s) / s); }
+
+}  // namespace gw2v::util

@@ -1,0 +1,105 @@
+#pragma once
+
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that experiments are
+// reproducible from a single 64-bit seed. Rng is xoshiro256** seeded via
+// splitmix64, following the reference implementations by Blackman & Vigna.
+// It satisfies std::uniform_random_bit_generator, so it can also be plugged
+// into <random> distributions when convenient.
+
+#include <cstdint>
+#include <limits>
+
+namespace gw2v::util {
+
+/// Single-step splitmix64; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix, handy for hashing ids into reproducible streams.
+constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Uses Lemire's multiply-shift rejection-free variant
+  /// (bias < 2^-64, negligible for our purposes).
+  std::uint64_t bounded(std::uint64_t n) noexcept {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(operator()()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform float in [0, 1).
+  float uniformFloat() noexcept {
+    return static_cast<float>(operator()() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniformDouble() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniformFloat(float lo, float hi) noexcept {
+    return lo + (hi - lo) * uniformFloat();
+  }
+
+  /// Standard normal via Marsaglia polar method (no cached spare: keeps the
+  /// generator state a pure function of call count, simplifying determinism
+  /// reasoning across refactors).
+  double normal() noexcept {
+    for (;;) {
+      const double u = 2.0 * uniformDouble() - 1.0;
+      const double v = 2.0 * uniformDouble() - 1.0;
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * sqrtLog(s);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double sqrtLog(double s) noexcept;
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace gw2v::util

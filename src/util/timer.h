@@ -1,0 +1,63 @@
+#pragma once
+
+// Wall-clock and per-thread CPU timers.
+//
+// The distributed experiments report *simulated* cluster time: each host
+// thread measures its own CPU busy time (CLOCK_THREAD_CPUTIME_ID) so that
+// "computation time per host" is meaningful even when all hosts share one
+// physical core, and communication time comes from the NetworkModel.
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace gw2v::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() noexcept { start_ = Clock::now(); }
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU time consumed by the *calling thread* since construction/reset.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+  void reset() noexcept { start_ = now(); }
+  double seconds() const noexcept { return now() - start_; }
+
+  static double now() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+ private:
+  double start_;
+};
+
+/// Accumulates time across many start/stop sections.
+template <typename TimerT>
+class Stopwatch {
+ public:
+  void start() noexcept { timer_.reset(); }
+  void stop() noexcept { total_ += timer_.seconds(); }
+  double seconds() const noexcept { return total_; }
+  void clear() noexcept { total_ = 0.0; }
+
+ private:
+  TimerT timer_{};
+  double total_ = 0.0;
+};
+
+using CpuStopwatch = Stopwatch<ThreadCpuTimer>;
+using WallStopwatch = Stopwatch<WallTimer>;
+
+}  // namespace gw2v::util

@@ -1,0 +1,85 @@
+#pragma once
+
+// Dense vector kernels used by the SGNS inner loop and the model combiner.
+//
+// These are written as simple, restrict-qualified loops; GCC/Clang at -O2
+// auto-vectorize them. Keeping them free functions (rather than expression
+// templates) makes the Hogwild data races on the underlying floats explicit
+// and auditable at the call sites.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace gw2v::util {
+
+inline float dot(std::span<const float> a, std::span<const float> b) noexcept {
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
+  float acc = 0.0f;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+/// y += alpha * x
+inline void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  const float* __restrict__ px = x.data();
+  float* __restrict__ py = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+/// y = alpha * x + beta * y
+inline void axpby(float alpha, std::span<const float> x, float beta,
+                  std::span<float> y) noexcept {
+  const float* __restrict__ px = x.data();
+  float* __restrict__ py = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) py[i] = alpha * px[i] + beta * py[i];
+}
+
+inline void scale(float alpha, std::span<float> x) noexcept {
+  float* __restrict__ px = x.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) px[i] *= alpha;
+}
+
+inline void fill(std::span<float> x, float v) noexcept {
+  for (auto& e : x) e = v;
+}
+
+inline void copyInto(std::span<const float> src, std::span<float> dst) noexcept {
+  const float* __restrict__ ps = src.data();
+  float* __restrict__ pd = dst.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) pd[i] = ps[i];
+}
+
+/// dst = a - b
+inline void sub(std::span<const float> a, std::span<const float> b,
+                std::span<float> dst) noexcept {
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
+  float* __restrict__ pd = dst.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pd[i] = pa[i] - pb[i];
+}
+
+inline void add(std::span<const float> a, std::span<float> dst) noexcept {
+  axpy(1.0f, a, dst);
+}
+
+inline float squaredNorm(std::span<const float> a) noexcept { return dot(a, a); }
+
+inline float norm(std::span<const float> a) noexcept { return std::sqrt(squaredNorm(a)); }
+
+/// Cosine similarity; returns 0 when either vector is (numerically) zero.
+inline float cosine(std::span<const float> a, std::span<const float> b) noexcept {
+  const float na = squaredNorm(a);
+  const float nb = squaredNorm(b);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  return dot(a, b) / std::sqrt(na * nb);
+}
+
+}  // namespace gw2v::util

@@ -1,0 +1,123 @@
+#include "baselines/column_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/shared_memory.h"
+#include "util/rng.h"
+#include "util/vecmath.h"
+
+namespace gw2v::baselines {
+namespace {
+
+using text::WordId;
+
+text::Vocabulary makeVocab(std::uint32_t words) {
+  text::Vocabulary v;
+  for (std::uint32_t i = 0; i < words; ++i) v.addCount("w" + std::to_string(i), 300 - i * 2);
+  v.finalize(1);
+  return v;
+}
+
+std::vector<WordId> randomCorpus(std::uint32_t vocab, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<WordId> out(n);
+  for (auto& w : out) w = static_cast<WordId>(rng.bounded(vocab));
+  return out;
+}
+
+ColumnParallelOptions baseOpts() {
+  ColumnParallelOptions o;
+  o.sgns.dim = 16;
+  o.sgns.window = 3;
+  o.sgns.negatives = 3;
+  o.sgns.subsample = 0;
+  o.epochs = 3;
+  o.numHosts = 4;
+  o.batchExamples = 64;
+  return o;
+}
+
+TEST(ColumnParallel, LossDecreases) {
+  const auto vocab = makeVocab(25);
+  const auto corpus = randomCorpus(25, 3000, 1);
+  const auto r = trainColumnParallel(vocab, corpus, baseOpts());
+  ASSERT_EQ(r.epochLoss.size(), 3u);
+  EXPECT_LT(r.epochLoss.back(), r.epochLoss.front());
+  EXPECT_GT(r.totalExamples, 0u);
+}
+
+TEST(ColumnParallel, HostCountDoesNotChangeTheMath) {
+  // The global dot products are sums over dimension slices; slicing is a
+  // summation-order change only, so any host count yields (numerically)
+  // the same model. Compare 1 host vs 4 hosts with loose float tolerance.
+  const auto vocab = makeVocab(20);
+  const auto corpus = randomCorpus(20, 2000, 2);
+  auto o = baseOpts();
+  o.epochs = 2;
+  o.numHosts = 1;
+  const auto one = trainColumnParallel(vocab, corpus, o);
+  o.numHosts = 4;
+  const auto four = trainColumnParallel(vocab, corpus, o);
+  for (std::uint32_t n = 0; n < 20; ++n) {
+    const auto a = one.model.row(graph::Label::kEmbedding, n);
+    const auto b = four.model.row(graph::Label::kEmbedding, n);
+    for (std::uint32_t d = 0; d < 16; ++d) {
+      EXPECT_NEAR(a[d], b[d], 2e-3f) << "node " << n << " dim " << d;
+    }
+  }
+}
+
+TEST(ColumnParallel, BatchOneApproximatesSequentialSgns) {
+  // With batch=1 there is no intra-batch staleness: the update sequence is
+  // exactly sequential SGNS over the same example stream (modulo slice
+  // summation order). Loss trajectories must be close.
+  const auto vocab = makeVocab(20);
+  const auto corpus = randomCorpus(20, 2000, 3);
+  auto o = baseOpts();
+  o.batchExamples = 1;
+  o.numHosts = 2;
+  const auto col = trainColumnParallel(vocab, corpus, o);
+
+  SharedMemoryOptions smo;
+  smo.sgns = o.sgns;
+  smo.epochs = o.epochs;
+  const auto sm = trainHogwild(vocab, corpus, smo);
+  EXPECT_NEAR(col.epochLoss.back(), sm.epochs.back().avgLoss, 0.3);
+}
+
+TEST(ColumnParallel, CommVolumeScalesWithExamplesNotModel) {
+  const auto vocab = makeVocab(50);
+  auto o = baseOpts();
+  o.epochs = 1;
+  o.numHosts = 4;
+  const auto small = trainColumnParallel(vocab, randomCorpus(50, 1000, 4), o);
+  const auto large = trainColumnParallel(vocab, randomCorpus(50, 4000, 4), o);
+  // ~4x the examples -> ~4x the allreduced scalars (same vocab/model size).
+  const double ratio = static_cast<double>(large.cluster.totalBytes()) /
+                       static_cast<double>(small.cluster.totalBytes());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(ColumnParallel, SingleHostNoTraffic) {
+  const auto vocab = makeVocab(10);
+  auto o = baseOpts();
+  o.numHosts = 1;
+  o.epochs = 1;
+  const auto r = trainColumnParallel(vocab, randomCorpus(10, 500, 5), o);
+  EXPECT_EQ(r.cluster.totalBytes(), 0u);
+}
+
+TEST(ColumnParallel, DimSmallerThanHosts) {
+  // Degenerate slicing: some hosts own zero dimensions; must still work.
+  const auto vocab = makeVocab(10);
+  auto o = baseOpts();
+  o.sgns.dim = 3;
+  o.numHosts = 8;
+  o.epochs = 1;
+  const auto r = trainColumnParallel(vocab, randomCorpus(10, 500, 6), o);
+  EXPECT_EQ(r.model.dim(), 3u);
+}
+
+}  // namespace
+}  // namespace gw2v::baselines

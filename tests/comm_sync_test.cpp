@@ -1,0 +1,312 @@
+#include "comm/sync_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/model_combiner.h"
+#include "sim/cluster.h"
+#include "util/vecmath.h"
+
+namespace gw2v::comm {
+namespace {
+
+using graph::Label;
+using graph::ModelGraph;
+
+constexpr std::uint32_t kNodes = 12;
+constexpr std::uint32_t kDim = 4;
+
+/// Run a cluster where each host applies `update(host, model)` then syncs
+/// once; returns all replicas for inspection.
+struct SyncRunResult {
+  std::vector<std::unique_ptr<ModelGraph>> replicas;
+  sim::ClusterReport report;
+};
+
+template <typename UpdateFn>
+SyncRunResult runOneSync(unsigned hosts, const Reducer& reducer, SyncStrategy strategy,
+                         UpdateFn update, unsigned syncs = 1) {
+  SyncRunResult out;
+  out.replicas.resize(hosts);
+  for (unsigned h = 0; h < hosts; ++h) {
+    out.replicas[h] = std::make_unique<ModelGraph>(kNodes, kDim);
+    out.replicas[h]->randomizeEmbeddings(7);
+  }
+  graph::BlockedPartition partition(kNodes, hosts);
+  sim::ClusterOptions copts;
+  copts.numHosts = hosts;
+  out.report = sim::runCluster(copts, [&](sim::HostContext& ctx) {
+    SyncEngine engine(ctx, *out.replicas[ctx.id()], partition, reducer, strategy);
+    for (unsigned s = 0; s < syncs; ++s) {
+      update(ctx.id(), *out.replicas[ctx.id()], s);
+      engine.sync();
+    }
+  });
+  return out;
+}
+
+void bumpRow(ModelGraph& m, Label label, std::uint32_t node, float delta) {
+  auto row = m.mutableRow(label, node);
+  for (auto& v : row) v += delta;
+  m.markTouched(label, node);
+}
+
+TEST(SyncEngine, SingleHostSyncIsIdentity) {
+  const SumReducer sum;
+  auto run = runOneSync(1, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned, ModelGraph& m, unsigned) { bumpRow(m, Label::kEmbedding, 0, 1.0f); });
+  // Value unchanged by sync (the local update is already in place).
+  ModelGraph expect(kNodes, kDim);
+  expect.randomizeEmbeddings(7);
+  const auto got = run.replicas[0]->row(Label::kEmbedding, 0);
+  const auto base = expect.row(Label::kEmbedding, 0);
+  for (std::uint32_t d = 0; d < kDim; ++d) EXPECT_FLOAT_EQ(got[d], base[d] + 1.0f);
+  // And no bulk traffic.
+  EXPECT_EQ(run.report.totalBytes(), 0u);
+}
+
+TEST(SyncEngine, ReplicasIdenticalAfterSync) {
+  const SumReducer sum;
+  auto run = runOneSync(4, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned h, ModelGraph& m, unsigned) {
+                          bumpRow(m, Label::kEmbedding, h, 1.0f);  // disjoint rows
+                        });
+  for (unsigned h = 1; h < 4; ++h) {
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        const auto a = run.replicas[0]->row(static_cast<Label>(l), n);
+        const auto b = run.replicas[h]->row(static_cast<Label>(l), n);
+        for (std::uint32_t d = 0; d < kDim; ++d) {
+          ASSERT_EQ(a[d], b[d]) << "host " << h << " node " << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(SyncEngine, DisjointUpdatesAllSurvive) {
+  const SumReducer sum;
+  auto run = runOneSync(3, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned h, ModelGraph& m, unsigned) {
+                          bumpRow(m, Label::kTraining, h * 2, static_cast<float>(h + 1));
+                        });
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  for (unsigned h = 0; h < 3; ++h) {
+    const auto got = run.replicas[0]->row(Label::kTraining, h * 2);
+    for (std::uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_FLOAT_EQ(got[d], static_cast<float>(h + 1)) << "node " << h * 2;
+    }
+  }
+}
+
+TEST(SyncEngine, SumReductionAddsOverlappingDeltas) {
+  const SumReducer sum;
+  auto run = runOneSync(4, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned, ModelGraph& m, unsigned) {
+                          bumpRow(m, Label::kEmbedding, 5, 1.0f);  // all hosts, same row
+                        });
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  const auto got = run.replicas[0]->row(Label::kEmbedding, 5);
+  const auto orig = base.row(Label::kEmbedding, 5);
+  for (std::uint32_t d = 0; d < kDim; ++d) EXPECT_NEAR(got[d], orig[d] + 4.0f, 1e-5f);
+}
+
+TEST(SyncEngine, AvgReductionAveragesOverlappingDeltas) {
+  const AvgReducer avg;
+  auto run = runOneSync(4, avg, SyncStrategy::kRepModelOpt,
+                        [](unsigned h, ModelGraph& m, unsigned) {
+                          bumpRow(m, Label::kEmbedding, 5, static_cast<float>(h + 1));
+                        });
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  const auto got = run.replicas[0]->row(Label::kEmbedding, 5);
+  const auto orig = base.row(Label::kEmbedding, 5);
+  // mean(1,2,3,4) = 2.5
+  for (std::uint32_t d = 0; d < kDim; ++d) EXPECT_NEAR(got[d], orig[d] + 2.5f, 1e-5f);
+}
+
+TEST(SyncEngine, AvgCountsOnlyContributors) {
+  const AvgReducer avg;
+  auto run = runOneSync(4, avg, SyncStrategy::kRepModelOpt,
+                        [](unsigned h, ModelGraph& m, unsigned) {
+                          if (h < 2) bumpRow(m, Label::kEmbedding, 3, 2.0f);
+                        });
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  const auto got = run.replicas[0]->row(Label::kEmbedding, 3);
+  const auto orig = base.row(Label::kEmbedding, 3);
+  // mean over the 2 updaters = 2.0, not 1.0 over all 4 hosts.
+  for (std::uint32_t d = 0; d < kDim; ++d) EXPECT_NEAR(got[d], orig[d] + 2.0f, 1e-5f);
+}
+
+TEST(SyncEngine, ModelCombinerParallelDeltasCollapse) {
+  const core::ModelCombinerReducer mc;
+  auto run = runOneSync(3, mc, SyncStrategy::kRepModelOpt,
+                        [](unsigned, ModelGraph& m, unsigned) {
+                          bumpRow(m, Label::kEmbedding, 2, 1.0f);  // identical deltas
+                        });
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  const auto got = run.replicas[0]->row(Label::kEmbedding, 2);
+  const auto orig = base.row(Label::kEmbedding, 2);
+  // Identical parallel deltas collapse to one (not 3x).
+  for (std::uint32_t d = 0; d < kDim; ++d) EXPECT_NEAR(got[d], orig[d] + 1.0f, 1e-5f);
+}
+
+TEST(SyncEngine, UntouchedNodesUnchanged) {
+  const SumReducer sum;
+  auto run = runOneSync(4, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned, ModelGraph& m, unsigned) { bumpRow(m, Label::kEmbedding, 0, 1.0f); });
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  for (std::uint32_t n = 1; n < kNodes; ++n) {
+    const auto got = run.replicas[2]->row(Label::kEmbedding, n);
+    const auto orig = base.row(Label::kEmbedding, n);
+    for (std::uint32_t d = 0; d < kDim; ++d) ASSERT_EQ(got[d], orig[d]);
+  }
+}
+
+TEST(SyncEngine, NoUpdatesSyncIsNoopButCheap) {
+  const SumReducer sum;
+  auto run = runOneSync(4, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned, ModelGraph&, unsigned) {});
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    const auto got = run.replicas[1]->row(Label::kEmbedding, n);
+    const auto orig = base.row(Label::kEmbedding, n);
+    for (std::uint32_t d = 0; d < kDim; ++d) ASSERT_EQ(got[d], orig[d]);
+  }
+  // Opt strategy: empty payloads only — exactly 4 hosts x 3 peers x 2
+  // messages (reduce + broadcast), each a 16-byte header + two u32 counts.
+  EXPECT_EQ(run.report.totalBytes(),
+            4u * 3u * 2u * (sim::Network::kHeaderBytes + 2 * sizeof(std::uint32_t)));
+}
+
+TEST(SyncEngine, SequentialDeltasAccumulateAcrossRounds) {
+  const SumReducer sum;
+  auto run = runOneSync(2, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned h, ModelGraph& m, unsigned) {
+                          if (h == 0) bumpRow(m, Label::kEmbedding, 1, 1.0f);
+                        },
+                        /*syncs=*/3);
+  ModelGraph base(kNodes, kDim);
+  base.randomizeEmbeddings(7);
+  const auto got = run.replicas[1]->row(Label::kEmbedding, 1);
+  const auto orig = base.row(Label::kEmbedding, 1);
+  for (std::uint32_t d = 0; d < kDim; ++d) EXPECT_NEAR(got[d], orig[d] + 3.0f, 1e-5f);
+}
+
+/// The three communication strategies must produce identical canonical
+/// models for identical updates — they differ only in traffic (Section 4.4).
+class StrategyEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StrategyEquivalence, CanonicalModelsMatchBitForBit) {
+  const unsigned hosts = GetParam();
+  const SumReducer sum;
+  const auto update = [](unsigned h, ModelGraph& m, unsigned s) {
+    // Overlapping, host- and round-dependent updates.
+    bumpRow(m, Label::kEmbedding, (h + s) % kNodes, 0.5f + static_cast<float>(h));
+    bumpRow(m, Label::kTraining, (2 * h + s) % kNodes, 1.0f);
+    bumpRow(m, Label::kEmbedding, 5, 0.25f);
+  };
+  // PullModel's sync(BitVector) path is exercised by the trainer tests; here
+  // the parameterless sync() treats "will access" as everything, which must
+  // still reconcile masters identically.
+  auto naive = runOneSync(hosts, sum, SyncStrategy::kRepModelNaive, update, 3);
+  auto opt = runOneSync(hosts, sum, SyncStrategy::kRepModelOpt, update, 3);
+  auto pull = runOneSync(hosts, sum, SyncStrategy::kPullModel, update, 3);
+
+  graph::BlockedPartition partition(kNodes, hosts);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    const unsigned owner = partition.masterOf(n);
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      const auto a = naive.replicas[owner]->row(static_cast<Label>(l), n);
+      const auto b = opt.replicas[owner]->row(static_cast<Label>(l), n);
+      const auto c = pull.replicas[owner]->row(static_cast<Label>(l), n);
+      for (std::uint32_t d = 0; d < kDim; ++d) {
+        ASSERT_EQ(a[d], b[d]) << "naive vs opt, node " << n;
+        ASSERT_EQ(a[d], c[d]) << "naive vs pull, node " << n;
+      }
+    }
+  }
+  // Volume ordering: Opt strictly below Naive for sparse updates.
+  if (hosts > 1) {
+    EXPECT_LT(opt.report.totalBytes(), naive.report.totalBytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, StrategyEquivalence, ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(SyncEngine, NaiveVolumeMatchesFullModel) {
+  const SumReducer sum;
+  constexpr unsigned kHosts = 3;
+  auto run = runOneSync(kHosts, sum, SyncStrategy::kRepModelNaive,
+                        [](unsigned, ModelGraph& m, unsigned) { bumpRow(m, Label::kEmbedding, 0, 1.0f); });
+  // Reduce: every host ships every non-owned node once per label.
+  // Broadcast: every master ships every owned node to every other host.
+  const std::uint64_t rowBytes = sizeof(std::uint32_t) + kDim * sizeof(float);
+  const std::uint64_t reduceEntries =
+      static_cast<std::uint64_t>(kNodes) * (kHosts - 1) * graph::kNumLabels;
+  const std::uint64_t bcastEntries = reduceEntries;
+  const std::uint64_t headers =
+      static_cast<std::uint64_t>(kHosts) * (kHosts - 1) * 2 *
+      (sim::Network::kHeaderBytes + graph::kNumLabels * sizeof(std::uint32_t));
+  EXPECT_EQ(run.report.totalBytes(), (reduceEntries + bcastEntries) * rowBytes + headers);
+}
+
+TEST(SyncEngine, OptReducePhaseBytesScaleWithTouched) {
+  const SumReducer sum;
+  auto one = runOneSync(2, sum, SyncStrategy::kRepModelOpt,
+                        [](unsigned h, ModelGraph& m, unsigned) {
+                          if (h == 1) bumpRow(m, Label::kEmbedding, 0, 1.0f);
+                        });
+  auto many = runOneSync(2, sum, SyncStrategy::kRepModelOpt,
+                         [](unsigned h, ModelGraph& m, unsigned) {
+                           if (h == 1) {
+                             for (std::uint32_t n = 0; n < 6; ++n)
+                               bumpRow(m, Label::kEmbedding, n, 1.0f);
+                           }
+                         });
+  const auto reduceBytes = [](const SyncRunResult& r) {
+    std::uint64_t total = 0;
+    for (const auto& h : r.report.hosts) total += h.comm.bytesSent;
+    return total;
+  };
+  EXPECT_LT(reduceBytes(one), reduceBytes(many));
+}
+
+TEST(SyncEngine, RoundsCounterAdvances) {
+  const SumReducer sum;
+  ModelGraph m(kNodes, kDim);
+  graph::BlockedPartition partition(kNodes, 1);
+  sim::ClusterOptions copts;
+  copts.numHosts = 1;
+  sim::runCluster(copts, [&](sim::HostContext& ctx) {
+    SyncEngine engine(ctx, m, partition, sum, SyncStrategy::kRepModelOpt);
+    EXPECT_EQ(engine.rounds(), 0u);
+    engine.sync();
+    engine.sync();
+    EXPECT_EQ(engine.rounds(), 2u);
+  });
+}
+
+TEST(SyncEngine, StrategyNames) {
+  EXPECT_STREQ(syncStrategyName(SyncStrategy::kRepModelNaive), "RepModel-Naive");
+  EXPECT_STREQ(syncStrategyName(SyncStrategy::kRepModelOpt), "RepModel-Opt");
+  EXPECT_STREQ(syncStrategyName(SyncStrategy::kPullModel), "PullModel");
+}
+
+TEST(SyncEngine, ModelledCommTimeAccumulates) {
+  const SumReducer sum;
+  auto run = runOneSync(2, sum, SyncStrategy::kRepModelNaive,
+                        [](unsigned, ModelGraph& m, unsigned) { bumpRow(m, Label::kEmbedding, 0, 1.0f); });
+  for (const auto& h : run.report.hosts) EXPECT_GT(h.modelledCommSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace gw2v::comm

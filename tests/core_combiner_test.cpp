@@ -1,0 +1,195 @@
+#include "core/model_combiner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/vecmath.h"
+
+namespace gw2v::core {
+namespace {
+
+std::vector<float> combine(std::vector<std::vector<float>> grads) {
+  std::vector<float> acc = grads[0];
+  for (std::size_t i = 1; i < grads.size(); ++i) combineGradient(acc, grads[i]);
+  return acc;
+}
+
+TEST(ModelCombiner, IdenticalGradientsCollapse) {
+  // Fig 2(a): parallel gradients must NOT add up (that doubles the step and
+  // diverges); combining g with itself yields g.
+  const std::vector<float> g{1.0f, 2.0f, -1.0f};
+  const auto out = combine({g, g});
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(out[i], g[i], 1e-5f);
+}
+
+TEST(ModelCombiner, ParallelScaledGradientCollapses) {
+  const std::vector<float> g{2.0f, 0.0f};
+  const std::vector<float> g2{6.0f, 0.0f};  // same direction, 3x magnitude
+  const auto out = combine({g, g2});
+  // Projection of g2 onto orthogonal complement of g is zero.
+  EXPECT_NEAR(out[0], 2.0f, 1e-6f);
+  EXPECT_NEAR(out[1], 0.0f, 1e-6f);
+}
+
+TEST(ModelCombiner, OrthogonalGradientsAdd) {
+  // Fig 2(b): orthogonal gradients change the model independently — sum.
+  const std::vector<float> g1{3.0f, 0.0f};
+  const std::vector<float> g2{0.0f, 4.0f};
+  const auto out = combine({g1, g2});
+  EXPECT_NEAR(out[0], 3.0f, 1e-6f);
+  EXPECT_NEAR(out[1], 4.0f, 1e-6f);
+}
+
+TEST(ModelCombiner, InBetweenMatchesClosedForm) {
+  // Fig 2(c): g = g1 + (g2 - proj_{g1}(g2)).
+  const std::vector<float> g1{1.0f, 0.0f};
+  const std::vector<float> g2{1.0f, 1.0f};
+  const auto out = combine({g1, g2});
+  EXPECT_NEAR(out[0], 1.0f, 1e-6f);  // g2's x-component projected away
+  EXPECT_NEAR(out[1], 1.0f, 1e-6f);
+}
+
+TEST(ModelCombiner, ZeroAccumulatorTakesNext) {
+  std::vector<float> acc{0.0f, 0.0f};
+  const std::vector<float> g{1.0f, 2.0f};
+  combineGradient(acc, g);
+  EXPECT_FLOAT_EQ(acc[0], 1.0f);
+  EXPECT_FLOAT_EQ(acc[1], 2.0f);
+}
+
+TEST(ModelCombiner, ZeroNextIsNoop) {
+  std::vector<float> acc{1.0f, 2.0f};
+  const std::vector<float> zero{0.0f, 0.0f};
+  combineGradient(acc, zero);
+  EXPECT_FLOAT_EQ(acc[0], 1.0f);
+  EXPECT_FLOAT_EQ(acc[1], 2.0f);
+}
+
+TEST(ModelCombiner, ProjectedComponentOrthogonalToBase) {
+  // Eq 4's construction: g2' is orthogonal to g1 by design.
+  util::Rng rng(3);
+  std::vector<float> g1(16), g2(16), out(16);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (auto& v : g1) v = rng.uniformFloat(-1, 1);
+    for (auto& v : g2) v = rng.uniformFloat(-1, 1);
+    projectedComponent(g1, g2, out);
+    const float d = util::dot(g1, out);
+    EXPECT_NEAR(d, 0.0f, 1e-4f * util::norm(g1) * util::norm(g2));
+  }
+}
+
+TEST(ModelCombiner, ProjectedNormBound) {
+  // Eq 4: ||g2'||^2 = ||g2||^2 (1 - cos^2 theta) <= ||g2||^2.
+  util::Rng rng(4);
+  std::vector<float> g1(8), g2(8), out(8);
+  for (int rep = 0; rep < 200; ++rep) {
+    for (auto& v : g1) v = rng.uniformFloat(-2, 2);
+    for (auto& v : g2) v = rng.uniformFloat(-2, 2);
+    projectedComponent(g1, g2, out);
+    EXPECT_LE(util::norm(out), util::norm(g2) * (1.0f + 1e-5f));
+  }
+}
+
+TEST(ModelCombiner, ProjectedNormMatchesSinTheta) {
+  // ||g2'|| = ||g2|| * |sin theta| exactly (Eq 4).
+  const std::vector<float> g1{1.0f, 0.0f};
+  const float theta = 0.7f;
+  const std::vector<float> g2{2.0f * std::cos(theta), 2.0f * std::sin(theta)};
+  std::vector<float> out(2);
+  projectedComponent(g1, g2, out);
+  EXPECT_NEAR(util::norm(out), 2.0f * std::sin(theta), 1e-5f);
+}
+
+TEST(ModelCombiner, ProjectedStepDecreasesOwnLoss) {
+  // Eq 3 ("validity" property 1): stepping by the projected component g2'
+  // never increases L2. For the quadratic loss L2(w) = 0.5 ||w - t2||^2 with
+  // gradient g2 = w - t2, the algebra is exact:
+  //   ||g2 - a g2'||^2 = ||g2||^2 - a(2-a)||g2'||^2  <=  ||g2||^2.
+  util::Rng rng(5);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<float> w(8), target2(8), g1(8), g2(8), g2p(8);
+    for (auto& v : w) v = rng.uniformFloat(-1, 1);
+    for (auto& v : target2) v = rng.uniformFloat(-1, 1);
+    for (auto& v : g1) v = rng.uniformFloat(-1, 1);
+    for (std::size_t i = 0; i < 8; ++i) g2[i] = w[i] - target2[i];
+    projectedComponent(g1, g2, g2p);
+    const float alpha = 0.1f;
+    float before = 0, after = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const float wNew = w[i] - alpha * g2p[i];
+      before += (w[i] - target2[i]) * (w[i] - target2[i]);
+      after += (wNew - target2[i]) * (wNew - target2[i]);
+    }
+    EXPECT_LE(after, before + 1e-5f);
+  }
+}
+
+TEST(ModelCombiner, CombinedNormBoundedBySumOfNorms) {
+  util::Rng rng(6);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<std::vector<float>> grads;
+    float normSum = 0.0f;
+    for (int k = 0; k < 5; ++k) {
+      std::vector<float> g(12);
+      for (auto& v : g) v = rng.uniformFloat(-1, 1);
+      normSum += util::norm(g);
+      grads.push_back(std::move(g));
+    }
+    const auto out = combine(grads);
+    EXPECT_LE(util::norm(out), normSum * (1.0f + 1e-4f));
+  }
+}
+
+TEST(ModelCombiner, OrderMattersButBothValid) {
+  // The combiner is not commutative (projection order differs) but both
+  // orders satisfy the norm bound.
+  const std::vector<float> g1{1.0f, 0.2f};
+  const std::vector<float> g2{0.3f, 1.0f};
+  const auto a = combine({g1, g2});
+  const auto b = combine({g2, g1});
+  EXPECT_FALSE(a[0] == b[0] && a[1] == b[1]);
+}
+
+TEST(ModelCombiner, ReducerInterfaceMatchesFreeFunction) {
+  const ModelCombinerReducer reducer;
+  EXPECT_STREQ(reducer.name(), "MC");
+  std::vector<float> acc{1.0f, 0.0f};
+  const std::vector<float> next{1.0f, 1.0f};
+  std::vector<float> expect{1.0f, 0.0f};
+  combineGradient(expect, next);
+  reducer.accumulate(acc, next);
+  EXPECT_FLOAT_EQ(acc[0], expect[0]);
+  EXPECT_FLOAT_EQ(acc[1], expect[1]);
+  reducer.finalize(acc, 2);  // no-op
+  EXPECT_FLOAT_EQ(acc[0], expect[0]);
+}
+
+class CombinerManyGradients : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombinerManyGradients, InductionKeepsValidity) {
+  const int k = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(k) * 101);
+  std::vector<std::vector<float>> grads;
+  for (int i = 0; i < k; ++i) {
+    std::vector<float> g(10);
+    for (auto& v : g) v = rng.uniformFloat(-1, 1);
+    grads.push_back(std::move(g));
+  }
+  const auto out = combine(grads);
+  // Bounded by sum of norms, and at least as large as... nothing in general;
+  // but must be finite and nonzero for generic inputs.
+  float normSum = 0.0f;
+  for (const auto& g : grads) normSum += util::norm(g);
+  const float n = util::norm(out);
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_LE(n, normSum * 1.001f);
+  EXPECT_GT(n, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, CombinerManyGradients, ::testing::Values(2, 3, 8, 32, 64));
+
+}  // namespace
+}  // namespace gw2v::core

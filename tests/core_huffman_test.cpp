@@ -1,0 +1,187 @@
+#include "core/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "util/rng.h"
+
+namespace gw2v::core {
+namespace {
+
+std::string codeString(const HuffmanTree& t, std::uint32_t w) {
+  std::string s;
+  for (const auto b : t.code(w)) s += static_cast<char>('0' + b);
+  return s;
+}
+
+TEST(Huffman, RejectsEmpty) {
+  EXPECT_THROW(HuffmanTree(std::vector<std::uint64_t>{}), std::invalid_argument);
+}
+
+TEST(Huffman, SingleWordEmptyCode) {
+  const HuffmanTree t(std::vector<std::uint64_t>{10});
+  EXPECT_EQ(t.vocabSize(), 1u);
+  EXPECT_EQ(t.innerNodes(), 0u);
+  EXPECT_EQ(t.codeLength(0), 0u);
+}
+
+TEST(Huffman, TwoWordsOneBit) {
+  const HuffmanTree t(std::vector<std::uint64_t>{10, 5});
+  EXPECT_EQ(t.innerNodes(), 1u);
+  EXPECT_EQ(t.codeLength(0), 1u);
+  EXPECT_EQ(t.codeLength(1), 1u);
+  EXPECT_NE(codeString(t, 0), codeString(t, 1));
+  EXPECT_EQ(t.points(0)[0], 0u);  // the only inner node is the root
+  EXPECT_EQ(t.points(1)[0], 0u);
+}
+
+TEST(Huffman, FrequentWordsGetShorterCodes) {
+  const std::vector<std::uint64_t> counts{1000, 500, 100, 50, 10, 5, 2, 1};
+  const HuffmanTree t(counts);
+  for (std::uint32_t w = 1; w < counts.size(); ++w) {
+    EXPECT_LE(t.codeLength(w - 1), t.codeLength(w))
+        << "more frequent word got a longer code";
+  }
+}
+
+TEST(Huffman, CodesArePrefixFree) {
+  util::Rng rng(1);
+  std::vector<std::uint64_t> counts(100);
+  for (auto& c : counts) c = 1 + rng.bounded(10'000);
+  const HuffmanTree t(counts);
+  for (std::uint32_t a = 0; a < 100; ++a) {
+    const auto ca = codeString(t, a);
+    for (std::uint32_t b = 0; b < 100; ++b) {
+      if (a == b) continue;
+      const auto cb = codeString(t, b);
+      EXPECT_FALSE(cb.size() >= ca.size() && cb.compare(0, ca.size(), ca) == 0)
+          << "code of " << a << " is a prefix of code of " << b;
+    }
+  }
+}
+
+TEST(Huffman, KraftEqualityHolds) {
+  // A full binary tree satisfies sum 2^-len = 1 exactly.
+  util::Rng rng(2);
+  std::vector<std::uint64_t> counts(257);
+  for (auto& c : counts) c = 1 + rng.bounded(1000);
+  const HuffmanTree t(counts);
+  double kraft = 0.0;
+  for (std::uint32_t w = 0; w < counts.size(); ++w) {
+    kraft += std::pow(2.0, -static_cast<double>(t.codeLength(w)));
+  }
+  EXPECT_NEAR(kraft, 1.0, 1e-9);
+}
+
+TEST(Huffman, PointsAreValidInnerNodesRootFirst) {
+  const std::vector<std::uint64_t> counts{50, 30, 20, 10, 5};
+  const HuffmanTree t(counts);
+  const std::uint32_t root = t.innerNodes() - 1;
+  for (std::uint32_t w = 0; w < counts.size(); ++w) {
+    const auto pts = t.points(w);
+    ASSERT_EQ(pts.size(), t.codeLength(w));
+    EXPECT_EQ(pts[0], root) << "paths must start at the root";
+    for (const auto p : pts) EXPECT_LT(p, t.innerNodes());
+  }
+}
+
+TEST(Huffman, ExpectedCodeLengthNearEntropy) {
+  // Huffman is within 1 bit of the entropy bound.
+  const std::vector<std::uint64_t> counts{512, 256, 128, 64, 32, 16, 8, 8};
+  const HuffmanTree t(counts);
+  double total = 0, weighted = 0, entropy = 0;
+  for (const auto c : counts) total += static_cast<double>(c);
+  for (std::uint32_t w = 0; w < counts.size(); ++w) {
+    const double p = static_cast<double>(counts[w]) / total;
+    weighted += p * t.codeLength(w);
+    entropy += -p * std::log2(p);
+  }
+  EXPECT_GE(weighted, entropy - 1e-9);
+  EXPECT_LE(weighted, entropy + 1.0);
+}
+
+// ---- hierarchical softmax training ----------------------------------------
+
+TEST(HsStep, LossShrinksWithRepetition) {
+  std::vector<std::uint64_t> counts{100, 80, 60, 40, 20, 10};
+  const HuffmanTree tree(counts);
+  graph::ModelGraph m(6, 8);
+  m.randomizeEmbeddings(1);
+  const util::SigmoidTable sigmoid;
+  SgnsScratch scratch(8);
+  const float first = hsStep(m, 3, 0, tree, 0.5f, sigmoid, scratch, true);
+  EXPECT_GT(first, 0.0f);
+  float last = first;
+  for (int i = 0; i < 60; ++i) last = hsStep(m, 3, 0, tree, 0.5f, sigmoid, scratch, true);
+  EXPECT_LT(last, first);
+}
+
+TEST(HsStep, TouchesPathNodesOnly) {
+  std::vector<std::uint64_t> counts{100, 80, 60, 40};
+  const HuffmanTree tree(counts);
+  graph::ModelGraph m(4, 4);
+  const util::SigmoidTable sigmoid;
+  SgnsScratch scratch(4);
+  hsStep(m, 2, 1, tree, 0.025f, sigmoid, scratch);
+  EXPECT_TRUE(m.isTouched(graph::Label::kEmbedding, 1));
+  for (const auto p : tree.points(2)) EXPECT_TRUE(m.isTouched(graph::Label::kTraining, p));
+  // Untouched: embedding of the center, training rows off the path.
+  EXPECT_FALSE(m.isTouched(graph::Label::kEmbedding, 2));
+}
+
+TEST(HsTrainer, ConvergesAndMatchesAcrossStrategies) {
+  text::Vocabulary vocab;
+  for (std::uint32_t i = 0; i < 40; ++i) vocab.addCount("w" + std::to_string(i), 200 - i * 3);
+  vocab.finalize(1);
+  util::Rng rng(7);
+  std::vector<text::WordId> corpus(4000);
+  for (auto& w : corpus) w = static_cast<text::WordId>(rng.bounded(40));
+
+  TrainOptions o;
+  o.sgns.dim = 8;
+  o.sgns.window = 3;
+  o.sgns.subsample = 0;
+  o.sgns.objective = Objective::kHierarchicalSoftmax;
+  o.epochs = 3;
+  o.numHosts = 3;
+  o.syncRoundsPerEpoch = 4;
+
+  const auto opt = GraphWord2Vec(vocab, o).train(corpus);
+  EXPECT_LT(opt.epochs.back().avgLoss, opt.epochs.front().avgLoss);
+
+  // PullModel inspection must predict HS's inner-node accesses exactly.
+  o.strategy = comm::SyncStrategy::kPullModel;
+  o.trackLoss = false;
+  const auto pull = GraphWord2Vec(vocab, o).train(corpus);
+  for (std::uint32_t n = 0; n < 40; ++n) {
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      const auto label = static_cast<graph::Label>(l);
+      const auto a = opt.model.row(label, n);
+      const auto b = pull.model.row(label, n);
+      for (std::uint32_t d = 0; d < 8; ++d) ASSERT_EQ(a[d], b[d]) << "node " << n;
+    }
+  }
+}
+
+TEST(HsTrainer, CbowPlusHsRejected) {
+  text::Vocabulary vocab;
+  vocab.addCount("a", 5);
+  vocab.addCount("b", 3);
+  vocab.finalize(1);
+  TrainOptions o;
+  o.sgns.architecture = Architecture::kCbow;
+  o.sgns.objective = Objective::kHierarchicalSoftmax;
+  EXPECT_THROW(GraphWord2Vec(vocab, o), std::invalid_argument);
+}
+
+TEST(ObjectiveName, Names) {
+  EXPECT_STREQ(objectiveName(Objective::kNegativeSampling), "negative-sampling");
+  EXPECT_STREQ(objectiveName(Objective::kHierarchicalSoftmax), "hierarchical-softmax");
+}
+
+}  // namespace
+}  // namespace gw2v::core

@@ -1,0 +1,89 @@
+// Per-epoch worklist shuffling (Section 2.2's standard SGD trick).
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "util/rng.h"
+
+namespace gw2v::core {
+namespace {
+
+text::Vocabulary makeVocab(std::uint32_t words) {
+  text::Vocabulary v;
+  for (std::uint32_t i = 0; i < words; ++i) v.addCount("w" + std::to_string(i), 300 - i);
+  v.finalize(1);
+  return v;
+}
+
+TrainOptions baseOpts() {
+  TrainOptions o;
+  o.sgns.dim = 8;
+  o.sgns.window = 3;
+  o.sgns.negatives = 3;
+  o.sgns.subsample = 0;
+  o.epochs = 2;
+  o.numHosts = 2;
+  o.syncRoundsPerEpoch = 3;
+  return o;
+}
+
+TEST(Shuffle, DeterministicPerSeed) {
+  const auto vocab = makeVocab(20);
+  util::Rng rng(5);
+  std::vector<text::WordId> corpus(2000);
+  for (auto& w : corpus) w = static_cast<text::WordId>(rng.bounded(20));
+
+  TrainOptions o = baseOpts();
+  o.shuffleEachEpoch = true;
+  const auto a = GraphWord2Vec(vocab, o).train(corpus);
+  const auto b = GraphWord2Vec(vocab, o).train(corpus);
+  for (std::uint32_t n = 0; n < 20; ++n) {
+    const auto ra = a.model.row(graph::Label::kEmbedding, n);
+    const auto rb = b.model.row(graph::Label::kEmbedding, n);
+    for (std::uint32_t d = 0; d < 8; ++d) ASSERT_EQ(ra[d], rb[d]);
+  }
+}
+
+TEST(Shuffle, ChangesTrainingOrder) {
+  const auto vocab = makeVocab(20);
+  util::Rng rng(6);
+  std::vector<text::WordId> corpus(2000);
+  for (auto& w : corpus) w = static_cast<text::WordId>(rng.bounded(20));
+
+  TrainOptions o = baseOpts();
+  const auto plain = GraphWord2Vec(vocab, o).train(corpus);
+  o.shuffleEachEpoch = true;
+  const auto shuffledRun = GraphWord2Vec(vocab, o).train(corpus);
+  bool differs = false;
+  for (std::uint32_t n = 0; n < 20 && !differs; ++n) {
+    const auto a = plain.model.row(graph::Label::kEmbedding, n);
+    const auto b = shuffledRun.model.row(graph::Label::kEmbedding, n);
+    for (std::uint32_t d = 0; d < 8; ++d) differs = differs || a[d] != b[d];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Shuffle, StillConvergesAndStrategiesAgree) {
+  const auto vocab = makeVocab(30);
+  util::Rng rng(7);
+  std::vector<text::WordId> corpus(3000);
+  for (auto& w : corpus) w = static_cast<text::WordId>(rng.bounded(30));
+
+  TrainOptions o = baseOpts();
+  o.shuffleEachEpoch = true;
+  o.epochs = 3;
+  const auto opt = GraphWord2Vec(vocab, o).train(corpus);
+  EXPECT_LT(opt.epochs.back().avgLoss, opt.epochs.front().avgLoss);
+
+  o.strategy = comm::SyncStrategy::kPullModel;
+  o.trackLoss = false;
+  const auto pull = GraphWord2Vec(vocab, o).train(corpus);
+  for (std::uint32_t n = 0; n < 30; ++n) {
+    const auto a = opt.model.row(graph::Label::kEmbedding, n);
+    const auto b = pull.model.row(graph::Label::kEmbedding, n);
+    for (std::uint32_t d = 0; d < 8; ++d) ASSERT_EQ(a[d], b[d]) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace gw2v::core

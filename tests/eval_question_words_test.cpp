@@ -1,0 +1,85 @@
+#include "eval/question_words.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace gw2v::eval {
+namespace {
+
+TEST(QuestionWords, ParsesCategoriesAndQuestions) {
+  const std::string body =
+      ": capital-common-countries\n"
+      "Athens Greece Baghdad Iraq\n"
+      "Athens Greece Bangkok Thailand\n"
+      ": gram3-comparative\n"
+      "bad worse big bigger\n";
+  const auto suite = parseQuestionWords(body);
+  ASSERT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite[0].name, "capital-common-countries");
+  EXPECT_TRUE(suite[0].semantic);
+  ASSERT_EQ(suite[0].questions.size(), 2u);
+  EXPECT_EQ(suite[0].questions[0].a, "Athens");
+  EXPECT_EQ(suite[0].questions[0].expected, "Iraq");
+  EXPECT_EQ(suite[1].name, "gram3-comparative");
+  EXPECT_FALSE(suite[1].semantic);
+}
+
+TEST(QuestionWords, EmptyLinesAndCrTolerated) {
+  const std::string body = ": family\n\nboy girl brother sister\r\n\n";
+  const auto suite = parseQuestionWords(body);
+  ASSERT_EQ(suite.size(), 1u);
+  EXPECT_EQ(suite[0].questions.size(), 1u);
+  EXPECT_EQ(suite[0].questions[0].expected, "sister");
+}
+
+TEST(QuestionWords, RejectsMalformed) {
+  EXPECT_THROW(parseQuestionWords("Athens Greece Baghdad Iraq\n"), std::runtime_error);
+  EXPECT_THROW(parseQuestionWords(": cat\nonly three words\n"), std::runtime_error);
+  EXPECT_THROW(parseQuestionWords(": cat\na b c d e\n"), std::runtime_error);
+  EXPECT_THROW(parseQuestionWords(":\n"), std::runtime_error);
+}
+
+TEST(QuestionWords, RoundTrip) {
+  synth::CorpusSpec spec;
+  spec.relations = synth::defaultRelations(4);
+  const synth::CorpusGenerator gen(spec);
+  const auto suite = gen.analogySuite(6);
+  const auto parsed = parseQuestionWords(formatQuestionWords(suite));
+  ASSERT_EQ(parsed.size(), suite.size());
+  for (std::size_t c = 0; c < suite.size(); ++c) {
+    EXPECT_EQ(parsed[c].name, suite[c].name);
+    EXPECT_EQ(parsed[c].semantic, suite[c].semantic);
+    ASSERT_EQ(parsed[c].questions.size(), suite[c].questions.size());
+    for (std::size_t q = 0; q < suite[c].questions.size(); ++q) {
+      EXPECT_EQ(parsed[c].questions[q].a, suite[c].questions[q].a);
+      EXPECT_EQ(parsed[c].questions[q].expected, suite[c].questions[q].expected);
+    }
+  }
+}
+
+TEST(QuestionWords, FileRoundTrip) {
+  synth::CorpusSpec spec;
+  spec.relations = synth::defaultRelations(3);
+  const synth::CorpusGenerator gen(spec);
+  const auto suite = gen.analogySuite(4);
+  const std::string path = ::testing::TempDir() + "/gw2v_qw.txt";
+  saveQuestionWords(path, suite);
+  const auto loaded = loadQuestionWords(path);
+  EXPECT_EQ(loaded.size(), suite.size());
+  std::remove(path.c_str());
+}
+
+TEST(QuestionWords, MissingFileThrows) {
+  EXPECT_THROW(loadQuestionWords("/nonexistent/qw.txt"), std::runtime_error);
+}
+
+TEST(QuestionWords, SemanticBucketingFollowsGramPrefix) {
+  const auto suite = parseQuestionWords(": grammar-of-things\nx y z w\n: city-in-state\na b c d\n");
+  // "grammar..." starts with "gram" -> syntactic by the original convention.
+  EXPECT_FALSE(suite[0].semantic);
+  EXPECT_TRUE(suite[1].semantic);
+}
+
+}  // namespace
+}  // namespace gw2v::eval

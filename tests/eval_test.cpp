@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/analogy.h"
+#include "eval/embedding_view.h"
+#include "graph/model_graph.h"
+#include "text/vocabulary.h"
+
+namespace gw2v::eval {
+namespace {
+
+using graph::Label;
+using graph::ModelGraph;
+
+/// Vocabulary of n words "w0".."w{n-1}" with strictly decreasing counts so
+/// that frequency-sorted ids equal the name indices (w3 <-> id 3) — the
+/// crafted-geometry tests below rely on that correspondence.
+text::Vocabulary makeVocab(std::uint32_t n) {
+  text::Vocabulary v;
+  for (std::uint32_t i = 0; i < n; ++i) v.addCount("w" + std::to_string(i), 1000 - i);
+  v.finalize(1);
+  return v;
+}
+
+void setRow(ModelGraph& m, std::uint32_t node, std::initializer_list<float> vals) {
+  auto row = m.mutableRow(Label::kEmbedding, node);
+  std::size_t i = 0;
+  for (const float v : vals) row[i++] = v;
+}
+
+TEST(EmbeddingView, NormalizesRows) {
+  const auto vocab = makeVocab(2);
+  ModelGraph m(2, 2);
+  setRow(m, 0, {3.0f, 4.0f});
+  setRow(m, 1, {0.0f, 0.0f});  // zero vector must not produce NaN
+  const EmbeddingView view(m, vocab);
+  EXPECT_NEAR(view.vectorOf(0)[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(view.vectorOf(0)[1], 0.8f, 1e-6f);
+  EXPECT_FLOAT_EQ(view.vectorOf(1)[0], 0.0f);
+}
+
+TEST(EmbeddingView, NearestFindsMostSimilar) {
+  const auto vocab = makeVocab(4);
+  ModelGraph m(4, 2);
+  setRow(m, 0, {1.0f, 0.0f});
+  setRow(m, 1, {0.9f, 0.1f});
+  setRow(m, 2, {0.0f, 1.0f});
+  setRow(m, 3, {-1.0f, 0.0f});
+  const EmbeddingView view(m, vocab);
+  const auto top = view.nearestTo(0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].word, 1u);
+  EXPECT_EQ(top[1].word, 2u);
+  EXPECT_GT(top[0].similarity, top[1].similarity);
+}
+
+TEST(EmbeddingView, NearestExcludes) {
+  const auto vocab = makeVocab(3);
+  ModelGraph m(3, 2);
+  setRow(m, 0, {1.0f, 0.0f});
+  setRow(m, 1, {1.0f, 0.01f});
+  setRow(m, 2, {0.5f, 0.5f});
+  const EmbeddingView view(m, vocab);
+  const std::vector<float> q{1.0f, 0.0f};
+  const text::WordId ex[] = {0, 1};
+  const auto top = view.nearest(q, 1, ex);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].word, 2u);
+}
+
+TEST(EmbeddingView, KLargerThanVocab) {
+  const auto vocab = makeVocab(3);
+  ModelGraph m(3, 2);
+  m.randomizeEmbeddings(1);
+  const EmbeddingView view(m, vocab);
+  const auto top = view.nearestTo(0, 10);
+  EXPECT_EQ(top.size(), 2u);  // vocab minus the excluded query word
+}
+
+TEST(EmbeddingView, PredictAnalogyOnCraftedGeometry) {
+  // Plant perfect offset geometry: e(b_i) = e(a_i) + offset.
+  const auto vocab = makeVocab(6);
+  ModelGraph m(6, 3);
+  setRow(m, 0, {1.0f, 0.0f, 0.0f});  // a0
+  setRow(m, 1, {1.0f, 1.0f, 0.0f});  // b0 = a0 + (0,1,0)
+  setRow(m, 2, {0.0f, 0.0f, 1.0f});  // a1
+  setRow(m, 3, {0.0f, 1.0f, 1.0f});  // b1 = a1 + offset
+  setRow(m, 4, {-1.0f, 0.0f, 0.2f});
+  setRow(m, 5, {0.3f, -0.7f, 0.1f});
+  const EmbeddingView view(m, vocab);
+  EXPECT_EQ(view.predictAnalogy(0, 1, 2), 3u);  // a0:b0 :: a1:? -> b1
+  EXPECT_EQ(view.predictAnalogy(2, 3, 0), 1u);
+}
+
+TEST(AnalogyTask, ResolvesAndDropsOov) {
+  const auto vocab = makeVocab(4);
+  std::vector<synth::AnalogyCategory> suite(2);
+  suite[0].name = "sem";
+  suite[0].semantic = true;
+  suite[0].questions.push_back({"w0", "w1", "w2", "w3"});
+  suite[0].questions.push_back({"w0", "w1", "missing", "w3"});  // dropped
+  suite[1].name = "syn";
+  suite[1].semantic = false;
+  suite[1].questions.push_back({"w1", "w0", "w3", "w2"});
+  const AnalogyTask task(suite, vocab);
+  EXPECT_EQ(task.totalQuestions(), 2u);
+  ASSERT_EQ(task.categories().size(), 2u);
+  EXPECT_EQ(task.categories()[0].questions.size(), 1u);
+}
+
+TEST(AnalogyTask, PerfectGeometryScoresHundred) {
+  const auto vocab = makeVocab(6);
+  ModelGraph m(6, 3);
+  setRow(m, 0, {1.0f, 0.0f, 0.0f});
+  setRow(m, 1, {1.0f, 1.0f, 0.0f});
+  setRow(m, 2, {0.0f, 0.0f, 1.0f});
+  setRow(m, 3, {0.0f, 1.0f, 1.0f});
+  setRow(m, 4, {-0.4f, -0.3f, 0.8f});
+  setRow(m, 5, {0.6f, -0.9f, 0.1f});
+  std::vector<synth::AnalogyCategory> suite(1);
+  suite[0].name = "sem";
+  suite[0].semantic = true;
+  suite[0].questions.push_back({"w0", "w1", "w2", "w3"});
+  suite[0].questions.push_back({"w2", "w3", "w0", "w1"});
+  const AnalogyTask task(suite, vocab);
+  const EmbeddingView view(m, vocab);
+  const auto report = task.evaluate(view);
+  EXPECT_DOUBLE_EQ(report.semantic, 100.0);
+  EXPECT_DOUBLE_EQ(report.total, 100.0);
+  EXPECT_DOUBLE_EQ(report.syntactic, 0.0);  // no syntactic categories
+}
+
+TEST(AnalogyTask, AveragesOverCategoriesNotQuestions) {
+  // Category A: 1 question, correct. Category B: 3 questions, all wrong.
+  // Per-category averaging -> 50%, per-question would be 25%.
+  const auto vocab = makeVocab(8);
+  ModelGraph m(8, 3);
+  setRow(m, 0, {1.0f, 0.0f, 0.0f});
+  setRow(m, 1, {1.0f, 1.0f, 0.0f});
+  setRow(m, 2, {0.0f, 0.0f, 1.0f});
+  setRow(m, 3, {0.0f, 1.0f, 1.0f});
+  setRow(m, 4, {0.5f, 0.5f, 0.5f});
+  setRow(m, 5, {-0.5f, 0.5f, 0.5f});
+  setRow(m, 6, {0.5f, -0.5f, 0.5f});
+  setRow(m, 7, {0.5f, 0.5f, -0.5f});
+  std::vector<synth::AnalogyCategory> suite(2);
+  suite[0].name = "good";
+  suite[0].semantic = true;
+  suite[0].questions.push_back({"w0", "w1", "w2", "w3"});
+  suite[1].name = "bad";
+  suite[1].semantic = true;
+  for (int i = 0; i < 3; ++i) suite[1].questions.push_back({"w4", "w5", "w6", "w0"});
+  const AnalogyTask task(suite, vocab);
+  const EmbeddingView view(m, vocab);
+  const auto report = task.evaluate(view);
+  EXPECT_NEAR(report.semantic, (100.0 + 0.0) / 2.0, 1e-9);
+}
+
+TEST(AnalogyTask, EmptySuiteScoresZero) {
+  const auto vocab = makeVocab(3);
+  ModelGraph m(3, 2);
+  m.randomizeEmbeddings(2);
+  const AnalogyTask task({}, vocab);
+  const auto report = task.evaluate(EmbeddingView(m, vocab));
+  EXPECT_DOUBLE_EQ(report.total, 0.0);
+  EXPECT_EQ(task.totalQuestions(), 0u);
+}
+
+}  // namespace
+}  // namespace gw2v::eval

@@ -1,0 +1,107 @@
+#include "eval/vectors_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gw2v::eval {
+namespace {
+
+std::string tempPath(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(VectorsIo, RoundTripPreservesEverything) {
+  text::Vocabulary vocab;
+  vocab.addCount("alpha", 30);
+  vocab.addCount("beta", 20);
+  vocab.addCount("gamma", 10);
+  vocab.finalize(1);
+  graph::ModelGraph model(3, 4);
+  model.randomizeEmbeddings(5);
+
+  const std::string path = tempPath("gw2v_vec_roundtrip.txt");
+  saveTextVectors(path, model, vocab);
+  const auto loaded = loadTextVectors(path);
+
+  ASSERT_EQ(loaded.vocab.size(), 3u);
+  ASSERT_EQ(loaded.model.dim(), 4u);
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(loaded.vocab.wordOf(w), vocab.wordOf(w));
+    const auto a = model.row(graph::Label::kEmbedding, w);
+    const auto b = loaded.model.row(graph::Label::kEmbedding, w);
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      EXPECT_NEAR(a[d], b[d], 1e-6f) << "word " << w << " dim " << d;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VectorsIo, FileFormatIsWord2VecText) {
+  text::Vocabulary vocab;
+  vocab.addCount("hello", 2);
+  vocab.finalize(1);
+  graph::ModelGraph model(1, 2);
+  model.mutableRow(graph::Label::kEmbedding, 0)[0] = 1.5f;
+  model.mutableRow(graph::Label::kEmbedding, 0)[1] = -2.0f;
+
+  const std::string path = tempPath("gw2v_vec_format.txt");
+  saveTextVectors(path, model, vocab);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "1 2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "hello 1.5 -2");
+  std::remove(path.c_str());
+}
+
+TEST(VectorsIo, SizeMismatchRejected) {
+  text::Vocabulary vocab;
+  vocab.addCount("a", 1);
+  vocab.finalize(1);
+  graph::ModelGraph model(2, 2);
+  EXPECT_THROW(saveTextVectors(tempPath("gw2v_never.txt"), model, vocab),
+               std::invalid_argument);
+}
+
+TEST(VectorsIo, MissingFileThrows) {
+  EXPECT_THROW(loadTextVectors("/nonexistent/gw2v_vectors.txt"), std::runtime_error);
+}
+
+TEST(VectorsIo, MalformedHeaderThrows) {
+  const std::string path = tempPath("gw2v_vec_bad_header.txt");
+  {
+    std::ofstream out(path);
+    out << "not a header\n";
+  }
+  EXPECT_THROW(loadTextVectors(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(VectorsIo, TruncatedVectorThrows) {
+  const std::string path = tempPath("gw2v_vec_truncated.txt");
+  {
+    std::ofstream out(path);
+    out << "2 3\nfirst 1 2 3\nsecond 1\n";
+  }
+  EXPECT_THROW(loadTextVectors(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(VectorsIo, LoadedOrderMatchesFile) {
+  // Words deliberately in non-lexicographic order.
+  const std::string path = tempPath("gw2v_vec_order.txt");
+  {
+    std::ofstream out(path);
+    out << "3 1\nzeta 1\nalpha 2\nmiddle 3\n";
+  }
+  const auto loaded = loadTextVectors(path);
+  EXPECT_EQ(loaded.vocab.wordOf(0), "zeta");
+  EXPECT_EQ(loaded.vocab.wordOf(1), "alpha");
+  EXPECT_EQ(loaded.vocab.wordOf(2), "middle");
+  EXPECT_FLOAT_EQ(loaded.model.row(graph::Label::kEmbedding, 1)[0], 2.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gw2v::eval

@@ -1,0 +1,106 @@
+#include "eval/wordsim.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/shared_memory.h"
+#include "synth/generator.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace gw2v::eval {
+namespace {
+
+TEST(Spearman, PerfectMonotone) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{10, 20, 30, 40, 50};
+  EXPECT_NEAR(spearmanCorrelation(a, b), 1.0, 1e-12);
+  const std::vector<double> c{100, 1000, 10000, 100000, 1e7};  // nonlinear but monotone
+  EXPECT_NEAR(spearmanCorrelation(a, c), 1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectInverse) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{9, 7, 5, 3};
+  EXPECT_NEAR(spearmanCorrelation(a, std::vector<double>{4, 3, 2, 1}), -1.0, 1e-12);
+  (void)b;
+}
+
+TEST(Spearman, ConstantInputIsZero) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(spearmanCorrelation(a, b), 0.0);
+}
+
+TEST(Spearman, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(spearmanCorrelation({}, {}), 0.0);
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(spearmanCorrelation(one, one), 0.0);
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(spearmanCorrelation(a, b), 0.0);  // mismatched
+}
+
+TEST(Spearman, TiesAveraged) {
+  // a has a tie: ranks(a) = {1, 2.5, 2.5, 4}, ranks(b) = {1,2,3,4};
+  // pearson of those rank vectors = 3/sqrt(10) = 0.9486832...
+  const std::vector<double> a{1, 2, 2, 4};
+  const std::vector<double> b{1, 2, 3, 4};
+  EXPECT_NEAR(spearmanCorrelation(a, b), 3.0 / std::sqrt(10.0), 1e-12);
+}
+
+TEST(Spearman, NearZeroForShuffled) {
+  const std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> b{5, 1, 7, 3, 8, 2, 6, 4};
+  EXPECT_LT(std::abs(spearmanCorrelation(a, b)), 0.5);
+}
+
+TEST(WordSimTask, DropsOovPairs) {
+  text::Vocabulary vocab;
+  vocab.addCount("a", 5);
+  vocab.addCount("b", 4);
+  vocab.finalize(1);
+  const std::vector<SimilarityPair> pairs{{"a", "b", 1.0}, {"a", "missing", 2.0}};
+  const WordSimTask task(pairs, vocab);
+  EXPECT_EQ(task.size(), 1u);
+}
+
+TEST(WordSimTask, TrainedEmbeddingsCorrelateWithPlantedStructure) {
+  synth::CorpusSpec spec;
+  spec.totalTokens = 120'000;
+  spec.fillerVocab = 300;
+  spec.relations = synth::defaultRelations(8);
+  spec.factProbability = 0.7;
+  spec.seed = 99;
+  const synth::CorpusGenerator gen(spec);
+  const std::string body = gen.generateText();
+  text::Vocabulary vocab;
+  text::forEachToken(body, [&](std::string_view t) { vocab.addToken(t); });
+  vocab.finalize(5);
+  const auto corpus = text::encode(body, vocab);
+
+  baselines::SharedMemoryOptions o;
+  o.sgns.dim = 16;
+  o.sgns.window = 5;
+  o.sgns.negatives = 5;
+  o.sgns.subsample = 1e-3;
+  o.epochs = 8;
+  o.trackLoss = false;
+  const auto trained = trainHogwild(vocab, corpus, o);
+
+  std::vector<SimilarityPair> pairs;
+  for (const auto& j : gen.similaritySuite(50)) pairs.push_back({j.first, j.second, j.gold});
+  const WordSimTask task(pairs, vocab);
+  ASSERT_GT(task.size(), 100u);
+  const EmbeddingView view(trained.model, vocab);
+  const double rho = task.evaluate(view);
+  EXPECT_GT(rho, 0.5) << "embeddings should rank planted similarity levels correctly";
+
+  // Untrained embeddings carry no signal.
+  graph::ModelGraph random(vocab.size(), 16);
+  random.randomizeEmbeddings(1);
+  const double rhoRandom = task.evaluate(EmbeddingView(random, vocab));
+  EXPECT_LT(std::abs(rhoRandom), 0.3);
+}
+
+}  // namespace
+}  // namespace gw2v::eval

@@ -1,0 +1,175 @@
+// Tests for the second wave of substrate algorithms: delta-stepping SSSP,
+// k-core decomposition, triangle counting.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace gw2v::graph {
+namespace {
+
+std::vector<float> dijkstra(const CSRGraph& g, NodeId source) {
+  std::vector<float> dist(g.numNodes(), kInfDistance);
+  using Item = std::pair<float, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0.0f;
+  pq.push({0.0f, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto w = g.weights(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (d + w[e] < dist[nbrs[e]]) {
+        dist[nbrs[e]] = d + w[e];
+        pq.push({dist[nbrs[e]], nbrs[e]});
+      }
+    }
+  }
+  return dist;
+}
+
+CSRGraph randomGraph(NodeId n, unsigned degree, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned k = 0; k < degree; ++k) {
+      edges.push_back({u, static_cast<NodeId>(rng.bounded(n)), 0.5f + rng.uniformFloat() * 4.0f});
+    }
+  }
+  return CSRGraph(n, edges);
+}
+
+class DeltaSteppingSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, float>> {};
+
+TEST_P(DeltaSteppingSweep, MatchesDijkstra) {
+  const auto [seed, delta] = GetParam();
+  runtime::ThreadPool pool(3);
+  const auto g = randomGraph(200, 4, seed);
+  const auto ref = dijkstra(g, 0);
+  const auto got = ssspDeltaStepping(g, 0, pool, delta);
+  for (NodeId i = 0; i < 200; ++i) EXPECT_FLOAT_EQ(got[i], ref[i]) << "node " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DeltaSteppingSweep,
+                         ::testing::Combine(::testing::Values(1ULL, 2ULL, 3ULL),
+                                            ::testing::Values(0.5f, 1.0f, 4.0f, 100.0f)));
+
+TEST(DeltaStepping, EmptyAndSingleton) {
+  runtime::ThreadPool pool(1);
+  EXPECT_TRUE(ssspDeltaStepping(CSRGraph(0, {}), 0, pool).empty());
+  const auto one = ssspDeltaStepping(CSRGraph(1, {}), 0, pool);
+  EXPECT_FLOAT_EQ(one[0], 0.0f);
+}
+
+TEST(CoreNumbers, CliquePlusTail) {
+  // K4 (nodes 0-3) with a path tail 3-4-5: clique nodes are 3-core, tail 1-core.
+  std::vector<Edge> base;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) base.push_back({i, j, 1.0f});
+  }
+  base.push_back({3, 4, 1.0f});
+  base.push_back({4, 5, 1.0f});
+  const CSRGraph g(6, symmetrize(base));
+  runtime::ThreadPool pool(2);
+  const auto core = coreNumbers(g, pool);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(core[i], 3u) << "clique node " << i;
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(CoreNumbers, IsolatedNodesAreZeroCore) {
+  const CSRGraph g(3, {});
+  runtime::ThreadPool pool(1);
+  const auto core = coreNumbers(g, pool);
+  for (const auto c : core) EXPECT_EQ(c, 0u);
+}
+
+TEST(CoreNumbers, CycleIsTwoCore) {
+  std::vector<Edge> base;
+  constexpr NodeId kN = 8;
+  for (NodeId i = 0; i < kN; ++i) base.push_back({i, (i + 1) % kN, 1.0f});
+  const CSRGraph g(kN, symmetrize(base));
+  runtime::ThreadPool pool(2);
+  for (const auto c : coreNumbers(g, pool)) EXPECT_EQ(c, 2u);
+}
+
+TEST(CoreNumbers, MonotoneUnderPeelProperty) {
+  // Every node's core number is at most its degree.
+  runtime::ThreadPool pool(2);
+  util::Rng rng(9);
+  std::vector<Edge> base;
+  for (int e = 0; e < 600; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.bounded(150));
+    const NodeId v = static_cast<NodeId>(rng.bounded(150));
+    if (u != v) base.push_back({u, v, 1.0f});
+  }
+  const CSRGraph g(150, symmetrize(base));
+  const auto core = coreNumbers(g, pool);
+  for (NodeId i = 0; i < 150; ++i) EXPECT_LE(core[i], g.degree(i));
+}
+
+TEST(Triangles, TriangleGraph) {
+  const std::vector<Edge> base{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  const CSRGraph g(3, symmetrize(base));
+  runtime::ThreadPool pool(2);
+  EXPECT_EQ(countTriangles(g, pool), 1u);
+}
+
+TEST(Triangles, SquareHasNone) {
+  const std::vector<Edge> base{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}};
+  const CSRGraph g(4, symmetrize(base));
+  runtime::ThreadPool pool(1);
+  EXPECT_EQ(countTriangles(g, pool), 0u);
+}
+
+TEST(Triangles, CompleteGraphBinomial) {
+  // K_n has C(n,3) triangles.
+  constexpr NodeId kN = 9;
+  std::vector<Edge> base;
+  for (NodeId i = 0; i < kN; ++i) {
+    for (NodeId j = i + 1; j < kN; ++j) base.push_back({i, j, 1.0f});
+  }
+  const CSRGraph g(kN, symmetrize(base));
+  runtime::ThreadPool pool(3);
+  EXPECT_EQ(countTriangles(g, pool), 9u * 8u * 7u / 6u);
+}
+
+TEST(Triangles, BruteForceAgreementOnRandomGraph) {
+  util::Rng rng(12);
+  std::vector<Edge> base;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int e = 0; e < 160; ++e) {
+    NodeId u = static_cast<NodeId>(rng.bounded(40));
+    NodeId v = static_cast<NodeId>(rng.bounded(40));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.insert({u, v}).second) base.push_back({u, v, 1.0f});
+  }
+  const CSRGraph g(40, symmetrize(base));
+  runtime::ThreadPool pool(2);
+
+  // Brute force over node triples using an adjacency matrix.
+  bool adj[40][40] = {};
+  for (const auto& e : base) {
+    adj[e.src][e.dst] = true;
+    adj[e.dst][e.src] = true;
+  }
+  std::uint64_t brute = 0;
+  for (NodeId a = 0; a < 40; ++a) {
+    for (NodeId b = a + 1; b < 40; ++b) {
+      if (!adj[a][b]) continue;
+      for (NodeId c = b + 1; c < 40; ++c) brute += adj[a][c] && adj[b][c] ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(countTriangles(g, pool), brute);
+}
+
+}  // namespace
+}  // namespace gw2v::graph

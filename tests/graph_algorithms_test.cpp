@@ -1,0 +1,203 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "util/rng.h"
+
+namespace gw2v::graph {
+namespace {
+
+/// Reference Dijkstra for SSSP property checks.
+std::vector<float> dijkstra(const CSRGraph& g, NodeId source) {
+  std::vector<float> dist(g.numNodes(), kInfDistance);
+  using Item = std::pair<float, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0.0f;
+  pq.push({0.0f, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto w = g.weights(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (d + w[e] < dist[nbrs[e]]) {
+        dist[nbrs[e]] = d + w[e];
+        pq.push({dist[nbrs[e]], nbrs[e]});
+      }
+    }
+  }
+  return dist;
+}
+
+CSRGraph randomGraph(NodeId n, unsigned degree, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned k = 0; k < degree; ++k) {
+      const NodeId v = static_cast<NodeId>(rng.bounded(n));
+      edges.push_back({u, v, 0.5f + rng.uniformFloat() * 4.0f});
+    }
+  }
+  return CSRGraph(n, edges);
+}
+
+// Path graph 0-1-2-3-4 with unit weights (directed both ways).
+CSRGraph pathGraph() {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < 4; ++i) {
+    edges.push_back({i, i + 1, 1.0f});
+    edges.push_back({i + 1, i, 1.0f});
+  }
+  return CSRGraph(5, edges);
+}
+
+TEST(Bfs, PathGraphLevels) {
+  runtime::ThreadPool pool(2);
+  const auto g = pathGraph();
+  const auto levels = bfs(g, 0, pool);
+  for (NodeId i = 0; i < 5; ++i) EXPECT_EQ(levels[i], i);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  runtime::ThreadPool pool(1);
+  const std::vector<Edge> edges{{0, 1, 1.0f}};
+  CSRGraph g(3, edges);
+  const auto levels = bfs(g, 0, pool);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], kUnreachedLevel);
+}
+
+TEST(Bfs, SingleNode) {
+  runtime::ThreadPool pool(1);
+  CSRGraph g(1, {});
+  const auto levels = bfs(g, 0, pool);
+  EXPECT_EQ(levels[0], 0u);
+}
+
+TEST(Bfs, MatchesDijkstraOnUnitWeights) {
+  runtime::ThreadPool pool(4);
+  util::Rng rng(10);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (int k = 0; k < 3; ++k) edges.push_back({u, static_cast<NodeId>(rng.bounded(200)), 1.0f});
+  }
+  CSRGraph g(200, edges);
+  const auto levels = bfs(g, 0, pool);
+  const auto dist = dijkstra(g, 0);
+  for (NodeId i = 0; i < 200; ++i) {
+    if (dist[i] == kInfDistance) {
+      EXPECT_EQ(levels[i], kUnreachedLevel);
+    } else {
+      EXPECT_EQ(static_cast<float>(levels[i]), dist[i]);
+    }
+  }
+}
+
+TEST(Sssp, PathGraphDistances) {
+  runtime::ThreadPool pool(2);
+  const auto g = pathGraph();
+  const auto dist = sssp(g, 2, pool);
+  const std::vector<float> want{2, 1, 0, 1, 2};
+  for (NodeId i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(dist[i], want[i]);
+}
+
+class SsspRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsspRandomSweep, BothSchedulesMatchDijkstra) {
+  runtime::ThreadPool pool(4);
+  const auto g = randomGraph(150, 4, GetParam());
+  const auto ref = dijkstra(g, 0);
+  const auto topo = sssp(g, 0, pool);
+  const auto wl = ssspWorklist(g, 0, pool);
+  for (NodeId i = 0; i < 150; ++i) {
+    EXPECT_FLOAT_EQ(topo[i], ref[i]) << "node " << i;
+    EXPECT_FLOAT_EQ(wl[i], ref[i]) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspRandomSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Pagerank, SumsToOne) {
+  runtime::ThreadPool pool(2);
+  const auto g = randomGraph(100, 5, 7);
+  const auto pr = pagerank(g, pool);
+  double sum = 0.0;
+  for (const double r : pr) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Pagerank, UniformOnCycle) {
+  runtime::ThreadPool pool(2);
+  std::vector<Edge> edges;
+  constexpr NodeId kN = 10;
+  for (NodeId i = 0; i < kN; ++i) edges.push_back({i, (i + 1) % kN, 1.0f});
+  CSRGraph g(kN, edges);
+  const auto pr = pagerank(g, pool);
+  for (const double r : pr) EXPECT_NEAR(r, 0.1, 1e-9);
+}
+
+TEST(Pagerank, StarGraphCenterDominates) {
+  runtime::ThreadPool pool(1);
+  std::vector<Edge> edges;
+  for (NodeId i = 1; i < 20; ++i) edges.push_back({i, 0, 1.0f});
+  CSRGraph g(20, edges);
+  const auto pr = pagerank(g, pool);
+  for (NodeId i = 1; i < 20; ++i) EXPECT_GT(pr[0], pr[i]);
+}
+
+TEST(Pagerank, DanglingMassConserved) {
+  runtime::ThreadPool pool(1);
+  // Node 1 is dangling.
+  const std::vector<Edge> edges{{0, 1, 1.0f}};
+  CSRGraph g(2, edges);
+  const auto pr = pagerank(g, pool);
+  EXPECT_NEAR(pr[0] + pr[1], 1.0, 1e-6);
+  EXPECT_GT(pr[1], pr[0]);  // 1 receives from 0 plus dangling share
+}
+
+TEST(ConnectedComponents, TwoIslands) {
+  runtime::ThreadPool pool(2);
+  const std::vector<Edge> base{{0, 1, 1.0f}, {1, 2, 1.0f}, {3, 4, 1.0f}};
+  CSRGraph g(5, symmetrize(base));
+  const auto comp = connectedComponents(g, pool);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(ConnectedComponents, LabelIsMinimumOfComponent) {
+  runtime::ThreadPool pool(2);
+  const std::vector<Edge> base{{4, 2, 1.0f}, {2, 9, 1.0f}};
+  CSRGraph g(10, symmetrize(base));
+  const auto comp = connectedComponents(g, pool);
+  EXPECT_EQ(comp[4], 2u);
+  EXPECT_EQ(comp[2], 2u);
+  EXPECT_EQ(comp[9], 2u);
+  EXPECT_EQ(comp[0], 0u);  // singleton keeps own label
+}
+
+TEST(ConnectedComponents, RandomGraphConsistentWithBfs) {
+  runtime::ThreadPool pool(4);
+  util::Rng rng(21);
+  std::vector<Edge> base;
+  for (int e = 0; e < 120; ++e) {
+    base.push_back({static_cast<NodeId>(rng.bounded(100)),
+                    static_cast<NodeId>(rng.bounded(100)), 1.0f});
+  }
+  CSRGraph g(100, symmetrize(base));
+  const auto comp = connectedComponents(g, pool);
+  // Two nodes share a component iff BFS from one reaches the other.
+  const auto levels = bfs(g, 0, pool);
+  for (NodeId i = 0; i < 100; ++i) {
+    EXPECT_EQ(levels[i] != kUnreachedLevel, comp[i] == comp[0]) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gw2v::graph

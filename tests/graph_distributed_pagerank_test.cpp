@@ -1,0 +1,69 @@
+#include "graph/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace gw2v::graph {
+namespace {
+
+CSRGraph randomGraph(NodeId n, unsigned degree, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned k = 0; k < degree; ++k) {
+      edges.push_back({u, static_cast<NodeId>(rng.bounded(n)), 1.0f});
+    }
+  }
+  return CSRGraph(n, edges);
+}
+
+class PagerankHostsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PagerankHostsSweep, MatchesSharedMemory) {
+  const unsigned hosts = GetParam();
+  const auto g = randomGraph(200, 5, 31);
+  runtime::ThreadPool pool(2);
+  const auto reference = pagerank(g, pool);
+  const auto dist = distributedPagerank(g, hosts);
+  ASSERT_EQ(dist.ranks.size(), reference.size());
+  for (NodeId i = 0; i < 200; ++i) {
+    EXPECT_NEAR(dist.ranks[i], reference[i], 1e-9) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, PagerankHostsSweep, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(DistributedPagerank, MassConserved) {
+  const auto g = randomGraph(150, 3, 32);
+  const auto r = distributedPagerank(g, 4);
+  double mass = 0.0;
+  for (const double v : r.ranks) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  EXPECT_GT(r.rounds, 1u);
+}
+
+TEST(DistributedPagerank, DanglingNodesHandled) {
+  // Node 1 has no out-edges; its mass redistributes uniformly.
+  const std::vector<Edge> edges{{0, 1, 1.0f}};
+  const CSRGraph g(2, edges);
+  runtime::ThreadPool pool(1);
+  const auto reference = pagerank(g, pool);
+  const auto dist = distributedPagerank(g, 2);
+  EXPECT_NEAR(dist.ranks[0], reference[0], 1e-9);
+  EXPECT_NEAR(dist.ranks[1], reference[1], 1e-9);
+}
+
+TEST(DistributedPagerank, DenseTrafficScalesWithRoundsAndNodes) {
+  const auto g = randomGraph(100, 3, 33);
+  const auto r2 = distributedPagerank(g, 2, 0.85, 1e-9, 5);
+  const auto r4 = distributedPagerank(g, 4, 0.85, 1e-9, 5);
+  EXPECT_GT(r2.cluster.totalBytes(), 0u);
+  // More hosts -> more allreduce legs -> more bytes.
+  EXPECT_GT(r4.cluster.totalBytes(), r2.cluster.totalBytes());
+}
+
+}  // namespace
+}  // namespace gw2v::graph

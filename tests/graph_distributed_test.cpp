@@ -1,0 +1,113 @@
+#include "graph/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace gw2v::graph {
+namespace {
+
+CSRGraph randomGraph(NodeId n, unsigned degree, std::uint64_t seed, bool unitWeights = false) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned k = 0; k < degree; ++k) {
+      edges.push_back({u, static_cast<NodeId>(rng.bounded(n)),
+                       unitWeights ? 1.0f : 0.5f + rng.uniformFloat() * 3.0f});
+    }
+  }
+  return CSRGraph(n, edges);
+}
+
+class DistributedHostsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DistributedHostsSweep, SsspMatchesSharedMemory) {
+  const unsigned hosts = GetParam();
+  const auto g = randomGraph(300, 4, 1);
+  runtime::ThreadPool pool(2);
+  const auto reference = sssp(g, 0, pool);
+  const auto dist = distributedSssp(g, 0, hosts);
+  ASSERT_EQ(dist.values.size(), reference.size());
+  for (NodeId i = 0; i < 300; ++i) {
+    EXPECT_FLOAT_EQ(dist.values[i], reference[i]) << "node " << i;
+  }
+  EXPECT_GT(dist.rounds, 0u);
+}
+
+TEST_P(DistributedHostsSweep, BfsMatchesSharedMemory) {
+  const unsigned hosts = GetParam();
+  const auto g = randomGraph(300, 3, 2, /*unitWeights=*/true);
+  runtime::ThreadPool pool(2);
+  const auto reference = bfs(g, 5, pool);
+  const auto levels = distributedBfs(g, 5, hosts);
+  for (NodeId i = 0; i < 300; ++i) {
+    if (reference[i] == kUnreachedLevel) {
+      EXPECT_EQ(levels.values[i], kInfDistance) << "node " << i;
+    } else {
+      EXPECT_FLOAT_EQ(levels.values[i], static_cast<float>(reference[i])) << "node " << i;
+    }
+  }
+}
+
+TEST_P(DistributedHostsSweep, CcMatchesSharedMemory) {
+  const unsigned hosts = GetParam();
+  util::Rng rng(3);
+  std::vector<Edge> base;
+  for (int e = 0; e < 200; ++e) {
+    base.push_back({static_cast<NodeId>(rng.bounded(250)),
+                    static_cast<NodeId>(rng.bounded(250)), 1.0f});
+  }
+  const CSRGraph g(250, symmetrize(base));
+  runtime::ThreadPool pool(2);
+  const auto reference = connectedComponents(g, pool);
+  const auto comp = distributedCc(g, hosts);
+  for (NodeId i = 0; i < 250; ++i) {
+    EXPECT_FLOAT_EQ(comp.values[i], static_cast<float>(reference[i])) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, DistributedHostsSweep, ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(DistributedSssp, SingleHostNoTraffic) {
+  const auto g = randomGraph(100, 3, 4);
+  const auto r = distributedSssp(g, 0, 1);
+  EXPECT_EQ(r.cluster.totalBytes(), 0u);
+}
+
+TEST(DistributedSssp, MultiHostHasTraffic) {
+  const auto g = randomGraph(100, 3, 5);
+  const auto r = distributedSssp(g, 0, 4);
+  EXPECT_GT(r.cluster.totalBytes(), 0u);
+}
+
+TEST(DistributedSssp, DisconnectedNodesStayInfinite) {
+  const std::vector<Edge> edges{{0, 1, 1.0f}};
+  const CSRGraph g(4, edges);
+  const auto r = distributedSssp(g, 0, 2);
+  EXPECT_FLOAT_EQ(r.values[0], 0.0f);
+  EXPECT_FLOAT_EQ(r.values[1], 1.0f);
+  EXPECT_EQ(r.values[2], kInfDistance);
+  EXPECT_EQ(r.values[3], kInfDistance);
+}
+
+TEST(DistributedSssp, MoreHostsThanNodes) {
+  const std::vector<Edge> edges{{0, 1, 2.0f}, {1, 2, 2.0f}};
+  const CSRGraph g(3, edges);
+  const auto r = distributedSssp(g, 0, 8);
+  EXPECT_FLOAT_EQ(r.values[2], 4.0f);
+}
+
+TEST(DistributedBfs, PathGraphRoundsBoundedByDiameter) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < 19; ++i) edges.push_back({i, i + 1, 1.0f});
+  const CSRGraph g(20, edges);
+  const auto r = distributedBfs(g, 0, 4);
+  EXPECT_FLOAT_EQ(r.values[19], 19.0f);
+  // Bellman-Ford style: rounds ~ diameter + quiescence check, not more.
+  EXPECT_LE(r.rounds, 22u);
+}
+
+}  // namespace
+}  // namespace gw2v::graph

@@ -1,0 +1,87 @@
+#include "graph/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gw2v::graph {
+namespace {
+
+std::string tempPath(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(ModelIo, RoundTripBitExact) {
+  ModelGraph model(17, 5);
+  model.randomizeEmbeddings(3);
+  for (std::uint32_t n = 0; n < 17; ++n) {
+    auto t = model.mutableRow(Label::kTraining, n);
+    for (std::uint32_t d = 0; d < 5; ++d) t[d] = static_cast<float>(n) * 0.1f + d;
+  }
+  const std::string path = tempPath("gw2v_ckpt_roundtrip.bin");
+  saveCheckpoint(path, model);
+  const ModelGraph loaded = loadCheckpoint(path);
+  ASSERT_EQ(loaded.numNodes(), 17u);
+  ASSERT_EQ(loaded.dim(), 5u);
+  for (int l = 0; l < kNumLabels; ++l) {
+    for (std::uint32_t n = 0; n < 17; ++n) {
+      const auto a = model.row(static_cast<Label>(l), n);
+      const auto b = loaded.row(static_cast<Label>(l), n);
+      for (std::uint32_t d = 0; d < 5; ++d) ASSERT_EQ(a[d], b[d]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(loadCheckpoint("/nonexistent/gw2v.ckpt"), std::runtime_error);
+}
+
+TEST(ModelIo, BadMagicThrows) {
+  const std::string path = tempPath("gw2v_ckpt_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTMAGIC0123456789";
+  }
+  EXPECT_THROW(loadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, TruncatedThrows) {
+  ModelGraph model(8, 4);
+  model.randomizeEmbeddings(1);
+  const std::string path = tempPath("gw2v_ckpt_trunc.bin");
+  saveCheckpoint(path, model);
+  // Chop the last 10 bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_EQ(truncate(path.c_str(), size - 10), 0);
+  EXPECT_THROW(loadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, TrailingBytesThrow) {
+  ModelGraph model(2, 2);
+  const std::string path = tempPath("gw2v_ckpt_trailing.bin");
+  saveCheckpoint(path, model);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_THROW(loadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, ZeroNodeModelRoundTrips) {
+  ModelGraph model(0, 3);
+  const std::string path = tempPath("gw2v_ckpt_empty.bin");
+  saveCheckpoint(path, model);
+  const ModelGraph loaded = loadCheckpoint(path);
+  EXPECT_EQ(loaded.numNodes(), 0u);
+  EXPECT_EQ(loaded.dim(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gw2v::graph

@@ -1,0 +1,109 @@
+#include "graph/model_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace gw2v::graph {
+namespace {
+
+TEST(ModelGraph, InitShapes) {
+  ModelGraph m(10, 7);
+  EXPECT_EQ(m.numNodes(), 10u);
+  EXPECT_EQ(m.dim(), 7u);
+  EXPECT_EQ(m.row(Label::kEmbedding, 3).size(), 7u);
+  EXPECT_EQ(m.row(Label::kTraining, 9).size(), 7u);
+}
+
+TEST(ModelGraph, RejectsZeroDim) { EXPECT_THROW(ModelGraph(5, 0), std::invalid_argument); }
+
+TEST(ModelGraph, StartsZeroed) {
+  ModelGraph m(4, 8);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    for (const float v : m.row(Label::kEmbedding, n)) EXPECT_FLOAT_EQ(v, 0.0f);
+    for (const float v : m.row(Label::kTraining, n)) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(ModelGraph, RandomizeEmbeddingsWord2VecRange) {
+  ModelGraph m(50, 20);
+  m.randomizeEmbeddings(7);
+  const float bound = 0.5f / 20.0f;
+  bool anyNonZero = false;
+  for (std::uint32_t n = 0; n < 50; ++n) {
+    for (const float v : m.row(Label::kEmbedding, n)) {
+      EXPECT_GE(v, -bound);
+      EXPECT_LT(v, bound);
+      anyNonZero = anyNonZero || v != 0.0f;
+    }
+    for (const float v : m.row(Label::kTraining, n)) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+  EXPECT_TRUE(anyNonZero);
+}
+
+TEST(ModelGraph, RandomizeDeterministicPerSeed) {
+  ModelGraph a(30, 16), b(30, 16), c(30, 16);
+  a.randomizeEmbeddings(42);
+  b.randomizeEmbeddings(42);
+  c.randomizeEmbeddings(43);
+  bool differs = false;
+  for (std::uint32_t n = 0; n < 30; ++n) {
+    const auto ra = a.row(Label::kEmbedding, n);
+    const auto rb = b.row(Label::kEmbedding, n);
+    const auto rc = c.row(Label::kEmbedding, n);
+    for (std::uint32_t d = 0; d < 16; ++d) {
+      EXPECT_EQ(ra[d], rb[d]);
+      differs = differs || ra[d] != rc[d];
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ModelGraph, RowsAreIndependent) {
+  ModelGraph m(3, 4);
+  m.mutableRow(Label::kEmbedding, 1)[0] = 5.0f;
+  EXPECT_FLOAT_EQ(m.row(Label::kEmbedding, 0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(m.row(Label::kEmbedding, 2)[0], 0.0f);
+  EXPECT_FLOAT_EQ(m.row(Label::kTraining, 1)[0], 0.0f);
+  EXPECT_FLOAT_EQ(m.row(Label::kEmbedding, 1)[0], 5.0f);
+}
+
+TEST(ModelGraph, TouchedBitsPerLabel) {
+  ModelGraph m(8, 4);
+  m.markTouched(Label::kEmbedding, 3);
+  m.markTouched(Label::kTraining, 5);
+  EXPECT_TRUE(m.isTouched(Label::kEmbedding, 3));
+  EXPECT_FALSE(m.isTouched(Label::kTraining, 3));
+  EXPECT_TRUE(m.isTouched(Label::kTraining, 5));
+  EXPECT_FALSE(m.isTouched(Label::kEmbedding, 5));
+  m.clearTouched();
+  EXPECT_FALSE(m.isTouched(Label::kEmbedding, 3));
+  EXPECT_FALSE(m.isTouched(Label::kTraining, 5));
+}
+
+TEST(ModelGraph, ModelBytesUnpadded) {
+  ModelGraph m(100, 200);
+  EXPECT_EQ(m.modelBytes(), 100ull * 200 * 4 * 2);
+}
+
+TEST(ModelGraph, ReinitResets) {
+  ModelGraph m(4, 4);
+  m.mutableRow(Label::kEmbedding, 0)[0] = 1.0f;
+  m.markTouched(Label::kEmbedding, 0);
+  m.init(6, 8);
+  EXPECT_EQ(m.numNodes(), 6u);
+  EXPECT_EQ(m.dim(), 8u);
+  EXPECT_FLOAT_EQ(m.row(Label::kEmbedding, 0)[0], 0.0f);
+  EXPECT_FALSE(m.isTouched(Label::kEmbedding, 0));
+}
+
+TEST(ModelGraph, OddDimPaddingDoesNotLeakAcrossRows) {
+  ModelGraph m(3, 5);  // stride padded to 16 floats
+  auto r0 = m.mutableRow(Label::kEmbedding, 0);
+  auto r1 = m.mutableRow(Label::kEmbedding, 1);
+  for (auto& v : r0) v = 1.0f;
+  for (const float v : r1) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace gw2v::graph

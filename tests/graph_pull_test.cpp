@@ -1,0 +1,75 @@
+// Pull-mode (Gemini-style) PageRank and graph transposition.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace gw2v::graph {
+namespace {
+
+CSRGraph randomGraph(NodeId n, unsigned degree, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned k = 0; k < degree; ++k) {
+      edges.push_back({u, static_cast<NodeId>(rng.bounded(n)), 1.0f + rng.uniformFloat()});
+    }
+  }
+  return CSRGraph(n, edges);
+}
+
+TEST(Transpose, ReversesEdges) {
+  const std::vector<Edge> edges{{0, 1, 2.0f}, {0, 2, 3.0f}, {2, 1, 4.0f}};
+  const CSRGraph g(3, edges);
+  const CSRGraph t = transpose(g);
+  EXPECT_EQ(t.numEdges(), 3u);
+  EXPECT_EQ(t.degree(0), 0u);
+  EXPECT_EQ(t.degree(1), 2u);  // from 0 and 2
+  EXPECT_EQ(t.degree(2), 1u);
+  EXPECT_EQ(t.neighbors(2)[0], 0u);
+  EXPECT_FLOAT_EQ(t.weights(2)[0], 3.0f);
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const auto g = randomGraph(60, 4, 5);
+  const auto tt = transpose(transpose(g));
+  ASSERT_EQ(tt.numEdges(), g.numEdges());
+  for (NodeId u = 0; u < 60; ++u) {
+    auto a = g.neighbors(u);
+    auto b = tt.neighbors(u);
+    std::vector<NodeId> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    EXPECT_EQ(sa, sb) << "node " << u;
+  }
+}
+
+class PullPushSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PullPushSweep, PullMatchesPush) {
+  runtime::ThreadPool pool(3);
+  const auto g = randomGraph(150, 4, GetParam());
+  const auto push = pagerank(g, pool);
+  const auto t = transpose(g);
+  std::vector<EdgeId> outDeg(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) outDeg[u] = g.degree(u);
+  const auto pull = pagerankPull(t, outDeg, pool);
+  for (NodeId i = 0; i < 150; ++i) EXPECT_NEAR(pull[i], push[i], 1e-9) << "node " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PullPushSweep, ::testing::Values(1ULL, 2ULL, 3ULL));
+
+TEST(PagerankPull, DanglingNodesMatchPush) {
+  const std::vector<Edge> edges{{0, 1, 1.0f}, {2, 1, 1.0f}};  // 1 is dangling
+  const CSRGraph g(3, edges);
+  runtime::ThreadPool pool(2);
+  const auto push = pagerank(g, pool);
+  const auto t = transpose(g);
+  std::vector<EdgeId> outDeg{1, 0, 1};
+  const auto pull = pagerankPull(t, outDeg, pool);
+  for (NodeId i = 0; i < 3; ++i) EXPECT_NEAR(pull[i], push[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace gw2v::graph

@@ -1,0 +1,200 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace gw2v::sim {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> b) { return {b}; }
+
+TEST(Network, RejectsZeroHosts) { EXPECT_THROW(Network(0), std::invalid_argument); }
+
+TEST(Network, SendRecvSameThread) {
+  Network net(2);
+  net.send(0, 1, 7, bytes({1, 2, 3}));
+  const auto got = net.recv(1, 0, 7);
+  EXPECT_EQ(got, bytes({1, 2, 3}));
+}
+
+TEST(Network, RecvMatchesTag) {
+  Network net(2);
+  net.send(0, 1, 5, bytes({5}));
+  net.send(0, 1, 6, bytes({6}));
+  EXPECT_EQ(net.recv(1, 0, 6), bytes({6}));
+  EXPECT_EQ(net.recv(1, 0, 5), bytes({5}));
+}
+
+TEST(Network, RecvMatchesSource) {
+  Network net(3);
+  net.send(0, 2, 1, bytes({0}));
+  net.send(1, 2, 1, bytes({1}));
+  EXPECT_EQ(net.recv(2, 1, 1), bytes({1}));
+  EXPECT_EQ(net.recv(2, 0, 1), bytes({0}));
+}
+
+TEST(Network, FifoPerSourceAndTag) {
+  Network net(2);
+  net.send(0, 1, 3, bytes({1}));
+  net.send(0, 1, 3, bytes({2}));
+  net.send(0, 1, 3, bytes({3}));
+  EXPECT_EQ(net.recv(1, 0, 3), bytes({1}));
+  EXPECT_EQ(net.recv(1, 0, 3), bytes({2}));
+  EXPECT_EQ(net.recv(1, 0, 3), bytes({3}));
+}
+
+TEST(Network, RecvAnyReturnsSource) {
+  Network net(3);
+  net.send(2, 0, 9, bytes({42}));
+  const auto [src, payload] = net.recvAny(0, 9);
+  EXPECT_EQ(src, 2u);
+  EXPECT_EQ(payload, bytes({42}));
+}
+
+TEST(Network, RecvBlocksUntilSend) {
+  Network net(2);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    net.send(0, 1, 1, bytes({9}));
+  });
+  const auto got = net.recv(1, 0, 1);  // would deadlock if matching broke
+  EXPECT_EQ(got, bytes({9}));
+  sender.join();
+}
+
+TEST(Network, SendVectorRoundTrip) {
+  Network net(2);
+  const std::vector<float> data{1.5f, -2.5f, 3.25f};
+  net.sendVector<float>(0, 1, 4, data);
+  const auto got = net.recvVector<float>(1, 0, 4);
+  EXPECT_EQ(got, data);
+}
+
+TEST(Network, EmptyPayloadAllowed) {
+  Network net(2);
+  net.send(0, 1, 2, {});
+  EXPECT_TRUE(net.recv(1, 0, 2).empty());
+}
+
+TEST(Network, StatsCountHeaderAndPayload) {
+  Network net(2);
+  net.send(0, 1, 1, bytes({1, 2, 3, 4}), CommPhase::kReduce);
+  EXPECT_EQ(net.statsFor(0).bytesSent(), 4 + Network::kHeaderBytes);
+  EXPECT_EQ(net.statsFor(0).messagesSent(), 1u);
+  EXPECT_EQ(net.statsFor(1).bytesReceived(), 4 + Network::kHeaderBytes);
+  EXPECT_EQ(net.statsFor(0).bytesSent(CommPhase::kReduce), 4 + Network::kHeaderBytes);
+  EXPECT_EQ(net.statsFor(0).bytesSent(CommPhase::kBroadcast), 0u);
+  EXPECT_EQ(net.totalBytesSent(), 4 + Network::kHeaderBytes);
+}
+
+TEST(Network, ResetStatsZeroes) {
+  Network net(2);
+  net.send(0, 1, 1, bytes({1}));
+  net.resetStats();
+  EXPECT_EQ(net.totalBytesSent(), 0u);
+  EXPECT_EQ(net.totalMessagesSent(), 0u);
+}
+
+TEST(Network, BarrierSynchronizesHosts) {
+  constexpr unsigned kHosts = 4;
+  Network net(kHosts);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (unsigned h = 0; h < kHosts; ++h) {
+    threads.emplace_back([&, h] {
+      before.fetch_add(1);
+      net.barrier(h);
+      // Every host must have incremented `before` by the time any host
+      // passes the barrier.
+      EXPECT_EQ(before.load(), static_cast<int>(kHosts));
+      after.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(after.load(), static_cast<int>(kHosts));
+}
+
+TEST(Network, BarrierReusable) {
+  constexpr unsigned kHosts = 3;
+  Network net(kHosts);
+  std::vector<std::thread> threads;
+  std::atomic<int> counter{0};
+  for (unsigned h = 0; h < kHosts; ++h) {
+    threads.emplace_back([&, h] {
+      for (int round = 0; round < 20; ++round) {
+        counter.fetch_add(1);
+        net.barrier(h);
+        EXPECT_EQ(counter.load() % (kHosts * 20 + 1), counter.load());
+        net.barrier(h);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), static_cast<int>(kHosts) * 20);
+}
+
+TEST(Network, AllReduceSumAcrossHosts) {
+  constexpr unsigned kHosts = 4;
+  Network net(kHosts);
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> values(kHosts);
+  for (unsigned h = 0; h < kHosts; ++h) values[h] = {1.0 * h, 10.0};
+  for (unsigned h = 0; h < kHosts; ++h) {
+    threads.emplace_back([&, h] { net.allReduceSum(h, values[h]); });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned h = 0; h < kHosts; ++h) {
+    EXPECT_DOUBLE_EQ(values[h][0], 0.0 + 1.0 + 2.0 + 3.0);
+    EXPECT_DOUBLE_EQ(values[h][1], 40.0);
+  }
+}
+
+TEST(Network, AllReduceSingleHostNoop) {
+  Network net(1);
+  std::vector<double> v{3.0};
+  net.allReduceSum(0, v);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_EQ(net.totalBytesSent(), 0u);
+}
+
+TEST(Network, BroadcastDistributesRootData) {
+  constexpr unsigned kHosts = 3;
+  Network net(kHosts);
+  std::vector<std::vector<std::uint8_t>> bufs(kHosts, std::vector<std::uint8_t>(4, 0));
+  bufs[1] = {9, 8, 7, 6};  // root = 1
+  std::vector<std::thread> threads;
+  for (unsigned h = 0; h < kHosts; ++h) {
+    threads.emplace_back([&, h] { net.broadcast(h, 1, bufs[h]); });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned h = 0; h < kHosts; ++h) EXPECT_EQ(bufs[h], bytes({9, 8, 7, 6}));
+}
+
+TEST(Network, AbortWakesBlockedReceiver) {
+  Network net(2);
+  std::thread blocked([&] { EXPECT_THROW(net.recv(1, 0, 1), NetworkAborted); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  net.abort();
+  blocked.join();
+  EXPECT_TRUE(net.aborted());
+  EXPECT_THROW(net.send(0, 1, 1, {}), NetworkAborted);
+  EXPECT_THROW(net.barrier(0), NetworkAborted);
+}
+
+TEST(Network, AbortWakesBarrierWaiters) {
+  Network net(3);
+  std::thread w1([&] { EXPECT_THROW(net.barrier(0), NetworkAborted); });
+  std::thread w2([&] { EXPECT_THROW(net.barrier(1), NetworkAborted); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  net.abort();
+  w1.join();
+  w2.join();
+}
+
+}  // namespace
+}  // namespace gw2v::sim

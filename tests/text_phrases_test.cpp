@@ -1,0 +1,134 @@
+#include "text/phrases.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gw2v::text {
+namespace {
+
+/// Corpus where "new york" always co-occurs but both words are common enough
+/// to pass min-count, against a background of independent filler.
+std::string phraseCorpus(int repeats) {
+  std::ostringstream out;
+  for (int i = 0; i < repeats; ++i) {
+    out << "i flew to new york yesterday ";
+    out << "the city of new york is big ";
+    out << "a b c d e f g h ";
+  }
+  return out.str();
+}
+
+PhraseOptions laxOptions() {
+  PhraseOptions o;
+  o.minCount = 3;
+  o.discount = 1.0;
+  o.threshold = 10.0;
+  return o;
+}
+
+TEST(Phrases, DetectsStrongBigram) {
+  const auto tokens = PhraseDetector::detectPhrases(phraseCorpus(20), laxOptions());
+  int joined = 0, separate = 0;
+  for (const auto& t : tokens) {
+    if (t == "new_york") ++joined;
+    if (t == "new" || t == "york") ++separate;
+  }
+  EXPECT_EQ(joined, 40);
+  EXPECT_EQ(separate, 0);
+}
+
+TEST(Phrases, IndependentWordsNotJoined) {
+  // Filler letters co-occur in a fixed order too — but each pair occurs
+  // exactly as often as chance predicts given their unigram counts, so the
+  // PMI-style score stays low... except they ALWAYS co-occur. Use shuffled
+  // filler instead: score(a,b) ~ corpus-level chance.
+  std::string corpus;
+  const char* words[] = {"red", "green", "blue", "cyan"};
+  for (int i = 0; i < 400; ++i) {
+    corpus += words[i % 4];
+    corpus += ' ';
+    corpus += words[(i * 7 + i / 4) % 4];
+    corpus += ' ';
+  }
+  PhraseOptions o = laxOptions();
+  o.threshold = 50.0;
+  const auto tokens = PhraseDetector::detectPhrases(corpus, o);
+  for (const auto& t : tokens) {
+    EXPECT_EQ(t.find('_'), std::string::npos) << "joined " << t;
+  }
+}
+
+TEST(Phrases, MinCountSuppressesRareBigrams) {
+  PhraseDetector d(laxOptions());
+  d.addTokens({"rare", "pair", "x", "rare", "pair"});
+  // "rare pair" occurs twice < minCount 3.
+  EXPECT_DOUBLE_EQ(d.score("rare", "pair"), 0.0);
+}
+
+TEST(Phrases, ScoreFormula) {
+  PhraseOptions o;
+  o.minCount = 1;
+  o.discount = 0.0;
+  PhraseDetector d(o);
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 10; ++i) {
+    tokens.push_back("aa");
+    tokens.push_back("bb");
+  }
+  d.addTokens(tokens);
+  // count(aa)=count(bb)=10, count(aa bb)=10, total=20:
+  // score = 10 / (10*10) * 20 = 2.
+  EXPECT_NEAR(d.score("aa", "bb"), 2.0, 1e-9);
+}
+
+TEST(Phrases, UnknownWordsScoreZero) {
+  PhraseDetector d(laxOptions());
+  d.addTokens({"known", "words", "known", "words", "known", "words"});
+  EXPECT_DOUBLE_EQ(d.score("known", "mystery"), 0.0);
+  EXPECT_DOUBLE_EQ(d.score("mystery", "words"), 0.0);
+}
+
+TEST(Phrases, SecondPassBuildsTrigrams) {
+  std::string corpus;
+  // Two varied filler slots after the target trigram so that no (bay,
+  // filler) bigram reaches min-count — only the planted phrase joins.
+  for (int i = 0; i < 60; ++i) {
+    corpus += "san francisco bay f" + std::to_string(i % 17) + " g" +
+              std::to_string((i * 5 + 3) % 23) + " ";
+  }
+  PhraseOptions o = laxOptions();
+  o.threshold = 2.5;
+  o.minCount = 10;  // filler bigrams occur <= 4 times; the phrase occurs 60
+  const auto tokens = PhraseDetector::detectPhrases(corpus, o, /*passes=*/2);
+  bool trigram = false;
+  for (const auto& t : tokens) trigram = trigram || t == "san_francisco_bay";
+  EXPECT_TRUE(trigram);
+}
+
+TEST(Phrases, EmptyInput) {
+  EXPECT_TRUE(PhraseDetector::detectPhrases("", laxOptions()).empty());
+  PhraseDetector d;
+  d.addTokens({});
+  EXPECT_EQ(d.totalTokens(), 0u);
+}
+
+TEST(Phrases, GreedyLeftToRight) {
+  // "a b c" where both (a,b) and (b,c) are strong: greedy join takes (a,b)
+  // and leaves c alone.
+  std::string corpus;
+  for (int i = 0; i < 50; ++i) corpus += "a b c x" + std::to_string(i % 5) + " ";
+  PhraseOptions o = laxOptions();
+  o.threshold = 3.0;  // score(a,b) = 49*200/(50*50) ~ 3.9 here
+  const auto tokens = PhraseDetector::detectPhrases(corpus, o);
+  int ab = 0, bc = 0;
+  for (const auto& t : tokens) {
+    if (t == "a_b") ++ab;
+    if (t == "b_c") ++bc;
+  }
+  EXPECT_EQ(ab, 50);
+  EXPECT_EQ(bc, 0);
+}
+
+}  // namespace
+}  // namespace gw2v::text

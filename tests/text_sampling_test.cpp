@@ -1,0 +1,109 @@
+#include "text/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gw2v::text {
+namespace {
+
+TEST(SubsampleFilter, DisabledKeepsEverything) {
+  const std::vector<std::uint64_t> counts{1000000, 10, 1};
+  const SubsampleFilter f(counts, 0.0);
+  util::Rng rng(1);
+  for (WordId w = 0; w < 3; ++w) {
+    EXPECT_FLOAT_EQ(f.keepProbability(w), 1.0f);
+    EXPECT_TRUE(f.keep(w, rng));
+  }
+}
+
+TEST(SubsampleFilter, RareWordsKept) {
+  // 1M tokens; a word with count 50 (f = 5e-5 < t = 1e-4) is never dropped.
+  std::vector<std::uint64_t> counts{999'950, 50};
+  const SubsampleFilter f(counts, 1e-4);
+  EXPECT_FLOAT_EQ(f.keepProbability(1), 1.0f);
+}
+
+TEST(SubsampleFilter, FrequentWordFormula) {
+  // word2vec formula: keep = (sqrt(f/t) + 1) * t/f.
+  std::vector<std::uint64_t> counts{900'000, 100'000};  // f1 = 0.1
+  const SubsampleFilter f(counts, 1e-4);
+  const double fr = 0.1;
+  const double t = 1e-4;
+  const double want = (std::sqrt(fr / t) + 1.0) * (t / fr);
+  EXPECT_NEAR(f.keepProbability(1), static_cast<float>(want), 1e-6f);
+}
+
+TEST(SubsampleFilter, EmpiricalKeepRateMatchesProbability) {
+  std::vector<std::uint64_t> counts{95'000, 5'000};
+  const SubsampleFilter f(counts, 1e-3);
+  util::Rng rng(7);
+  int kept = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) kept += f.keep(1, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(kept) / kN, f.keepProbability(1), 0.01);
+}
+
+TEST(SubsampleFilter, MonotoneInFrequency) {
+  std::vector<std::uint64_t> counts{800'000, 150'000, 40'000, 9'000, 1'000};
+  const SubsampleFilter f(counts, 1e-4);
+  for (WordId w = 1; w < 5; ++w) {
+    EXPECT_LE(f.keepProbability(w - 1), f.keepProbability(w));
+  }
+}
+
+TEST(SubsampleFilter, EmptyCounts) {
+  const SubsampleFilter f(std::vector<std::uint64_t>{}, 1e-4);
+  // Nothing to query; construction must not crash.
+  SUCCEED();
+}
+
+TEST(NegativeSampler, DistributionFollowsPower075) {
+  const std::vector<std::uint64_t> counts{10000, 1000, 100, 10};
+  const NegativeSampler s(counts);
+  double norm = 0.0;
+  for (const auto c : counts) norm += std::pow(static_cast<double>(c), 0.75);
+  for (WordId w = 0; w < 4; ++w) {
+    EXPECT_NEAR(s.probabilityOf(w), std::pow(static_cast<double>(counts[w]), 0.75) / norm,
+                1e-9);
+  }
+}
+
+TEST(NegativeSampler, EmpiricalFrequencies) {
+  const std::vector<std::uint64_t> counts{1000, 1000, 1000, 1000};
+  const NegativeSampler s(counts);
+  util::Rng rng(3);
+  std::vector<int> hist(4, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++hist[s.sampleAny(rng)];
+  for (const int h : hist) EXPECT_NEAR(h, kN / 4, 600);
+}
+
+TEST(NegativeSampler, ExcludeNeverDrawn) {
+  const std::vector<std::uint64_t> counts{100, 100, 100};
+  const NegativeSampler s(counts);
+  util::Rng rng(4);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(s.sample(rng, 1), 1u);
+}
+
+TEST(NegativeSampler, SingleWordVocabDoesNotSpin) {
+  const std::vector<std::uint64_t> counts{100};
+  const NegativeSampler s(counts);
+  util::Rng rng(5);
+  // Degenerate but terminating.
+  (void)s.sample(rng, 0);
+  SUCCEED();
+}
+
+TEST(NegativeSampler, HeavyTailFlattened) {
+  // p(head)/p(tail) must be (c1/c2)^0.75, strictly less than the raw ratio.
+  const std::vector<std::uint64_t> counts{100000, 10};
+  const NegativeSampler s(counts);
+  const double ratio = s.probabilityOf(0) / s.probabilityOf(1);
+  EXPECT_NEAR(ratio, std::pow(10000.0, 0.75), 1.0);
+  EXPECT_LT(ratio, 10000.0);
+}
+
+}  // namespace
+}  // namespace gw2v::text

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace gw2v::text {
+namespace {
+
+Vocabulary fromText(std::string_view body, std::uint64_t minCount = 1) {
+  Vocabulary v;
+  forEachToken(body, [&](std::string_view tok) { v.addToken(tok); });
+  v.finalize(minCount);
+  return v;
+}
+
+TEST(Tokenizer, SplitsOnAllWhitespace) {
+  std::vector<std::string> toks;
+  forEachToken("a b\tc\nd\re  f\n\n", [&](std::string_view t) { toks.emplace_back(t); });
+  EXPECT_EQ(toks, (std::vector<std::string>{"a", "b", "c", "d", "e", "f"}));
+}
+
+TEST(Tokenizer, EmptyAndWhitespaceOnly) {
+  int calls = 0;
+  forEachToken("", [&](std::string_view) { ++calls; });
+  forEachToken("  \n\t ", [&](std::string_view) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Tokenizer, SingleTokenNoWhitespace) {
+  std::vector<std::string> toks;
+  forEachToken("hello", [&](std::string_view t) { toks.emplace_back(t); });
+  EXPECT_EQ(toks, (std::vector<std::string>{"hello"}));
+}
+
+TEST(Tokenizer, FileStreamingHandlesChunkBoundaries) {
+  // Write a file whose tokens straddle the chunk size, then stream with a
+  // pathologically small chunk to force boundary splits.
+  const std::string path = ::testing::TempDir() + "/gw2v_tok_test.txt";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 500; ++i) out << "token" << i << (i % 7 == 0 ? '\n' : ' ');
+  }
+  std::vector<std::string> streamed;
+  const auto total = forEachFileToken(
+      path, [&](std::string_view t) { streamed.emplace_back(t); }, /*chunkBytes=*/13);
+  EXPECT_EQ(total, 500u);
+  ASSERT_EQ(streamed.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(streamed[static_cast<std::size_t>(i)], "token" + std::to_string(i));
+  std::remove(path.c_str());
+}
+
+TEST(Tokenizer, FileMissingThrows) {
+  EXPECT_THROW(forEachFileToken("/nonexistent/gw2v", [](std::string_view) {}),
+               std::runtime_error);
+}
+
+TEST(Vocabulary, CountsAndSortsByFrequency) {
+  const auto v = fromText("b a b c b a");
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.wordOf(0), "b");  // 3 occurrences
+  EXPECT_EQ(v.wordOf(1), "a");  // 2
+  EXPECT_EQ(v.wordOf(2), "c");  // 1
+  EXPECT_EQ(v.countOf(0), 3u);
+  EXPECT_EQ(v.totalTokens(), 6u);
+}
+
+TEST(Vocabulary, TiesBrokenLexicographically) {
+  const auto v = fromText("z y x");
+  EXPECT_EQ(v.wordOf(0), "x");
+  EXPECT_EQ(v.wordOf(1), "y");
+  EXPECT_EQ(v.wordOf(2), "z");
+}
+
+TEST(Vocabulary, MinCountFilters) {
+  const auto v = fromText("a a a b b c", 2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FALSE(v.idOf("c").has_value());
+  EXPECT_EQ(v.totalTokens(), 5u);
+}
+
+TEST(Vocabulary, IdOfRoundTrips) {
+  const auto v = fromText("alpha beta gamma beta");
+  for (WordId i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v.idOf(v.wordOf(i)), std::optional<WordId>(i));
+  }
+  EXPECT_FALSE(v.idOf("delta").has_value());
+}
+
+TEST(Vocabulary, EmptyCorpus) {
+  const auto v = fromText("");
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.totalTokens(), 0u);
+}
+
+TEST(Vocabulary, AllWordsFilteredOut) {
+  const auto v = fromText("a b c", 10);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(Vocabulary, DoubleFinalizeThrows) {
+  Vocabulary v;
+  v.addToken("a");
+  v.finalize();
+  EXPECT_THROW(v.finalize(), std::logic_error);
+}
+
+TEST(Vocabulary, AddCountBulk) {
+  Vocabulary v;
+  v.addCount("x", 10);
+  v.addCount("y", 5);
+  v.addCount("x", 3);
+  v.finalize();
+  EXPECT_EQ(v.countOf(*v.idOf("x")), 13u);
+}
+
+TEST(Vocabulary, SaveLoadRoundTrip) {
+  const auto v = fromText("apple apple banana cherry cherry cherry");
+  const std::string path = ::testing::TempDir() + "/gw2v_vocab.txt";
+  v.save(path);
+  const auto loaded = Vocabulary::load(path);
+  ASSERT_EQ(loaded.size(), v.size());
+  for (WordId i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(loaded.wordOf(i), v.wordOf(i));
+    EXPECT_EQ(loaded.countOf(i), v.countOf(i));
+  }
+  EXPECT_EQ(loaded.totalTokens(), v.totalTokens());
+  std::remove(path.c_str());
+}
+
+TEST(Vocabulary, SaveUnfinalizedThrows) {
+  Vocabulary v;
+  v.addToken("a");
+  EXPECT_THROW(v.save(::testing::TempDir() + "/gw2v_never.txt"), std::logic_error);
+}
+
+TEST(Vocabulary, LoadMalformedThrows) {
+  const std::string path = ::testing::TempDir() + "/gw2v_vocab_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "word_without_count\n";
+  }
+  EXPECT_THROW(Vocabulary::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Vocabulary, LoadMissingThrows) {
+  EXPECT_THROW(Vocabulary::load("/nonexistent/vocab.txt"), std::runtime_error);
+}
+
+TEST(Encode, MapsAndSkipsOov) {
+  const auto v = fromText("a a b");
+  const auto ids = encode("a b zzz a", v);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], *v.idOf("a"));
+  EXPECT_EQ(ids[1], *v.idOf("b"));
+  EXPECT_EQ(ids[2], *v.idOf("a"));
+}
+
+TEST(Partition, ContiguousCoverage) {
+  std::vector<WordId> corpus(1001);
+  for (std::size_t i = 0; i < corpus.size(); ++i) corpus[i] = static_cast<WordId>(i);
+  const auto parts = partitionCorpus(corpus, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  WordId expect = 0;
+  for (const auto& p : parts) {
+    for (const auto w : p) EXPECT_EQ(w, expect++);
+    total += p.size();
+  }
+  EXPECT_EQ(total, corpus.size());
+}
+
+class HostSliceSweep : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>> {};
+
+TEST_P(HostSliceSweep, BalancedWithinOne) {
+  const auto [n, hosts] = GetParam();
+  std::uint64_t minSz = n + 1, maxSz = 0, covered = 0;
+  for (unsigned h = 0; h < hosts; ++h) {
+    const auto [lo, hi] = hostSlice(n, hosts, h);
+    covered += hi - lo;
+    minSz = std::min(minSz, hi - lo);
+    maxSz = std::max(maxSz, hi - lo);
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_LE(maxSz - minSz, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HostSliceSweep,
+                         ::testing::Values(std::make_tuple(0ULL, 3u),
+                                           std::make_tuple(10ULL, 3u),
+                                           std::make_tuple(10ULL, 32u),
+                                           std::make_tuple(665'500'000ULL, 32u)));
+
+}  // namespace
+}  // namespace gw2v::text

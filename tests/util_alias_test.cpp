@@ -1,0 +1,121 @@
+#include "util/alias_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gw2v::util {
+namespace {
+
+std::vector<int> histogram(const AliasSampler& s, int draws, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> hist(s.size(), 0);
+  for (int i = 0; i < draws; ++i) ++hist[s.sample(rng)];
+  return hist;
+}
+
+TEST(AliasSampler, UniformWeights) {
+  const std::vector<double> w(8, 1.0);
+  AliasSampler s{std::span<const double>(w)};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(s.probabilityOf(i), 1.0 / 8.0);
+  const auto hist = histogram(s, 80000, 1);
+  for (const int h : hist) EXPECT_NEAR(h, 10000, 500);
+}
+
+TEST(AliasSampler, SingleEntryAlwaysZero) {
+  const std::vector<double> w{3.0};
+  AliasSampler s{std::span<const double>(w)};
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightNeverDrawn) {
+  const std::vector<double> w{1.0, 0.0, 1.0};
+  AliasSampler s{std::span<const double>(w)};
+  const auto hist = histogram(s, 30000, 3);
+  EXPECT_EQ(hist[1], 0);
+  EXPECT_GT(hist[0], 0);
+  EXPECT_GT(hist[2], 0);
+}
+
+TEST(AliasSampler, SkewedDistributionMatches) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasSampler s{std::span<const double>(w)};
+  constexpr int kN = 100000;
+  const auto hist = histogram(s, kN, 4);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expect = w[i] / 10.0 * kN;
+    EXPECT_NEAR(hist[i], expect, 5 * std::sqrt(expect));
+  }
+}
+
+TEST(AliasSampler, ExactProbabilitiesSumToOne) {
+  const std::vector<double> w{0.1, 7.3, 2.2, 0.0, 5.5, 1.0};
+  AliasSampler s{std::span<const double>(w)};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) sum += s.probabilityOf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AliasSampler, RejectsEmpty) {
+  EXPECT_THROW(AliasSampler{std::span<const double>{}}, std::invalid_argument);
+}
+
+TEST(AliasSampler, RejectsNegative) {
+  const std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW((AliasSampler{std::span<const double>(w)}), std::invalid_argument);
+}
+
+TEST(AliasSampler, RejectsAllZero) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW((AliasSampler{std::span<const double>(w)}), std::invalid_argument);
+}
+
+TEST(AliasSampler, RebuildReplacesDistribution) {
+  const std::vector<double> w1{1.0, 0.0};
+  const std::vector<double> w2{0.0, 1.0};
+  AliasSampler s{std::span<const double>(w1)};
+  Rng rng(5);
+  EXPECT_EQ(s.sample(rng), 0u);
+  s.build(w2);
+  EXPECT_EQ(s.sample(rng), 1u);
+}
+
+/// Chi-square property sweep over random weight vectors of varying size.
+class AliasChiSquare : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasChiSquare, MatchesWeights) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (auto& x : w) x = 0.05 + rng.uniformDouble();
+  AliasSampler s{std::span<const double>(w)};
+
+  constexpr int kDraws = 200000;
+  const auto hist = histogram(s, kDraws, static_cast<std::uint64_t>(n));
+  double chi2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double expect = s.probabilityOf(static_cast<std::size_t>(i)) * kDraws;
+    const double d = hist[static_cast<std::size_t>(i)] - expect;
+    chi2 += d * d / expect;
+  }
+  const double dof = n - 1;
+  EXPECT_LT(chi2, dof + 6 * std::sqrt(2 * dof) + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasChiSquare, ::testing::Values(2, 3, 10, 64, 257, 1000));
+
+TEST(AliasSampler, Power075UnigramShape) {
+  // The negative-sampling use case: heavier tail than raw counts.
+  std::vector<double> counts{1000, 100, 10, 1};
+  std::vector<double> pow(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) pow[i] = std::pow(counts[i], 0.75);
+  AliasSampler s{std::span<const double>(pow)};
+  // p0/p3 should be 1000^0.75 = 177.8, much less than the 1000x raw ratio.
+  EXPECT_NEAR(s.probabilityOf(0) / s.probabilityOf(3), std::pow(1000.0, 0.75), 1e-6);
+}
+
+}  // namespace
+}  // namespace gw2v::util

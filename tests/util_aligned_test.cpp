@@ -1,0 +1,42 @@
+#include "util/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace gw2v::util {
+namespace {
+
+TEST(Aligned, VectorDataIsCacheLineAligned) {
+  AlignedVector<float> v(100, 1.0f);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLine, 0u);
+}
+
+TEST(Aligned, AllocatorEqualityAndRebind) {
+  AlignedAllocator<float> a;
+  AlignedAllocator<double> b;
+  EXPECT_TRUE(a == AlignedAllocator<float>(b));
+}
+
+TEST(Aligned, PaddedRowWidthFloats) {
+  // 16 floats per 64-byte line.
+  EXPECT_EQ(paddedRowWidth(1, sizeof(float)), 16u);
+  EXPECT_EQ(paddedRowWidth(16, sizeof(float)), 16u);
+  EXPECT_EQ(paddedRowWidth(17, sizeof(float)), 32u);
+  EXPECT_EQ(paddedRowWidth(200, sizeof(float)), 208u);
+}
+
+TEST(Aligned, PaddedRowWidthDoubles) {
+  EXPECT_EQ(paddedRowWidth(1, sizeof(double)), 8u);
+  EXPECT_EQ(paddedRowWidth(9, sizeof(double)), 16u);
+}
+
+TEST(Aligned, LargeAllocationUsable) {
+  AlignedVector<float> v(1 << 20, 0.5f);
+  EXPECT_FLOAT_EQ(v[v.size() - 1], 0.5f);
+  v[0] = 2.0f;
+  EXPECT_FLOAT_EQ(v[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace gw2v::util

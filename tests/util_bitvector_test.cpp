@@ -1,0 +1,144 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gw2v::util {
+namespace {
+
+TEST(BitVector, StartsEmpty) {
+  BitVector bv(200);
+  EXPECT_EQ(bv.size(), 200u);
+  EXPECT_EQ(bv.count(), 0u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(bv.test(i));
+}
+
+TEST(BitVector, SetAndTest) {
+  BitVector bv(130);
+  bv.set(0);
+  bv.set(63);
+  bv.set(64);
+  bv.set(129);
+  EXPECT_TRUE(bv.test(0));
+  EXPECT_TRUE(bv.test(63));
+  EXPECT_TRUE(bv.test(64));
+  EXPECT_TRUE(bv.test(129));
+  EXPECT_FALSE(bv.test(1));
+  EXPECT_FALSE(bv.test(65));
+  EXPECT_EQ(bv.count(), 4u);
+}
+
+TEST(BitVector, SetIsIdempotent) {
+  BitVector bv(64);
+  bv.set(7);
+  bv.set(7);
+  EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(BitVector, ResetClearsAll) {
+  BitVector bv(100);
+  for (std::size_t i = 0; i < 100; i += 3) bv.set(i);
+  EXPECT_GT(bv.count(), 0u);
+  bv.reset();
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, ForEachSetVisitsInOrder) {
+  BitVector bv(300);
+  const std::vector<std::size_t> want{0, 1, 63, 64, 65, 128, 255, 299};
+  for (const auto i : want) bv.set(i);
+  std::vector<std::size_t> got;
+  bv.forEachSet([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, ForEachSetOnEmpty) {
+  BitVector bv(128);
+  int visits = 0;
+  bv.forEachSet([&](std::size_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BitVector, OrWithUnions) {
+  BitVector a(128), b(128);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(100);
+  a.orWith(b);
+  EXPECT_TRUE(a.test(3));
+  EXPECT_TRUE(a.test(70));
+  EXPECT_TRUE(a.test(100));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(BitVector, ResizeReinitializes) {
+  BitVector bv(10);
+  bv.set(5);
+  bv.resize(500);
+  EXPECT_EQ(bv.size(), 500u);
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, SizeNotMultipleOf64) {
+  BitVector bv(67);
+  bv.set(66);
+  EXPECT_TRUE(bv.test(66));
+  EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(BitVector, ConcurrentSetsAllLand) {
+  constexpr std::size_t kBits = 4096;
+  BitVector bv(kBits);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bv, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < kBits; i += kThreads) bv.set(i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bv.count(), kBits);
+}
+
+TEST(BitVector, ConcurrentSetsSameWord) {
+  // All threads hammer bits within one 64-bit word: the fetch_or must not
+  // lose updates.
+  BitVector bv(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&bv, t] {
+      for (int rep = 0; rep < 1000; ++rep) {
+        for (std::size_t i = static_cast<std::size_t>(t); i < 64; i += 8) bv.set(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bv.count(), 64u);
+}
+
+class BitVectorDensity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVectorDensity, CountMatchesForEach) {
+  const int stride = GetParam();
+  BitVector bv(1000);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 1000; i += static_cast<std::size_t>(stride)) {
+    bv.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(bv.count(), expected);
+  std::size_t visited = 0;
+  bv.forEachSet([&](std::size_t i) {
+    EXPECT_TRUE(bv.test(i));
+    ++visited;
+  });
+  EXPECT_EQ(visited, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, BitVectorDensity, ::testing::Values(1, 2, 7, 64, 63, 500));
+
+}  // namespace
+}  // namespace gw2v::util

@@ -1,0 +1,151 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace gw2v::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(77);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(9);
+  for (const std::uint64_t n : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.bounded(n), n);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformFloatInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const float f = rng.uniformFloat();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+    sum += f;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformFloatRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.uniformFloat(-2.5f, 3.5f);
+    ASSERT_GE(f, -2.5f);
+    ASSERT_LT(f, 3.5f);
+  }
+}
+
+TEST(Rng, UniformDoubleMoments) {
+  Rng rng(6);
+  double sum = 0.0, sumSq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double d = rng.uniformDouble();
+    sum += d;
+    sumSq += d * d;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_NEAR(sumSq / kN - (sum / kN) * (sum / kN), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0, sumSq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double d = rng.normal();
+    sum += d;
+    sumSq += d * d;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(sumSq / kN - mean * mean, 1.0, 0.05);
+}
+
+TEST(Rng, ChiSquareUniformityOver256Buckets) {
+  Rng rng(15);
+  constexpr int kBuckets = 256;
+  constexpr int kN = 256 * 200;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) ++hist[rng.bounded(kBuckets)];
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kN) / kBuckets;
+  for (const int h : hist) {
+    const double d = h - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof: mean 255, sd ~22.6; accept +-6 sigma.
+  EXPECT_GT(chi2, 255 - 6 * 22.6);
+  EXPECT_LT(chi2, 255 + 6 * 22.6);
+}
+
+TEST(Splitmix, AdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+TEST(Hash64, StableAndSpread) {
+  EXPECT_EQ(hash64(42), hash64(42));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(hash64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+class RngBoundedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundedSweep, MeanNearHalfRange) {
+  const std::uint64_t n = GetParam();
+  Rng rng(n * 7919 + 1);
+  double sum = 0.0;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.bounded(n));
+  const double mean = sum / kN;
+  const double want = static_cast<double>(n - 1) / 2.0;
+  const double sd = static_cast<double>(n) / std::sqrt(12.0 * kN);
+  EXPECT_NEAR(mean, want, 6 * sd + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngBoundedSweep,
+                         ::testing::Values(2, 3, 5, 16, 100, 1024, 1'000'003));
+
+}  // namespace
+}  // namespace gw2v::util

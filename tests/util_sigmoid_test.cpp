@@ -1,0 +1,59 @@
+#include "util/sigmoid_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gw2v::util {
+namespace {
+
+TEST(SigmoidTable, MatchesExactWithinTableError) {
+  const SigmoidTable table;
+  for (float x = -5.9f; x < 5.9f; x += 0.013f) {
+    EXPECT_NEAR(table(x), SigmoidTable::exact(x), 0.01f) << "x=" << x;
+  }
+}
+
+TEST(SigmoidTable, ClampsAtBoundaries) {
+  const SigmoidTable table;
+  EXPECT_EQ(table(6.0f), 1.0f);
+  EXPECT_EQ(table(100.0f), 1.0f);
+  EXPECT_EQ(table(-6.0f), 0.0f);
+  EXPECT_EQ(table(-50.0f), 0.0f);
+}
+
+TEST(SigmoidTable, MidpointIsHalf) {
+  const SigmoidTable table;
+  EXPECT_NEAR(table(0.0f), 0.5f, 0.01f);
+}
+
+TEST(SigmoidTable, MonotoneNonDecreasing) {
+  const SigmoidTable table;
+  float prev = table(-6.0f);
+  for (float x = -6.0f; x <= 6.0f; x += 0.01f) {
+    const float cur = table(x);
+    EXPECT_GE(cur, prev - 1e-6f);
+    prev = cur;
+  }
+}
+
+TEST(SigmoidTable, ExactSigmoidProperties) {
+  EXPECT_FLOAT_EQ(SigmoidTable::exact(0.0f), 0.5f);
+  EXPECT_NEAR(SigmoidTable::exact(10.0f), 1.0f, 1e-4f);
+  EXPECT_NEAR(SigmoidTable::exact(-10.0f), 0.0f, 1e-4f);
+  // sigma(-x) = 1 - sigma(x)
+  for (float x = 0.0f; x < 5.0f; x += 0.37f) {
+    EXPECT_NEAR(SigmoidTable::exact(-x), 1.0f - SigmoidTable::exact(x), 1e-6f);
+  }
+}
+
+TEST(SigmoidTable, CustomSizeStillAccurate) {
+  const SigmoidTable fine(100000);
+  for (float x = -5.5f; x < 5.5f; x += 0.11f) {
+    EXPECT_NEAR(fine(x), SigmoidTable::exact(x), 1e-4f);
+  }
+  EXPECT_EQ(fine.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace gw2v::util

@@ -1,0 +1,111 @@
+#include "util/vecmath.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gw2v::util {
+namespace {
+
+TEST(VecMath, DotBasic) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(VecMath, DotEmptyIsZero) {
+  EXPECT_FLOAT_EQ(dot(std::span<const float>{}, std::span<const float>{}), 0.0f);
+}
+
+TEST(VecMath, AxpyAccumulates) {
+  const std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 10, 10};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 14.0f);
+  EXPECT_FLOAT_EQ(y[2], 16.0f);
+}
+
+TEST(VecMath, AxpbyCombines) {
+  const std::vector<float> x{1, 1};
+  std::vector<float> y{2, 4};
+  axpby(3.0f, x, 0.5f, y);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+}
+
+TEST(VecMath, ScaleAndFill) {
+  std::vector<float> v{1, 2, 3};
+  scale(0.5f, v);
+  EXPECT_FLOAT_EQ(v[1], 1.0f);
+  fill(v, 7.0f);
+  for (const float f : v) EXPECT_FLOAT_EQ(f, 7.0f);
+}
+
+TEST(VecMath, SubAndAdd) {
+  const std::vector<float> a{5, 7};
+  const std::vector<float> b{2, 3};
+  std::vector<float> d(2);
+  sub(a, b, d);
+  EXPECT_FLOAT_EQ(d[0], 3.0f);
+  EXPECT_FLOAT_EQ(d[1], 4.0f);
+  std::vector<float> acc{1, 1};
+  add(d, acc);
+  EXPECT_FLOAT_EQ(acc[0], 4.0f);
+  EXPECT_FLOAT_EQ(acc[1], 5.0f);
+}
+
+TEST(VecMath, Norms) {
+  const std::vector<float> v{3, 4};
+  EXPECT_FLOAT_EQ(squaredNorm(v), 25.0f);
+  EXPECT_FLOAT_EQ(norm(v), 5.0f);
+}
+
+TEST(VecMath, CosineIdenticalIsOne) {
+  const std::vector<float> v{1, 2, -3};
+  EXPECT_NEAR(cosine(v, v), 1.0f, 1e-6f);
+}
+
+TEST(VecMath, CosineOppositeIsMinusOne) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> b{-2, -4};
+  EXPECT_NEAR(cosine(a, b), -1.0f, 1e-6f);
+}
+
+TEST(VecMath, CosineOrthogonalIsZero) {
+  const std::vector<float> a{1, 0};
+  const std::vector<float> b{0, 5};
+  EXPECT_NEAR(cosine(a, b), 0.0f, 1e-6f);
+}
+
+TEST(VecMath, CosineZeroVectorIsZero) {
+  const std::vector<float> a{0, 0};
+  const std::vector<float> b{1, 1};
+  EXPECT_FLOAT_EQ(cosine(a, b), 0.0f);
+  EXPECT_FLOAT_EQ(cosine(b, a), 0.0f);
+}
+
+TEST(VecMath, CopyInto) {
+  const std::vector<float> src{9, 8, 7};
+  std::vector<float> dst(3, 0.0f);
+  copyInto(src, dst);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(VecMath, CauchySchwarzProperty) {
+  Rng rng(1);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<float> a(16), b(16);
+    for (auto& v : a) v = rng.uniformFloat(-1, 1);
+    for (auto& v : b) v = rng.uniformFloat(-1, 1);
+    EXPECT_LE(std::abs(dot(a, b)), norm(a) * norm(b) + 1e-4f);
+    const float c = cosine(a, b);
+    EXPECT_GE(c, -1.0001f);
+    EXPECT_LE(c, 1.0001f);
+  }
+}
+
+}  // namespace
+}  // namespace gw2v::util
