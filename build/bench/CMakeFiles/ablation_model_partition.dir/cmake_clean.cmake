@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_partition.dir/ablation_model_partition.cpp.o"
+  "CMakeFiles/ablation_model_partition.dir/ablation_model_partition.cpp.o.d"
+  "ablation_model_partition"
+  "ablation_model_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sync_frequency.dir/fig7_sync_frequency.cpp.o"
+  "CMakeFiles/fig7_sync_frequency.dir/fig7_sync_frequency.cpp.o.d"
+  "fig7_sync_frequency"
+  "fig7_sync_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sync_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

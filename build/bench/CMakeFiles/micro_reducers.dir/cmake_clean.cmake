@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reducers.dir/micro_reducers.cpp.o"
+  "CMakeFiles/micro_reducers.dir/micro_reducers.cpp.o.d"
+  "micro_reducers"
+  "micro_reducers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reducers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

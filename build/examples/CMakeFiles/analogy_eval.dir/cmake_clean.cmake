@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analogy_eval.dir/analogy_eval.cpp.o"
+  "CMakeFiles/analogy_eval.dir/analogy_eval.cpp.o.d"
+  "analogy_eval"
+  "analogy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analogy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_graph_analytics.dir/distributed_graph_analytics.cpp.o"
+  "CMakeFiles/distributed_graph_analytics.dir/distributed_graph_analytics.cpp.o.d"
+  "distributed_graph_analytics"
+  "distributed_graph_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_graph_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

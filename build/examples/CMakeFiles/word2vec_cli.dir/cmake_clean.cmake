@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word2vec_cli.dir/word2vec_cli.cpp.o"
+  "CMakeFiles/word2vec_cli.dir/word2vec_cli.cpp.o.d"
+  "word2vec_cli"
+  "word2vec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word2vec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

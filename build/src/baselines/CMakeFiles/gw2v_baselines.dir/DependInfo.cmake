@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/column_parallel.cpp" "src/baselines/CMakeFiles/gw2v_baselines.dir/column_parallel.cpp.o" "gcc" "src/baselines/CMakeFiles/gw2v_baselines.dir/column_parallel.cpp.o.d"
+  "/root/repo/src/baselines/parameter_server.cpp" "src/baselines/CMakeFiles/gw2v_baselines.dir/parameter_server.cpp.o" "gcc" "src/baselines/CMakeFiles/gw2v_baselines.dir/parameter_server.cpp.o.d"
+  "/root/repo/src/baselines/shared_memory.cpp" "src/baselines/CMakeFiles/gw2v_baselines.dir/shared_memory.cpp.o" "gcc" "src/baselines/CMakeFiles/gw2v_baselines.dir/shared_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gw2v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gw2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/gw2v_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gw2v_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gw2v_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gw2v_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gw2v_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_baselines.dir/column_parallel.cpp.o"
+  "CMakeFiles/gw2v_baselines.dir/column_parallel.cpp.o.d"
+  "CMakeFiles/gw2v_baselines.dir/parameter_server.cpp.o"
+  "CMakeFiles/gw2v_baselines.dir/parameter_server.cpp.o.d"
+  "CMakeFiles/gw2v_baselines.dir/shared_memory.cpp.o"
+  "CMakeFiles/gw2v_baselines.dir/shared_memory.cpp.o.d"
+  "libgw2v_baselines.a"
+  "libgw2v_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/scalar_sync.cpp" "src/comm/CMakeFiles/gw2v_comm.dir/scalar_sync.cpp.o" "gcc" "src/comm/CMakeFiles/gw2v_comm.dir/scalar_sync.cpp.o.d"
+  "/root/repo/src/comm/sync_engine.cpp" "src/comm/CMakeFiles/gw2v_comm.dir/sync_engine.cpp.o" "gcc" "src/comm/CMakeFiles/gw2v_comm.dir/sync_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gw2v_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gw2v_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gw2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gw2v_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_comm.dir/scalar_sync.cpp.o"
+  "CMakeFiles/gw2v_comm.dir/scalar_sync.cpp.o.d"
+  "CMakeFiles/gw2v_comm.dir/sync_engine.cpp.o"
+  "CMakeFiles/gw2v_comm.dir/sync_engine.cpp.o.d"
+  "libgw2v_comm.a"
+  "libgw2v_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cbow.cpp" "src/core/CMakeFiles/gw2v_core.dir/cbow.cpp.o" "gcc" "src/core/CMakeFiles/gw2v_core.dir/cbow.cpp.o.d"
+  "/root/repo/src/core/huffman.cpp" "src/core/CMakeFiles/gw2v_core.dir/huffman.cpp.o" "gcc" "src/core/CMakeFiles/gw2v_core.dir/huffman.cpp.o.d"
+  "/root/repo/src/core/sgns.cpp" "src/core/CMakeFiles/gw2v_core.dir/sgns.cpp.o" "gcc" "src/core/CMakeFiles/gw2v_core.dir/sgns.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/gw2v_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/gw2v_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gw2v_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gw2v_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gw2v_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gw2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/gw2v_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gw2v_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_core.dir/cbow.cpp.o"
+  "CMakeFiles/gw2v_core.dir/cbow.cpp.o.d"
+  "CMakeFiles/gw2v_core.dir/huffman.cpp.o"
+  "CMakeFiles/gw2v_core.dir/huffman.cpp.o.d"
+  "CMakeFiles/gw2v_core.dir/sgns.cpp.o"
+  "CMakeFiles/gw2v_core.dir/sgns.cpp.o.d"
+  "CMakeFiles/gw2v_core.dir/trainer.cpp.o"
+  "CMakeFiles/gw2v_core.dir/trainer.cpp.o.d"
+  "libgw2v_core.a"
+  "libgw2v_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/analogy.cpp" "src/eval/CMakeFiles/gw2v_eval.dir/analogy.cpp.o" "gcc" "src/eval/CMakeFiles/gw2v_eval.dir/analogy.cpp.o.d"
+  "/root/repo/src/eval/embedding_view.cpp" "src/eval/CMakeFiles/gw2v_eval.dir/embedding_view.cpp.o" "gcc" "src/eval/CMakeFiles/gw2v_eval.dir/embedding_view.cpp.o.d"
+  "/root/repo/src/eval/question_words.cpp" "src/eval/CMakeFiles/gw2v_eval.dir/question_words.cpp.o" "gcc" "src/eval/CMakeFiles/gw2v_eval.dir/question_words.cpp.o.d"
+  "/root/repo/src/eval/vectors_io.cpp" "src/eval/CMakeFiles/gw2v_eval.dir/vectors_io.cpp.o" "gcc" "src/eval/CMakeFiles/gw2v_eval.dir/vectors_io.cpp.o.d"
+  "/root/repo/src/eval/wordsim.cpp" "src/eval/CMakeFiles/gw2v_eval.dir/wordsim.cpp.o" "gcc" "src/eval/CMakeFiles/gw2v_eval.dir/wordsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gw2v_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gw2v_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/gw2v_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gw2v_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gw2v_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

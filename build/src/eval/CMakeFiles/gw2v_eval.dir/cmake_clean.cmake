@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_eval.dir/analogy.cpp.o"
+  "CMakeFiles/gw2v_eval.dir/analogy.cpp.o.d"
+  "CMakeFiles/gw2v_eval.dir/embedding_view.cpp.o"
+  "CMakeFiles/gw2v_eval.dir/embedding_view.cpp.o.d"
+  "CMakeFiles/gw2v_eval.dir/question_words.cpp.o"
+  "CMakeFiles/gw2v_eval.dir/question_words.cpp.o.d"
+  "CMakeFiles/gw2v_eval.dir/vectors_io.cpp.o"
+  "CMakeFiles/gw2v_eval.dir/vectors_io.cpp.o.d"
+  "CMakeFiles/gw2v_eval.dir/wordsim.cpp.o"
+  "CMakeFiles/gw2v_eval.dir/wordsim.cpp.o.d"
+  "libgw2v_eval.a"
+  "libgw2v_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

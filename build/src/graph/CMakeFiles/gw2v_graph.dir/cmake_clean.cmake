@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/gw2v_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/gw2v_graph.dir/model_io.cpp.o"
+  "CMakeFiles/gw2v_graph.dir/model_io.cpp.o.d"
+  "libgw2v_graph.a"
+  "libgw2v_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgw2v_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_graph_dist.dir/distributed.cpp.o"
+  "CMakeFiles/gw2v_graph_dist.dir/distributed.cpp.o.d"
+  "libgw2v_graph_dist.a"
+  "libgw2v_graph_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_graph_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

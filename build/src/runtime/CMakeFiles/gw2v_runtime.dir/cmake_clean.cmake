@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/gw2v_runtime.dir/thread_pool.cpp.o.d"
+  "libgw2v_runtime.a"
+  "libgw2v_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

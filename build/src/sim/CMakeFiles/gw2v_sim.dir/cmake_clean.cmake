@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_sim.dir/cluster.cpp.o"
+  "CMakeFiles/gw2v_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/gw2v_sim.dir/network.cpp.o"
+  "CMakeFiles/gw2v_sim.dir/network.cpp.o.d"
+  "libgw2v_sim.a"
+  "libgw2v_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

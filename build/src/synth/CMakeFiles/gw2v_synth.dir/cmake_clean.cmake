@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_synth.dir/catalog.cpp.o"
+  "CMakeFiles/gw2v_synth.dir/catalog.cpp.o.d"
+  "CMakeFiles/gw2v_synth.dir/generator.cpp.o"
+  "CMakeFiles/gw2v_synth.dir/generator.cpp.o.d"
+  "libgw2v_synth.a"
+  "libgw2v_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cpp" "src/text/CMakeFiles/gw2v_text.dir/corpus.cpp.o" "gcc" "src/text/CMakeFiles/gw2v_text.dir/corpus.cpp.o.d"
+  "/root/repo/src/text/phrases.cpp" "src/text/CMakeFiles/gw2v_text.dir/phrases.cpp.o" "gcc" "src/text/CMakeFiles/gw2v_text.dir/phrases.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/gw2v_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/gw2v_text.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/text/CMakeFiles/gw2v_text.dir/vocabulary.cpp.o" "gcc" "src/text/CMakeFiles/gw2v_text.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gw2v_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_text.dir/corpus.cpp.o"
+  "CMakeFiles/gw2v_text.dir/corpus.cpp.o.d"
+  "CMakeFiles/gw2v_text.dir/phrases.cpp.o"
+  "CMakeFiles/gw2v_text.dir/phrases.cpp.o.d"
+  "CMakeFiles/gw2v_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/gw2v_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/gw2v_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/gw2v_text.dir/vocabulary.cpp.o.d"
+  "libgw2v_text.a"
+  "libgw2v_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw2v_util.dir/alias_sampler.cpp.o"
+  "CMakeFiles/gw2v_util.dir/alias_sampler.cpp.o.d"
+  "CMakeFiles/gw2v_util.dir/logging.cpp.o"
+  "CMakeFiles/gw2v_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gw2v_util.dir/rng.cpp.o"
+  "CMakeFiles/gw2v_util.dir/rng.cpp.o.d"
+  "libgw2v_util.a"
+  "libgw2v_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw2v_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_column_test.dir/baselines_column_test.cpp.o"
+  "CMakeFiles/baselines_column_test.dir/baselines_column_test.cpp.o.d"
+  "baselines_column_test"
+  "baselines_column_test.pdb"
+  "baselines_column_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_column_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_serialize_test.dir/comm_serialize_test.cpp.o"
+  "CMakeFiles/comm_serialize_test.dir/comm_serialize_test.cpp.o.d"
+  "comm_serialize_test"
+  "comm_serialize_test.pdb"
+  "comm_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_sync_test.dir/comm_sync_test.cpp.o"
+  "CMakeFiles/comm_sync_test.dir/comm_sync_test.cpp.o.d"
+  "comm_sync_test"
+  "comm_sync_test.pdb"
+  "comm_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cbow_test.dir/core_cbow_test.cpp.o"
+  "CMakeFiles/core_cbow_test.dir/core_cbow_test.cpp.o.d"
+  "core_cbow_test"
+  "core_cbow_test.pdb"
+  "core_cbow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cbow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

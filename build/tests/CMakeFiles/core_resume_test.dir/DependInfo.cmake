@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_resume_test.cpp" "tests/CMakeFiles/core_resume_test.dir/core_resume_test.cpp.o" "gcc" "tests/CMakeFiles/core_resume_test.dir/core_resume_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gw2v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gw2v_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gw2v_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gw2v_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/gw2v_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gw2v_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gw2v_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gw2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gw2v_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gw2v_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_question_words_test.dir/eval_question_words_test.cpp.o"
+  "CMakeFiles/eval_question_words_test.dir/eval_question_words_test.cpp.o.d"
+  "eval_question_words_test"
+  "eval_question_words_test.pdb"
+  "eval_question_words_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_question_words_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

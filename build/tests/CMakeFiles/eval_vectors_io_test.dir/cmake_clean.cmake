@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_vectors_io_test.dir/eval_vectors_io_test.cpp.o"
+  "CMakeFiles/eval_vectors_io_test.dir/eval_vectors_io_test.cpp.o.d"
+  "eval_vectors_io_test"
+  "eval_vectors_io_test.pdb"
+  "eval_vectors_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_vectors_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

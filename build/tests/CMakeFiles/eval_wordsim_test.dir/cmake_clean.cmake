@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_wordsim_test.dir/eval_wordsim_test.cpp.o"
+  "CMakeFiles/eval_wordsim_test.dir/eval_wordsim_test.cpp.o.d"
+  "eval_wordsim_test"
+  "eval_wordsim_test.pdb"
+  "eval_wordsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_wordsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_algorithms2_test.dir/graph_algorithms2_test.cpp.o"
+  "CMakeFiles/graph_algorithms2_test.dir/graph_algorithms2_test.cpp.o.d"
+  "graph_algorithms2_test"
+  "graph_algorithms2_test.pdb"
+  "graph_algorithms2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_algorithms2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_distributed_pagerank_test.dir/graph_distributed_pagerank_test.cpp.o"
+  "CMakeFiles/graph_distributed_pagerank_test.dir/graph_distributed_pagerank_test.cpp.o.d"
+  "graph_distributed_pagerank_test"
+  "graph_distributed_pagerank_test.pdb"
+  "graph_distributed_pagerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_distributed_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_pull_test.dir/graph_pull_test.cpp.o"
+  "CMakeFiles/graph_pull_test.dir/graph_pull_test.cpp.o.d"
+  "graph_pull_test"
+  "graph_pull_test.pdb"
+  "graph_pull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_pull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

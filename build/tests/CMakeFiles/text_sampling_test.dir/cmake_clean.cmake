@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_sampling_test.dir/text_sampling_test.cpp.o"
+  "CMakeFiles/text_sampling_test.dir/text_sampling_test.cpp.o.d"
+  "text_sampling_test"
+  "text_sampling_test.pdb"
+  "text_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

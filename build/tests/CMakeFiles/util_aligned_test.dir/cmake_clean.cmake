@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_aligned_test.dir/util_aligned_test.cpp.o"
+  "CMakeFiles/util_aligned_test.dir/util_aligned_test.cpp.o.d"
+  "util_aligned_test"
+  "util_aligned_test.pdb"
+  "util_aligned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_aligned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

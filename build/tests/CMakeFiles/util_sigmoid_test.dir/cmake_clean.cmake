@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_sigmoid_test.dir/util_sigmoid_test.cpp.o"
+  "CMakeFiles/util_sigmoid_test.dir/util_sigmoid_test.cpp.o.d"
+  "util_sigmoid_test"
+  "util_sigmoid_test.pdb"
+  "util_sigmoid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_sigmoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
