@@ -8,6 +8,7 @@
 //   GW2V_SCALE   — multiplies dataset token counts (default harness-specific)
 //   GW2V_EPOCHS  — overrides training epochs
 //   GW2V_THREADS — Hogwild worker threads per host (default 1)
+//   GW2V_BATCH   — shared-negative minibatch size B (default 1 = per-pair)
 
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +73,7 @@ inline core::SgnsParams benchSgns() {
   p.negatives = 15;
   p.subsample = 1e-3;
   p.alpha = 0.025f;
+  p.batchSize = envUnsigned("GW2V_BATCH", 1);
   return p;
 }
 

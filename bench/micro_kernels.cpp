@@ -8,11 +8,13 @@
 #include <vector>
 
 #include "core/sgns.h"
+#include "core/sgns_batched.h"
 #include "text/sampling.h"
 #include "util/alias_sampler.h"
 #include "util/bitvector.h"
 #include "util/rng.h"
 #include "util/sigmoid_table.h"
+#include "util/simd.h"
 #include "util/vecmath.h"
 
 namespace {
@@ -39,6 +41,56 @@ void BM_Axpy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
 }
 BENCHMARK(BM_Axpy)->Arg(32)->Arg(200);
+
+// Scalar-vs-dispatch comparison: the *Scalar variants pin the portable
+// kernels; the *Simd variants use whatever tier detectTier() picked (the
+// bench log header below prints which). Same loop bodies, so the ratio is
+// the pure kernel speedup.
+void BM_DotScalar(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto& k = util::simd::kernelsFor(util::simd::Tier::kScalar);
+  std::vector<float> a(dim, 0.5f), b(dim, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.dot(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DotScalar)->Arg(32)->Arg(200);
+
+void BM_DotSimd(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto& k = util::simd::activeKernels();
+  std::vector<float> a(dim, 0.5f), b(dim, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.dot(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DotSimd)->Arg(32)->Arg(200);
+
+void BM_AxpyScalar(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto& k = util::simd::kernelsFor(util::simd::Tier::kScalar);
+  std::vector<float> x(dim, 0.5f), y(dim, 0.25f);
+  for (auto _ : state) {
+    k.axpy(0.01f, x.data(), y.data(), dim);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_AxpyScalar)->Arg(32)->Arg(200);
+
+void BM_AxpySimd(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto& k = util::simd::activeKernels();
+  std::vector<float> x(dim, 0.5f), y(dim, 0.25f);
+  for (auto _ : state) {
+    k.axpy(0.01f, x.data(), y.data(), dim);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_AxpySimd)->Arg(32)->Arg(200);
 
 void BM_SigmoidTable(benchmark::State& state) {
   const util::SigmoidTable table;
@@ -102,6 +154,37 @@ void BM_SgnsStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SgnsStep)->Args({32, 5})->Args({32, 15})->Args({200, 15});
 
+// Shared-negative minibatch kernel. items_per_second counts (center,
+// context) pairs, i.e. iterations * B, so it is directly comparable with
+// BM_SgnsStep above: the B=16 row at dim 200 should clear 2x the per-pair
+// kernel's rate on the same machine.
+void BM_SgnsStepBatched(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::uint32_t>(state.range(1));
+  constexpr unsigned kNegs = 15;
+  graph::ModelGraph model(1000, dim);
+  model.randomizeEmbeddings(3);
+  const util::SigmoidTable sigmoid;
+  core::SgnsBatchScratch scratch(dim, static_cast<std::uint32_t>(batch), kNegs);
+  util::Rng rng(4);
+  std::vector<text::WordId> contexts(batch), negatives(kNegs);
+  for (auto _ : state) {
+    const auto center = static_cast<text::WordId>(rng.bounded(1000));
+    for (auto& c : contexts) c = static_cast<text::WordId>(rng.bounded(1000));
+    for (auto& n : negatives) n = static_cast<text::WordId>(rng.bounded(1000));
+    benchmark::DoNotOptimize(core::sgnsStepBatched(model, center, contexts, negatives,
+                                                   0.025f, sigmoid, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SgnsStepBatched)
+    ->Args({1, 32})
+    ->Args({8, 32})
+    ->Args({16, 32})
+    ->Args({1, 200})
+    ->Args({8, 200})
+    ->Args({16, 200});
+
 void BM_BitVectorSet(benchmark::State& state) {
   util::BitVector bv(1 << 20);
   util::Rng rng(5);
@@ -125,4 +208,14 @@ BENCHMARK(BM_BitVectorForEachSet)->Arg(2)->Arg(64)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Record which dispatch tier the *Simd and sgns benchmarks actually ran
+  // on; shows up in the console header and the JSON "context" block.
+  benchmark::AddCustomContext(
+      "gw2v_simd_tier", gw2v::util::simd::tierName(gw2v::util::simd::activeTier()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

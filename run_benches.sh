@@ -1,8 +1,20 @@
 #!/bin/bash
 # Regenerates every table/figure of the paper (see EXPERIMENTS.md).
+# Google-benchmark binaries (micro_*) additionally drop machine-readable
+# results into bench_results/<name>.json for regression tracking.
+mkdir -p /root/repo/bench_results
 for b in /root/repo/build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue   # skip CMake artifacts
   echo "##### $b"
-  "$b"
+  name=$(basename "$b")
+  case "$name" in
+    micro_*)
+      "$b" --benchmark_out="/root/repo/bench_results/${name}.json" \
+           --benchmark_out_format=json
+      ;;
+    *)
+      "$b"
+      ;;
+  esac
   echo
 done

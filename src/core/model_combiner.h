@@ -21,24 +21,25 @@
 #include <span>
 
 #include "comm/reducer.h"
+#include "util/simd.h"
 #include "util/vecmath.h"
 
 namespace gw2v::core {
 
 /// Fold `next` into the running combination `acc` by orthogonal projection.
+/// The two reductions the projection needs (g.next and ||g||^2) come from one
+/// fused pass over `acc`, then a single axpby applies the fold.
 inline void combineGradient(std::span<float> acc, std::span<const float> next) noexcept {
-  const float g2 = util::squaredNorm(acc);
+  const std::size_t n = util::detail::pairedSize(acc.size(), next.size());
+  float gd = 0.0f, g2 = 0.0f;
+  util::simd::activeKernels().dotNormAccum(acc.data(), next.data(), n, &gd, &g2);
   if (g2 <= 1e-30f) {
     // Degenerate running combination: nothing to project against.
     util::add(next, acc);
     return;
   }
-  const float proj = util::dot(acc, next) / g2;
-  float* __restrict__ pa = acc.data();
-  const float* __restrict__ pn = next.data();
-  const std::size_t n = acc.size();
-  const float keep = 1.0f - proj;
-  for (std::size_t i = 0; i < n; ++i) pa[i] = keep * pa[i] + pn[i];
+  // acc = next + (1 - proj) * acc
+  util::axpby(1.0f, next, 1.0f - gd / g2, acc);
 }
 
 /// The projected component g' of `next` w.r.t. combination `g` (exposed for

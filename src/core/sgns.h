@@ -43,6 +43,11 @@ struct SgnsParams {
   float alpha = 0.025f;          // initial learning rate
   double subsample = 1e-4;       // frequent-word downsampling threshold
   std::uint32_t maxSentence = 10'000;  // sentence length (paper: 10K)
+  /// Context words per shared-negative batch (pWord2Vec scheme; see
+  /// core/sgns_batched.h). 1 = the word2vec.c per-pair stream, bit-identical
+  /// to sgnsStep; >1 trades exact Hogwild update ordering for the batched
+  /// kernel's cache reuse. Skip-gram + negative sampling only.
+  std::uint32_t batchSize = 1;
   Architecture architecture = Architecture::kSkipGram;
   Objective objective = Objective::kNegativeSampling;
 };

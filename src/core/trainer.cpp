@@ -8,6 +8,7 @@
 #include "core/cbow.h"
 #include "core/huffman.h"
 #include "core/model_combiner.h"
+#include "core/sgns_batched.h"
 #include "graph/partition.h"
 #include "runtime/do_all.h"
 #include "runtime/per_thread.h"
@@ -51,6 +52,8 @@ GraphWord2Vec::GraphWord2Vec(const text::Vocabulary& vocab, TrainOptions opts)
   if (opts_.numHosts == 0) throw std::invalid_argument("GraphWord2Vec: numHosts must be >= 1");
   if (opts_.epochs == 0) throw std::invalid_argument("GraphWord2Vec: epochs must be >= 1");
   if (opts_.sgns.window == 0) throw std::invalid_argument("GraphWord2Vec: window must be >= 1");
+  if (opts_.sgns.batchSize == 0)
+    throw std::invalid_argument("GraphWord2Vec: batchSize must be >= 1");
   if (opts_.sgns.architecture == Architecture::kCbow &&
       opts_.sgns.objective == Objective::kHierarchicalSoftmax) {
     throw std::invalid_argument("GraphWord2Vec: CBOW + hierarchical softmax not supported");
@@ -127,12 +130,16 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
     const unsigned numThreads = ctx.pool().numThreads();
 
     const bool cbow = opts_.sgns.architecture == Architecture::kCbow;
+    const std::uint32_t batch = opts_.sgns.batchSize;
     std::vector<SgnsScratch> scratch;
+    std::vector<SgnsBatchScratch> batchScratch;
     std::vector<CbowScratch> cbowScratch;
     scratch.reserve(numThreads);
+    batchScratch.reserve(numThreads);
     cbowScratch.reserve(numThreads);
     for (unsigned t = 0; t < numThreads; ++t) {
       scratch.emplace_back(dim);
+      batchScratch.emplace_back(dim, batch, opts_.sgns.negatives);
       cbowScratch.emplace_back(dim);
     }
 
@@ -172,18 +179,22 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
                             for (const text::WordId c : contexts) willAccess.set(c);
                             for (const text::WordId n : negs) willAccess.set(n);
                           });
-        } else {
+        } else if (hs) {
           forEachTrainingStep(
               chunk.subspan(lo, hi - lo), driverParams, subsampler, negSampler, rng,
               [&](text::WordId center, text::WordId context,
-                  std::span<const text::WordId> negs) {
+                  std::span<const text::WordId>) {
                 willAccess.set(context);
-                if (hs) {
-                  for (const std::uint32_t p : huffman->points(center)) willAccess.set(p);
-                } else {
-                  willAccess.set(center);
-                  for (const text::WordId n : negs) willAccess.set(n);
-                }
+                for (const std::uint32_t p : huffman->points(center)) willAccess.set(p);
+              });
+        } else {
+          forEachTrainingBatch(
+              chunk.subspan(lo, hi - lo), driverParams, batch, subsampler, negSampler, rng,
+              [&](text::WordId center, std::span<const text::WordId> contexts,
+                  std::span<const text::WordId> negs) {
+                for (const text::WordId c : contexts) willAccess.set(c);
+                willAccess.set(center);
+                for (const text::WordId n : negs) willAccess.set(n);
               });
         }
       }
@@ -230,16 +241,25 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
                                                cbowScratch[t], opts_.trackLoss);
                               ++examples;
                             });
-          } else {
+          } else if (hs) {
             forEachTrainingStep(
                 chunk.subspan(lo, hi - lo), driverParams, subsampler, negSampler, rng,
                 [&](text::WordId center, text::WordId context,
-                    std::span<const text::WordId> negs) {
-                  loss += hs ? hsStep(model, center, context, *huffman, alpha, sigmoid,
-                                      scratch[t], opts_.trackLoss)
-                             : sgnsStep(model, center, context, negs, alpha, sigmoid,
-                                        scratch[t], opts_.trackLoss);
+                    std::span<const text::WordId>) {
+                  loss += hsStep(model, center, context, *huffman, alpha, sigmoid,
+                                 scratch[t], opts_.trackLoss);
                   ++examples;
+                });
+          } else {
+            // Both the Hogwild (threads) and distributed (hosts) paths go
+            // through the batched kernel; batch == 1 delegates to sgnsStep.
+            forEachTrainingBatch(
+                chunk.subspan(lo, hi - lo), driverParams, batch, subsampler, negSampler, rng,
+                [&](text::WordId center, std::span<const text::WordId> contexts,
+                    std::span<const text::WordId> negs) {
+                  loss += sgnsStepBatched(model, center, contexts, negs, alpha, sigmoid,
+                                          batchScratch[t], opts_.trackLoss);
+                  examples += contexts.size();
                 });
           }
           lossAcc.local(t) += loss;

@@ -9,6 +9,7 @@
 // Rows are cache-line padded; Hogwild workers update rows concurrently and
 // benignly race within a row (the word2vec.c discipline).
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -61,7 +62,12 @@ class ModelGraph {
 
   std::span<float> mutableRow(Label label, std::uint32_t node) noexcept {
     auto& m = label == Label::kEmbedding ? embedding_ : training_;
-    return {m.data() + static_cast<std::size_t>(node) * stride_, dim_};
+    float* p = m.data() + static_cast<std::size_t>(node) * stride_;
+    // The SIMD kernels rely on rows never splitting a cache line: the matrix
+    // base is 64-byte aligned (AlignedVector) and stride_ is a multiple of
+    // 16 floats (static_assert in util/aligned.h), so every row is too.
+    assert(util::isSimdAligned(p) && "ModelGraph row lost its 64-byte alignment");
+    return {p, dim_};
   }
 
   /// Sparse-sync support: mark and query the per-label dirty bit-vector.

@@ -7,6 +7,7 @@
 // for typical dimensions and lets the compiler emit aligned vector loads.
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <vector>
@@ -48,6 +49,20 @@ using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 constexpr std::size_t paddedRowWidth(std::size_t dim, std::size_t elemSize) noexcept {
   const std::size_t perLine = kCacheLine / elemSize;
   return ((dim + perLine - 1) / perLine) * perLine;
+}
+
+/// Widest SIMD vector the kernel layer may use: 16 floats (one AVX-512
+/// register = one cache line). Row strides padded with paddedRowWidth keep
+/// every row 64-byte aligned, so AVX-512 loads never split cache lines.
+inline constexpr std::size_t kSimdFloats = kCacheLine / sizeof(float);
+static_assert(paddedRowWidth(1, sizeof(float)) % kSimdFloats == 0,
+              "float row stride must be a multiple of the AVX-512 width");
+static_assert(paddedRowWidth(200, sizeof(float)) % kSimdFloats == 0,
+              "float row stride must be a multiple of the AVX-512 width");
+
+/// True when p sits on a cache-line (= widest SIMD) boundary.
+inline bool isSimdAligned(const void* p) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (kCacheLine - 1)) == 0;
 }
 
 }  // namespace gw2v::util

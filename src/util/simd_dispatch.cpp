@@ -1,0 +1,414 @@
+#include "util/simd.h"
+
+// Three implementations of every kernel, selected once at runtime.
+//
+// The AVX paths are compiled with per-function target attributes rather than
+// per-file flags, so this translation unit builds with any -march and the
+// binary picks the widest tier the machine (and GW2V_FORCE_SCALAR) allows.
+// The scalar tier keeps the exact loop shapes vecmath.h shipped with, so the
+// dispatch refactor does not change the reference semantics.
+
+#include <atomic>
+#include <cstdlib>
+
+#include <immintrin.h>
+
+namespace gw2v::util::simd {
+
+namespace {
+
+// ---------------------------------------------------------------- scalar --
+
+float dotScalar(const float* __restrict__ a, const float* __restrict__ b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void dot4Scalar(const float* __restrict__ a, const float* __restrict__ b0,
+                const float* __restrict__ b1, const float* __restrict__ b2,
+                const float* __restrict__ b3, std::size_t n, float* out) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = a[i];
+    s0 += v * b0[i];
+    s1 += v * b1[i];
+    s2 += v * b2[i];
+    s3 += v * b3[i];
+  }
+  out[0] = s0;
+  out[1] = s1;
+  out[2] = s2;
+  out[3] = s3;
+}
+
+void axpyScalar(float alpha, const float* __restrict__ x, float* __restrict__ y,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void axpy4Scalar(const float* c, const float* __restrict__ x0, const float* __restrict__ x1,
+                 const float* __restrict__ x2, const float* __restrict__ x3,
+                 float* __restrict__ y, std::size_t n) {
+  const float c0 = c[0], c1 = c[1], c2 = c[2], c3 = c[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += c0 * x0[i] + c1 * x1[i] + c2 * x2[i] + c3 * x3[i];
+  }
+}
+
+void axpbyScalar(float alpha, const float* __restrict__ x, float beta, float* __restrict__ y,
+                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void scaleScalar(float alpha, float* __restrict__ x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void dotNormAccumScalar(const float* __restrict__ acc, const float* __restrict__ next,
+                        std::size_t n, float* dotOut, float* norm2Out) {
+  float d = 0.0f, g2 = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    d += acc[i] * next[i];
+    g2 += acc[i] * acc[i];
+  }
+  *dotOut = d;
+  *norm2Out = g2;
+}
+
+// ------------------------------------------------------------- AVX2+FMA --
+
+__attribute__((target("avx2,fma"))) inline float hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+__attribute__((target("avx2,fma"))) float dotAvx2(const float* a, const float* b,
+                                                  std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+  }
+  float acc = hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) void dot4Avx2(const float* a, const float* b0,
+                                                  const float* b1, const float* b2,
+                                                  const float* b3, std::size_t n, float* out) {
+  __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+  __m256 s2 = _mm256_setzero_ps(), s3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    s0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + i), s0);
+    s1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + i), s1);
+    s2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + i), s2);
+    s3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + i), s3);
+  }
+  float r0 = hsum256(s0), r1 = hsum256(s1), r2 = hsum256(s2), r3 = hsum256(s3);
+  for (; i < n; ++i) {
+    const float v = a[i];
+    r0 += v * b0[i];
+    r1 += v * b1[i];
+    r2 += v * b2[i];
+    r3 += v * b3[i];
+  }
+  out[0] = r0;
+  out[1] = r1;
+  out[2] = r2;
+  out[3] = r3;
+}
+
+__attribute__((target("avx2,fma"))) void axpyAvx2(float alpha, const float* x, float* y,
+                                                  std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2,fma"))) void axpy4Avx2(const float* c, const float* x0,
+                                                   const float* x1, const float* x2,
+                                                   const float* x3, float* y, std::size_t n) {
+  const __m256 c0 = _mm256_set1_ps(c[0]), c1 = _mm256_set1_ps(c[1]);
+  const __m256 c2 = _mm256_set1_ps(c[2]), c3 = _mm256_set1_ps(c[3]);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    vy = _mm256_fmadd_ps(c0, _mm256_loadu_ps(x0 + i), vy);
+    vy = _mm256_fmadd_ps(c1, _mm256_loadu_ps(x1 + i), vy);
+    vy = _mm256_fmadd_ps(c2, _mm256_loadu_ps(x2 + i), vy);
+    vy = _mm256_fmadd_ps(c3, _mm256_loadu_ps(x3 + i), vy);
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) {
+    y[i] += c[0] * x0[i] + c[1] * x1[i] + c[2] * x2[i] + c[3] * x3[i];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void axpbyAvx2(float alpha, const float* x, float beta,
+                                                   float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 vb = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_mul_ps(vb, _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy));
+  }
+  for (; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+__attribute__((target("avx2,fma"))) void scaleAvx2(float alpha, float* x, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2,fma"))) void dotNormAccumAvx2(const float* acc, const float* next,
+                                                          std::size_t n, float* dotOut,
+                                                          float* norm2Out) {
+  __m256 vd = _mm256_setzero_ps();
+  __m256 vn = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(acc + i);
+    vd = _mm256_fmadd_ps(va, _mm256_loadu_ps(next + i), vd);
+    vn = _mm256_fmadd_ps(va, va, vn);
+  }
+  float d = hsum256(vd), g2 = hsum256(vn);
+  for (; i < n; ++i) {
+    d += acc[i] * next[i];
+    g2 += acc[i] * acc[i];
+  }
+  *dotOut = d;
+  *norm2Out = g2;
+}
+
+// ------------------------------------------------------------- AVX-512F --
+
+__attribute__((target("avx512f"))) inline __mmask16 tailMask(std::size_t rem) {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+__attribute__((target("avx512f"))) float dotAvx512(const float* a, const float* b,
+                                                   std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16), _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
+  }
+  if (i < n) {
+    const __mmask16 m = tailMask(n - i);
+    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + i), _mm512_maskz_loadu_ps(m, b + i),
+                           acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+__attribute__((target("avx512f"))) void dot4Avx512(const float* a, const float* b0,
+                                                   const float* b1, const float* b2,
+                                                   const float* b3, std::size_t n,
+                                                   float* out) {
+  __m512 s0 = _mm512_setzero_ps(), s1 = _mm512_setzero_ps();
+  __m512 s2 = _mm512_setzero_ps(), s3 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 va = _mm512_loadu_ps(a + i);
+    s0 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b0 + i), s0);
+    s1 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b1 + i), s1);
+    s2 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b2 + i), s2);
+    s3 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b3 + i), s3);
+  }
+  if (i < n) {
+    const __mmask16 m = tailMask(n - i);
+    const __m512 va = _mm512_maskz_loadu_ps(m, a + i);
+    s0 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b0 + i), s0);
+    s1 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b1 + i), s1);
+    s2 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b2 + i), s2);
+    s3 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b3 + i), s3);
+  }
+  out[0] = _mm512_reduce_add_ps(s0);
+  out[1] = _mm512_reduce_add_ps(s1);
+  out[2] = _mm512_reduce_add_ps(s2);
+  out[3] = _mm512_reduce_add_ps(s3);
+}
+
+__attribute__((target("avx512f"))) void axpyAvx512(float alpha, const float* x, float* y,
+                                                   std::size_t n) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 m = tailMask(n - i);
+    const __m512 vy = _mm512_maskz_loadu_ps(m, y + i);
+    _mm512_mask_storeu_ps(y + i, m, _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, x + i), vy));
+  }
+}
+
+__attribute__((target("avx512f"))) void axpy4Avx512(const float* c, const float* x0,
+                                                    const float* x1, const float* x2,
+                                                    const float* x3, float* y, std::size_t n) {
+  const __m512 c0 = _mm512_set1_ps(c[0]), c1 = _mm512_set1_ps(c[1]);
+  const __m512 c2 = _mm512_set1_ps(c[2]), c3 = _mm512_set1_ps(c[3]);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 vy = _mm512_loadu_ps(y + i);
+    vy = _mm512_fmadd_ps(c0, _mm512_loadu_ps(x0 + i), vy);
+    vy = _mm512_fmadd_ps(c1, _mm512_loadu_ps(x1 + i), vy);
+    vy = _mm512_fmadd_ps(c2, _mm512_loadu_ps(x2 + i), vy);
+    vy = _mm512_fmadd_ps(c3, _mm512_loadu_ps(x3 + i), vy);
+    _mm512_storeu_ps(y + i, vy);
+  }
+  if (i < n) {
+    const __mmask16 m = tailMask(n - i);
+    __m512 vy = _mm512_maskz_loadu_ps(m, y + i);
+    vy = _mm512_fmadd_ps(c0, _mm512_maskz_loadu_ps(m, x0 + i), vy);
+    vy = _mm512_fmadd_ps(c1, _mm512_maskz_loadu_ps(m, x1 + i), vy);
+    vy = _mm512_fmadd_ps(c2, _mm512_maskz_loadu_ps(m, x2 + i), vy);
+    vy = _mm512_fmadd_ps(c3, _mm512_maskz_loadu_ps(m, x3 + i), vy);
+    _mm512_mask_storeu_ps(y + i, m, vy);
+  }
+}
+
+__attribute__((target("avx512f"))) void axpbyAvx512(float alpha, const float* x, float beta,
+                                                    float* y, std::size_t n) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  const __m512 vb = _mm512_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 vy = _mm512_mul_ps(vb, _mm512_loadu_ps(y + i));
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), vy));
+  }
+  if (i < n) {
+    const __mmask16 m = tailMask(n - i);
+    const __m512 vy = _mm512_mul_ps(vb, _mm512_maskz_loadu_ps(m, y + i));
+    _mm512_mask_storeu_ps(y + i, m, _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, x + i), vy));
+  }
+}
+
+__attribute__((target("avx512f"))) void scaleAvx512(float alpha, float* x, std::size_t n) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_mul_ps(va, _mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 m = tailMask(n - i);
+    _mm512_mask_storeu_ps(x + i, m, _mm512_mul_ps(va, _mm512_maskz_loadu_ps(m, x + i)));
+  }
+}
+
+__attribute__((target("avx512f"))) void dotNormAccumAvx512(const float* acc, const float* next,
+                                                           std::size_t n, float* dotOut,
+                                                           float* norm2Out) {
+  __m512 vd = _mm512_setzero_ps();
+  __m512 vn = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 va = _mm512_loadu_ps(acc + i);
+    vd = _mm512_fmadd_ps(va, _mm512_loadu_ps(next + i), vd);
+    vn = _mm512_fmadd_ps(va, va, vn);
+  }
+  if (i < n) {
+    const __mmask16 m = tailMask(n - i);
+    const __m512 va = _mm512_maskz_loadu_ps(m, acc + i);
+    vd = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, next + i), vd);
+    vn = _mm512_fmadd_ps(va, va, vn);
+  }
+  *dotOut = _mm512_reduce_add_ps(vd);
+  *norm2Out = _mm512_reduce_add_ps(vn);
+}
+
+// ------------------------------------------------------------- dispatch --
+
+constexpr KernelTable kScalarTable{dotScalar, dot4Scalar,  axpyScalar,        axpy4Scalar,
+                                   axpbyScalar, scaleScalar, dotNormAccumScalar};
+constexpr KernelTable kAvx2Table{dotAvx2, dot4Avx2,  axpyAvx2,        axpy4Avx2,
+                                 axpbyAvx2, scaleAvx2, dotNormAccumAvx2};
+constexpr KernelTable kAvx512Table{dotAvx512, dot4Avx512,  axpyAvx512,        axpy4Avx512,
+                                   axpbyAvx512, scaleAvx512, dotNormAccumAvx512};
+
+std::atomic<const KernelTable*> gActive{nullptr};
+
+bool envForcesScalar() noexcept {
+  const char* v = std::getenv("GW2V_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+const char* tierName(Tier t) noexcept {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+Tier cpuTier() noexcept {
+  if (__builtin_cpu_supports("avx512f")) return Tier::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+Tier detectTier() noexcept { return envForcesScalar() ? Tier::kScalar : cpuTier(); }
+
+const KernelTable& kernelsFor(Tier t) noexcept {
+  const Tier cap = cpuTier();
+  const Tier use = static_cast<int>(t) <= static_cast<int>(cap) ? t : cap;
+  switch (use) {
+    case Tier::kAvx512: return kAvx512Table;
+    case Tier::kAvx2: return kAvx2Table;
+    case Tier::kScalar: break;
+  }
+  return kScalarTable;
+}
+
+const KernelTable& activeKernels() noexcept {
+  const KernelTable* t = gActive.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = &kernelsFor(detectTier());
+    gActive.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Tier activeTier() noexcept {
+  const KernelTable* t = &activeKernels();
+  if (t == &kAvx512Table) return Tier::kAvx512;
+  if (t == &kAvx2Table) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+Tier forceTierForTesting(Tier t) noexcept {
+  const KernelTable& table = kernelsFor(t);
+  gActive.store(&table, std::memory_order_release);
+  return activeTier();
+}
+
+}  // namespace gw2v::util::simd

@@ -2,47 +2,52 @@
 
 // Dense vector kernels used by the SGNS inner loop and the model combiner.
 //
-// These are written as simple, restrict-qualified loops; GCC/Clang at -O2
-// auto-vectorize them. Keeping them free functions (rather than expression
+// These wrappers keep the original span-based signatures but dispatch to the
+// runtime-selected SIMD tier in util/simd.h (AVX-512F / AVX2+FMA / scalar,
+// see simd_dispatch.cpp). Keeping them free functions (rather than expression
 // templates) makes the Hogwild data races on the underlying floats explicit
 // and auditable at the call sites.
+//
+// Size contract: binary kernels require a.size() == b.size(). Debug builds
+// assert; release builds clamp to the shorter span so a mismatched row dim
+// can never read or write out of bounds.
 
+#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <span>
 
+#include "util/simd.h"
+
 namespace gw2v::util {
 
+namespace detail {
+inline std::size_t pairedSize(std::size_t a, std::size_t b) noexcept {
+  assert(a == b && "vecmath: span size mismatch");
+  return a < b ? a : b;
+}
+}  // namespace detail
+
 inline float dot(std::span<const float> a, std::span<const float> b) noexcept {
-  const float* __restrict__ pa = a.data();
-  const float* __restrict__ pb = b.data();
-  float acc = 0.0f;
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
-  return acc;
+  const std::size_t n = detail::pairedSize(a.size(), b.size());
+  return simd::activeKernels().dot(a.data(), b.data(), n);
 }
 
 /// y += alpha * x
 inline void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
-  const float* __restrict__ px = x.data();
-  float* __restrict__ py = y.data();
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  const std::size_t n = detail::pairedSize(x.size(), y.size());
+  simd::activeKernels().axpy(alpha, x.data(), y.data(), n);
 }
 
 /// y = alpha * x + beta * y
 inline void axpby(float alpha, std::span<const float> x, float beta,
                   std::span<float> y) noexcept {
-  const float* __restrict__ px = x.data();
-  float* __restrict__ py = y.data();
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) py[i] = alpha * px[i] + beta * py[i];
+  const std::size_t n = detail::pairedSize(x.size(), y.size());
+  simd::activeKernels().axpby(alpha, x.data(), beta, y.data(), n);
 }
 
 inline void scale(float alpha, std::span<float> x) noexcept {
-  float* __restrict__ px = x.data();
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) px[i] *= alpha;
+  simd::activeKernels().scale(alpha, x.data(), x.size());
 }
 
 inline void fill(std::span<float> x, float v) noexcept {
@@ -50,19 +55,20 @@ inline void fill(std::span<float> x, float v) noexcept {
 }
 
 inline void copyInto(std::span<const float> src, std::span<float> dst) noexcept {
+  const std::size_t n = detail::pairedSize(src.size(), dst.size());
   const float* __restrict__ ps = src.data();
   float* __restrict__ pd = dst.data();
-  const std::size_t n = src.size();
   for (std::size_t i = 0; i < n; ++i) pd[i] = ps[i];
 }
 
 /// dst = a - b
 inline void sub(std::span<const float> a, std::span<const float> b,
                 std::span<float> dst) noexcept {
+  std::size_t n = detail::pairedSize(a.size(), b.size());
+  n = detail::pairedSize(n, dst.size());
   const float* __restrict__ pa = a.data();
   const float* __restrict__ pb = b.data();
   float* __restrict__ pd = dst.data();
-  const std::size_t n = a.size();
   for (std::size_t i = 0; i < n; ++i) pd[i] = pa[i] - pb[i];
 }
 

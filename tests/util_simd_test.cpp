@@ -1,0 +1,164 @@
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/vecmath.h"
+
+namespace gw2v::util::simd {
+namespace {
+
+// Odd lengths exercise every tail path: sub-vector (1, 7), sub-unroll (31),
+// the model dimensionality (200), and a just-past-a-full-vector size (257).
+const std::size_t kLengths[] = {1, 7, 31, 200, 257};
+
+std::vector<float> randomVec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniformFloat(-1.0f, 1.0f);
+  return v;
+}
+
+// SIMD tiers reassociate the reductions; tolerance scales with length.
+float tol(std::size_t n) { return 1e-5f * static_cast<float>(n); }
+
+class SimdParityTest : public ::testing::TestWithParam<Tier> {
+ protected:
+  void SetUp() override {
+    if (static_cast<int>(GetParam()) > static_cast<int>(cpuTier())) {
+      GTEST_SKIP() << "CPU lacks " << tierName(GetParam());
+    }
+  }
+  const KernelTable& scalar() { return kernelsFor(Tier::kScalar); }
+  const KernelTable& tiered() { return kernelsFor(GetParam()); }
+};
+
+TEST_P(SimdParityTest, Dot) {
+  Rng rng(1);
+  for (const std::size_t n : kLengths) {
+    const auto a = randomVec(n, rng), b = randomVec(n, rng);
+    EXPECT_NEAR(tiered().dot(a.data(), b.data(), n), scalar().dot(a.data(), b.data(), n),
+                tol(n))
+        << "n=" << n;
+  }
+}
+
+TEST_P(SimdParityTest, Dot4) {
+  Rng rng(2);
+  for (const std::size_t n : kLengths) {
+    const auto a = randomVec(n, rng);
+    const auto b0 = randomVec(n, rng), b1 = randomVec(n, rng);
+    const auto b2 = randomVec(n, rng), b3 = randomVec(n, rng);
+    float ref[4], got[4];
+    scalar().dot4(a.data(), b0.data(), b1.data(), b2.data(), b3.data(), n, ref);
+    tiered().dot4(a.data(), b0.data(), b1.data(), b2.data(), b3.data(), n, got);
+    for (int k = 0; k < 4; ++k) EXPECT_NEAR(got[k], ref[k], tol(n)) << "n=" << n << " k=" << k;
+    // dot4 against dot: the blocked kernel computes the same four products.
+    EXPECT_NEAR(got[2], tiered().dot(a.data(), b2.data(), n), tol(n));
+  }
+}
+
+TEST_P(SimdParityTest, Axpy) {
+  Rng rng(3);
+  for (const std::size_t n : kLengths) {
+    const auto x = randomVec(n, rng);
+    auto ref = randomVec(n, rng);
+    auto got = ref;
+    scalar().axpy(0.37f, x.data(), ref.data(), n);
+    tiered().axpy(0.37f, x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], ref[i], 1e-6f) << "n=" << n;
+  }
+}
+
+TEST_P(SimdParityTest, Axpy4) {
+  Rng rng(4);
+  for (const std::size_t n : kLengths) {
+    const auto x0 = randomVec(n, rng), x1 = randomVec(n, rng);
+    const auto x2 = randomVec(n, rng), x3 = randomVec(n, rng);
+    const float c[4] = {0.5f, -0.25f, 0.125f, 2.0f};
+    auto ref = randomVec(n, rng);
+    auto got = ref;
+    scalar().axpy4(c, x0.data(), x1.data(), x2.data(), x3.data(), ref.data(), n);
+    tiered().axpy4(c, x0.data(), x1.data(), x2.data(), x3.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], ref[i], 1e-5f) << "n=" << n;
+  }
+}
+
+TEST_P(SimdParityTest, Axpby) {
+  Rng rng(5);
+  for (const std::size_t n : kLengths) {
+    const auto x = randomVec(n, rng);
+    auto ref = randomVec(n, rng);
+    auto got = ref;
+    scalar().axpby(1.5f, x.data(), -0.75f, ref.data(), n);
+    tiered().axpby(1.5f, x.data(), -0.75f, got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], ref[i], 1e-6f) << "n=" << n;
+  }
+}
+
+TEST_P(SimdParityTest, Scale) {
+  Rng rng(6);
+  for (const std::size_t n : kLengths) {
+    auto ref = randomVec(n, rng);
+    auto got = ref;
+    scalar().scale(0.9f, ref.data(), n);
+    tiered().scale(0.9f, got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(got[i], ref[i]) << "n=" << n;
+  }
+}
+
+TEST_P(SimdParityTest, DotNormAccum) {
+  Rng rng(7);
+  for (const std::size_t n : kLengths) {
+    const auto acc = randomVec(n, rng), next = randomVec(n, rng);
+    float dRef, nRef, dGot, nGot;
+    scalar().dotNormAccum(acc.data(), next.data(), n, &dRef, &nRef);
+    tiered().dotNormAccum(acc.data(), next.data(), n, &dGot, &nGot);
+    EXPECT_NEAR(dGot, dRef, tol(n)) << "n=" << n;
+    EXPECT_NEAR(nGot, nRef, tol(n)) << "n=" << n;
+    // The fused kernel must agree with its two unfused halves.
+    EXPECT_NEAR(dGot, tiered().dot(acc.data(), next.data(), n), tol(n));
+    EXPECT_NEAR(nGot, tiered().dot(acc.data(), acc.data(), n), tol(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, SimdParityTest,
+                         ::testing::Values(Tier::kScalar, Tier::kAvx2, Tier::kAvx512),
+                         [](const ::testing::TestParamInfo<Tier>& info) {
+                           return std::string(tierName(info.param));
+                         });
+
+TEST(SimdDispatch, ForceScalarEnvPinsScalarTier) {
+  ASSERT_EQ(setenv("GW2V_FORCE_SCALAR", "1", 1), 0);
+  EXPECT_EQ(detectTier(), Tier::kScalar);
+  ASSERT_EQ(setenv("GW2V_FORCE_SCALAR", "0", 1), 0);
+  EXPECT_EQ(detectTier(), cpuTier());
+  ASSERT_EQ(unsetenv("GW2V_FORCE_SCALAR"), 0);
+  EXPECT_EQ(detectTier(), cpuTier());
+}
+
+TEST(SimdDispatch, ForceTierForTestingSwapsActiveTable) {
+  const Tier original = activeTier();
+  EXPECT_EQ(forceTierForTesting(Tier::kScalar), Tier::kScalar);
+  EXPECT_EQ(activeTier(), Tier::kScalar);
+  // vecmath routes through the swapped table.
+  const std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_FLOAT_EQ(util::dot(a, b), 32.0f);
+  // Requesting more than the CPU supports clamps instead of crashing.
+  const Tier best = forceTierForTesting(Tier::kAvx512);
+  EXPECT_EQ(best, cpuTier());
+  EXPECT_FLOAT_EQ(util::dot(a, b), 32.0f);
+  forceTierForTesting(original);
+}
+
+TEST(SimdDispatch, TierNames) {
+  EXPECT_STREQ(tierName(Tier::kScalar), "scalar");
+  EXPECT_STREQ(tierName(Tier::kAvx2), "avx2");
+  EXPECT_STREQ(tierName(Tier::kAvx512), "avx512");
+}
+
+}  // namespace
+}  // namespace gw2v::util::simd
