@@ -5,10 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
 #include <vector>
 
+#include "comm/collectives.h"
+#include "comm/transport.h"
 #include "core/sgns.h"
 #include "core/sgns_batched.h"
+#include "sim/network.h"
 #include "text/sampling.h"
 #include "util/alias_sampler.h"
 #include "util/bitvector.h"
@@ -184,6 +188,55 @@ BENCHMARK(BM_SgnsStepBatched)
     ->Args({1, 200})
     ->Args({8, 200})
     ->Args({16, 200});
+
+// Allreduce algorithms head-to-head on the simulated fabric: the naive star
+// (root drains H-1 full payloads), the bandwidth-optimal ring, and the
+// binomial tree. One iteration = one full allreduce across `hosts` threads;
+// bytes_per_second counts the logical payload once.
+void BM_Collectives(benchmark::State& state) {
+  const auto algo = static_cast<comm::CollectiveAlgo>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto numHosts = static_cast<unsigned>(state.range(2));
+  for (auto _ : state) {
+    sim::Network net(numHosts);
+    std::vector<std::thread> threads;
+    threads.reserve(numHosts);
+    for (unsigned h = 0; h < numHosts; ++h) {
+      threads.emplace_back([&net, h, n, algo] {
+        comm::SimTransport transport(net);
+        comm::Collectives coll(transport, h, comm::TagSpace::kBench);
+        std::vector<double> v(n, static_cast<double>(h));
+        coll.allReduceSum(v, algo);
+        benchmark::DoNotOptimize(v.data());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(sizeof(double)));
+  state.SetLabel(comm::collectiveAlgoName(algo));
+}
+BENCHMARK(BM_Collectives)
+    ->ArgNames({"algo", "n", "hosts"})
+    ->Unit(benchmark::kMillisecond)
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kNaive), 1 << 10, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kRing), 1 << 10, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kTree), 1 << 10, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kNaive), 1 << 16, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kRing), 1 << 16, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kTree), 1 << 16, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kNaive), 1 << 20, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kRing), 1 << 20, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kTree), 1 << 20, 8})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kNaive), 1 << 10, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kRing), 1 << 10, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kTree), 1 << 10, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kNaive), 1 << 16, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kRing), 1 << 16, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kTree), 1 << 16, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kNaive), 1 << 20, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kRing), 1 << 20, 32})
+    ->Args({static_cast<int>(comm::CollectiveAlgo::kTree), 1 << 20, 32});
 
 void BM_BitVectorSet(benchmark::State& state) {
   util::BitVector bv(1 << 20);

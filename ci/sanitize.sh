@@ -1,0 +1,16 @@
+#!/bin/bash
+# ASan+UBSan build + full test run. Catches the class of bug the serializer's
+# misaligned-view fix closed (UB reinterpret casts), data races surfacing as
+# heap errors, and leaks in the collective layer's payload plumbing.
+#
+# Usage: ci/sanitize.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+cmake -S . -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGW2V_SANITIZE=address,undefined \
+  -DGW2V_NATIVE_ARCH=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

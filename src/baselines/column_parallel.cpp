@@ -3,6 +3,8 @@
 #include <cmath>
 #include <memory>
 
+#include "comm/collectives.h"
+#include "comm/transport.h"
 #include "runtime/do_all.h"
 #include "text/corpus.h"
 #include "text/sampling.h"
@@ -35,6 +37,8 @@ ColumnParallelResult trainColumnParallel(const text::Vocabulary& vocab,
 
   const auto body = [&](sim::HostContext& ctx) {
     const unsigned host = ctx.id();
+    comm::SimTransport transport(ctx.network());
+    comm::Collectives coll(transport, host, comm::TagSpace::kBaseline);
     graph::ModelGraph& model = *replicas[host];
     const auto [dlo, dhi] = runtime::blockRange(dim, numHosts, host);
     const std::uint32_t sliceLen = static_cast<std::uint32_t>(dhi - dlo);
@@ -71,7 +75,7 @@ ColumnParallelResult trainColumnParallel(const text::Vocabulary& vocab,
         ctx.computeTimer().stop();
         // ...summed across hosts into global dots (the design's hot loop).
         const sim::CommSnapshot before = sim::snapshot(ctx.commStats());
-        ctx.network().allReduceSum(host, dots);
+        coll.allReduceSum(dots);
         ctx.addModelledCommSeconds(opts.netModel.exchangeSeconds(
             sim::delta(before, sim::snapshot(ctx.commStats()))));
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "comm/serialize.h"
+#include "comm/transport.h"
 #include "runtime/do_all.h"
 #include "text/corpus.h"
 #include "text/sampling.h"
@@ -44,7 +45,9 @@ ParameterServerResult trainParameterServer(const text::Vocabulary& vocab,
   const std::uint64_t totalRounds = static_cast<std::uint64_t>(opts.epochs) * opts.roundsPerEpoch;
 
   const auto body = [&](sim::HostContext& ctx) {
-    auto& net = ctx.network();
+    // Point-to-point only: the PS pattern is asynchronous request/reply, so it
+    // sits directly on the Transport seam rather than on Collectives.
+    comm::SimTransport net(ctx.network());
     if (ctx.id() == 0) {
       // ---- Server: handle pulls and pushes in arrival order. ----
       std::uint64_t pending = totalRounds * numWorkers * 2;  // each round: 1 pull + 1 push

@@ -3,7 +3,6 @@
 #include <cassert>
 
 #include "comm/serialize.h"
-#include "sim/network.h"
 
 namespace gw2v::comm {
 
@@ -12,6 +11,8 @@ ScalarSyncEngine::ScalarSyncEngine(sim::HostContext& ctx, std::span<float> value
                                    const graph::BlockedPartition& partition,
                                    ScalarReduceOp op, sim::NetworkModel netModel)
     : ctx_(ctx),
+      transport_(ctx.network()),
+      coll_(transport_, ctx.id(), TagSpace::kScalarSync),
       values_(values),
       touched_(touched),
       partition_(partition),
@@ -22,7 +23,6 @@ ScalarSyncEngine::ScalarSyncEngine(sim::HostContext& ctx, std::span<float> value
 }
 
 std::uint64_t ScalarSyncEngine::sync() {
-  auto& net = ctx_.network();
   const unsigned numHosts = ctx_.numHosts();
   const sim::HostId me = ctx_.id();
   const auto better = [this](float candidate, float current) {
@@ -30,10 +30,9 @@ std::uint64_t ScalarSyncEngine::sync() {
   };
 
   const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
-  const int reduceTag = static_cast<int>(round_ * 2 + 0);
-  const int bcastTag = static_cast<int>(round_ * 2 + 1);
 
-  // Reduce: touched labels to their masters.
+  // Reduce: touched labels to their masters (personalized exchange).
+  std::vector<std::vector<std::uint8_t>> reduceOut(numHosts);
   for (unsigned peer = 0; peer < numHosts; ++peer) {
     if (peer == me) continue;
     const auto [lo, hi] = partition_.masterRange(peer);
@@ -46,8 +45,10 @@ std::uint64_t ScalarSyncEngine::sync() {
       w.put(n);
       w.put(values_[n]);
     }
-    net.send(me, peer, reduceTag, w.take(), sim::CommPhase::kReduce);
+    reduceOut[peer] = w.take();
   }
+  const std::vector<std::vector<std::uint8_t>> reduceIn =
+      coll_.allToAllv(std::move(reduceOut), sim::CommPhase::kReduce);
 
   // Master-side fold. Track which owned labels improved.
   std::uint64_t changed = 0;
@@ -59,8 +60,7 @@ std::uint64_t ScalarSyncEngine::sync() {
   }
   for (unsigned src = 0; src < numHosts; ++src) {
     if (src == me) continue;
-    const auto payload = net.recv(me, src, reduceTag, sim::CommPhase::kReduce);
-    ByteReader r(payload);
+    ByteReader r(reduceIn[src]);
     const std::uint32_t count = r.get<std::uint32_t>();
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t n = r.get<std::uint32_t>();
@@ -73,22 +73,20 @@ std::uint64_t ScalarSyncEngine::sync() {
     }
   }
 
-  // Broadcast improved masters to every host.
-  for (unsigned peer = 0; peer < numHosts; ++peer) {
-    if (peer == me) continue;
-    ByteWriter w;
-    w.put(static_cast<std::uint32_t>(improved.count()));
-    improved.forEachSet([&](std::size_t off) {
-      const auto n = static_cast<std::uint32_t>(ownLo + off);
-      w.put(n);
-      w.put(values_[n]);
-    });
-    net.send(me, peer, bcastTag, w.take(), sim::CommPhase::kBroadcast);
-  }
+  // Broadcast improved masters to every host: each host publishes one block,
+  // everyone collects all blocks (ring all-gather).
+  ByteWriter w;
+  w.put(static_cast<std::uint32_t>(improved.count()));
+  improved.forEachSet([&](std::size_t off) {
+    const auto n = static_cast<std::uint32_t>(ownLo + off);
+    w.put(n);
+    w.put(values_[n]);
+  });
+  const std::vector<std::vector<std::uint8_t>> bcastIn =
+      coll_.allGatherv(w.take(), sim::CommPhase::kBroadcast);
   for (unsigned src = 0; src < numHosts; ++src) {
     if (src == me) continue;
-    const auto payload = net.recv(me, src, bcastTag, sim::CommPhase::kBroadcast);
-    ByteReader r(payload);
+    ByteReader r(bcastIn[src]);
     const std::uint32_t count = r.get<std::uint32_t>();
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t n = r.get<std::uint32_t>();
@@ -106,7 +104,7 @@ std::uint64_t ScalarSyncEngine::sync() {
   ++round_;
   ctx_.addModelledCommSeconds(
       netModel_.exchangeSeconds(sim::delta(before, sim::snapshot(ctx_.commStats()))));
-  ctx_.barrier();
+  coll_.barrier();
   return changed;
 }
 

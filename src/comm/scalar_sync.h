@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "comm/collectives.h"
+#include "comm/transport.h"
 #include "graph/partition.h"
 #include "sim/cluster.h"
 #include "sim/network_model.h"
@@ -41,6 +43,8 @@ class ScalarSyncEngine {
 
  private:
   sim::HostContext& ctx_;
+  SimTransport transport_;
+  Collectives coll_;
   std::span<float> values_;
   util::BitVector& touched_;
   const graph::BlockedPartition& partition_;

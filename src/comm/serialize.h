@@ -3,8 +3,10 @@
 // Flat byte (de)serialization for sync messages. Trivially-copyable scalars
 // only; all hosts are the same binary so no endianness concerns.
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -50,16 +52,23 @@ class ByteReader {
     return v;
   }
 
-  /// Zero-copy view of the next n elements of T.
+  /// View of the next n elements of T. Zero-copy when the cursor happens to
+  /// be aligned for T; otherwise (e.g. a message that leads with a 1-byte
+  /// kind tag) the elements are memcpy'd into owned aligned storage that
+  /// lives as long as the reader, so earlier views stay valid too.
   template <typename T>
   std::span<const T> view(std::size_t n) {
     static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(alignof(T) <= alignof(std::max_align_t));
     require(n * sizeof(T));
-    // The payload buffers we read from are freshly allocated vectors; float
-    // alignment within them holds because every field is 4-byte sized.
-    const T* p = reinterpret_cast<const T*>(bytes_.data() + pos_);
+    const std::uint8_t* raw = bytes_.data() + pos_;
     pos_ += n * sizeof(T);
-    return {p, n};
+    if (reinterpret_cast<std::uintptr_t>(raw) % alignof(T) == 0) {
+      return {reinterpret_cast<const T*>(raw), n};
+    }
+    std::vector<std::uint8_t>& copy = aligned_.emplace_back(n * sizeof(T));
+    if (n != 0) std::memcpy(copy.data(), raw, n * sizeof(T));
+    return {reinterpret_cast<const T*>(copy.data()), n};
   }
 
   bool done() const noexcept { return pos_ == bytes_.size(); }
@@ -72,6 +81,9 @@ class ByteReader {
 
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
+  /// Aligned fallback copies handed out by view(); deque so spans into
+  /// earlier copies survive later ones.
+  std::deque<std::vector<std::uint8_t>> aligned_;
 };
 
 }  // namespace gw2v::comm

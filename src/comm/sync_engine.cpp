@@ -3,7 +3,6 @@
 #include <cassert>
 
 #include "comm/serialize.h"
-#include "sim/network.h"
 #include "util/vecmath.h"
 
 namespace gw2v::comm {
@@ -32,6 +31,8 @@ SyncEngine::SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
                        const graph::BlockedPartition& partition, const Reducer& reducer,
                        SyncStrategy strategy, sim::NetworkModel netModel)
     : ctx_(ctx),
+      transport_(ctx.network()),
+      coll_(transport_, ctx.id(), TagSpace::kModelSync),
       model_(model),
       partition_(partition),
       reducer_(reducer),
@@ -74,7 +75,6 @@ void SyncEngine::sync(const util::BitVector& willAccessNextRound) {
 }
 
 void SyncEngine::doSync(const util::BitVector* willAccess) {
-  auto& net = ctx_.network();
   const unsigned numHosts = ctx_.numHosts();
   const sim::HostId me = ctx_.id();
   const std::uint32_t dim = model_.dim();
@@ -83,14 +83,11 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
 
   const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
 
-  // Tags are unique per round so late receivers can never mix rounds.
-  const int reduceTag = static_cast<int>(round_ * 4 + 0);
-  const int bcastTag = static_cast<int>(round_ * 4 + 1);
-  const int ctrlTag = static_cast<int>(round_ * 4 + 2);
-
   // ---- PullModel inspection exchange: tell each master which of its nodes
   // this host will access next round. -----------------------------------
+  std::vector<std::vector<std::uint8_t>> ctrlIn;
   if (pull && numHosts > 1) {
+    std::vector<std::vector<std::uint8_t>> ctrlOut(numHosts);
     for (unsigned peer = 0; peer < numHosts; ++peer) {
       if (peer == me) continue;
       ByteWriter w;
@@ -109,13 +106,15 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
       } else {
         for (std::uint32_t n = lo; n < hi; ++n) w.put(n);
       }
-      net.send(me, peer, ctrlTag, w.take(), sim::CommPhase::kControl);
+      ctrlOut[peer] = w.take();
     }
+    ctrlIn = coll_.allToAllv(std::move(ctrlOut), sim::CommPhase::kControl);
   }
 
   // ---- Reduce phase: ship touched (or all, for Naive) mirror deltas to
   // masters. -------------------------------------------------------------
   const auto [ownLo, ownHi] = partition_.masterRange(me);
+  std::vector<std::vector<std::uint8_t>> reduceOut(numHosts);
   for (unsigned peer = 0; peer < numHosts; ++peer) {
     if (peer == me) continue;
     const auto [lo, hi] = partition_.masterRange(peer);
@@ -136,8 +135,10 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
         w.putSpan(std::span<const float>(delta));
       }
     }
-    net.send(me, peer, reduceTag, w.take(), sim::CommPhase::kReduce);
+    reduceOut[peer] = w.take();
   }
+  const std::vector<std::vector<std::uint8_t>> reduceIn =
+      coll_.allToAllv(std::move(reduceOut), sim::CommPhase::kReduce);
 
   // ---- Master-side accumulation over contributions in host-id order. ----
   const std::uint32_t ownCount = ownHi - ownLo;
@@ -163,6 +164,8 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
     ++contribAt(l, n);
   };
 
+  // The exchange drained in arrival order; fold in host-id order so the
+  // combined step is deterministic regardless of scheduling.
   std::vector<float> scratch(dim);
   for (unsigned src = 0; src < numHosts; ++src) {
     if (src == me) {
@@ -176,8 +179,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
       }
       continue;
     }
-    const std::vector<std::uint8_t> payload = net.recv(me, src, reduceTag, sim::CommPhase::kReduce);
-    ByteReader r(payload);
+    ByteReader r(reduceIn[src]);
     for (int l = 0; l < graph::kNumLabels; ++l) {
       const std::uint32_t count = r.get<std::uint32_t>();
       for (std::uint32_t i = 0; i < count; ++i) {
@@ -201,15 +203,14 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
     }
   }
 
-  // ---- Gather PullModel recipient lists at the master. -------------------
+  // ---- Parse PullModel recipient lists gathered during the control
+  // exchange. --------------------------------------------------------------
   std::vector<std::vector<std::uint32_t>> pullWants;  // per peer: owned nodes it reads
   if (pull && numHosts > 1) {
     pullWants.resize(numHosts);
     for (unsigned peer = 0; peer < numHosts; ++peer) {
       if (peer == me) continue;
-      const std::vector<std::uint8_t> payload =
-          net.recv(me, peer, ctrlTag, sim::CommPhase::kControl);
-      ByteReader r(payload);
+      ByteReader r(ctrlIn[peer]);
       const std::uint32_t count = r.get<std::uint32_t>();
       pullWants[peer].reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) pullWants[peer].push_back(r.get<std::uint32_t>());
@@ -217,6 +218,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
   }
 
   // ---- Broadcast phase: ship canonical values to mirrors. ----------------
+  std::vector<std::vector<std::uint8_t>> bcastOut(numHosts);
   for (unsigned peer = 0; peer < numHosts; ++peer) {
     if (peer == me) continue;
     ByteWriter w;
@@ -244,7 +246,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
         }
       }
     }
-    net.send(me, peer, bcastTag, w.take(), sim::CommPhase::kBroadcast);
+    bcastOut[peer] = w.take();
   }
 
   // Locally-touched mirror rows whose fresh value we may never receive
@@ -258,12 +260,12 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
     });
   }
 
-  // ---- Receive broadcasts and overwrite mirrors + baselines. -------------
+  // ---- Exchange broadcasts and overwrite mirrors + baselines. ------------
+  const std::vector<std::vector<std::uint8_t>> bcastIn =
+      coll_.allToAllv(std::move(bcastOut), sim::CommPhase::kBroadcast);
   for (unsigned src = 0; src < numHosts; ++src) {
     if (src == me) continue;
-    const std::vector<std::uint8_t> payload =
-        net.recv(me, src, bcastTag, sim::CommPhase::kBroadcast);
-    ByteReader r(payload);
+    ByteReader r(bcastIn[src]);
     for (int l = 0; l < graph::kNumLabels; ++l) {
       const auto label = static_cast<graph::Label>(l);
       const std::uint32_t count = r.get<std::uint32_t>();
@@ -284,7 +286,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
   ctx_.addModelledCommSeconds(netModel_.exchangeSeconds(sim::delta(before, after)));
 
   // BSP rounds end at a barrier: nobody computes ahead of stragglers.
-  ctx_.barrier();
+  coll_.barrier();
 }
 
 }  // namespace gw2v::comm

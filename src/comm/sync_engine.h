@@ -26,7 +26,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/collectives.h"
 #include "comm/reducer.h"
+#include "comm/transport.h"
 #include "graph/model_graph.h"
 #include "graph/partition.h"
 #include "sim/cluster.h"
@@ -69,6 +71,8 @@ class SyncEngine {
   std::span<float> mutableBaselineRow(graph::Label label, std::uint32_t node) noexcept;
 
   sim::HostContext& ctx_;
+  SimTransport transport_;
+  Collectives coll_;
   graph::ModelGraph& model_;
   const graph::BlockedPartition& partition_;
   const Reducer& reducer_;

@@ -1,0 +1,120 @@
+#pragma once
+
+// Transport: the minimal point-to-point contract the collective layer and the
+// sync engines are written against.
+//
+// A Transport moves opaque byte payloads between ranks with (source, tag)
+// matching, provides an any-source receive, a global barrier, and per-rank
+// per-phase byte/message accounting (sim::CommStats). Blocking calls must
+// throw sim::NetworkAborted once the fabric is poisoned so a faulted rank
+// can never deadlock its peers — this is the abort-propagation half of the
+// contract, and comm::Collectives relies on it.
+//
+// SimTransport is the first backend: a thin adapter over the in-process
+// sim::Network. A socket or MPI backend plugs in by implementing the same
+// six virtuals; everything above this seam (Collectives, SyncEngine,
+// ScalarSyncEngine, the baselines) is transport-agnostic.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/comm_stats.h"
+#include "sim/network.h"
+
+namespace gw2v::comm {
+
+using RankId = sim::HostId;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual unsigned numRanks() const noexcept = 0;
+
+  /// Enqueue `payload` for `dst`; never blocks on the receiver. Accounts
+  /// bytes (payload + framing) and one message under `phase`.
+  virtual void send(RankId src, RankId dst, int tag, std::vector<std::uint8_t> payload,
+                    sim::CommPhase phase) = 0;
+
+  /// Blocking receive matching (src, tag) at rank `dst`.
+  virtual std::vector<std::uint8_t> recv(RankId dst, RankId src, int tag,
+                                         sim::CommPhase phase) = 0;
+
+  /// Blocking receive matching any source (MPI_ANY_SOURCE); returns the
+  /// sender. Lets root-side drains proceed in arrival order instead of
+  /// head-of-line blocking on a fixed rank sequence.
+  virtual std::pair<RankId, std::vector<std::uint8_t>> recvAny(RankId dst, int tag,
+                                                               sim::CommPhase phase) = 0;
+
+  /// Global barrier across all ranks.
+  virtual void barrier(RankId rank) = 0;
+
+  /// True once the fabric is poisoned; blocking calls throw NetworkAborted.
+  virtual bool aborted() const noexcept = 0;
+
+  /// Per-rank traffic accounting (bytes/messages per phase + collective
+  /// rounds); Collectives records its round counts here.
+  virtual sim::CommStats& statsFor(RankId rank) noexcept = 0;
+
+  // ---- Typed conveniences (trivially-copyable elements). ----
+
+  template <typename T>
+  void sendElems(RankId src, RankId dst, int tag, std::span<const T> data,
+                 sim::CommPhase phase) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> bytes(data.size_bytes());
+    if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+    send(src, dst, tag, std::move(bytes), phase);
+  }
+
+  template <typename T>
+  std::vector<T> recvElems(RankId dst, RankId src, int tag, sim::CommPhase phase) {
+    return elemsFromBytes<T>(recv(dst, src, tag, phase));
+  }
+
+  template <typename T>
+  static std::vector<T> elemsFromBytes(const std::vector<std::uint8_t>& bytes) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
+    return out;
+  }
+};
+
+/// Backend #1: the in-process simulated network. Stateless wrapper — cheap to
+/// construct wherever a sim::HostContext is in hand.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(sim::Network& net) noexcept : net_(net) {}
+
+  unsigned numRanks() const noexcept override { return net_.numHosts(); }
+
+  void send(RankId src, RankId dst, int tag, std::vector<std::uint8_t> payload,
+            sim::CommPhase phase) override {
+    net_.send(src, dst, tag, std::move(payload), phase);
+  }
+
+  std::vector<std::uint8_t> recv(RankId dst, RankId src, int tag,
+                                 sim::CommPhase phase) override {
+    return net_.recv(dst, src, tag, phase);
+  }
+
+  std::pair<RankId, std::vector<std::uint8_t>> recvAny(RankId dst, int tag,
+                                                       sim::CommPhase phase) override {
+    return net_.recvAny(dst, tag, phase);
+  }
+
+  void barrier(RankId rank) override { net_.barrier(rank); }
+
+  bool aborted() const noexcept override { return net_.aborted(); }
+
+  sim::CommStats& statsFor(RankId rank) noexcept override { return net_.statsFor(rank); }
+
+ private:
+  sim::Network& net_;
+};
+
+}  // namespace gw2v::comm

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "comm/collectives.h"
+#include "comm/transport.h"
 #include "core/cbow.h"
 #include "core/huffman.h"
 #include "core/model_combiner.h"
@@ -121,6 +123,8 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
     const unsigned host = ctx.id();
     graph::ModelGraph& model = *replicas[host];
     comm::SyncEngine sync(ctx, model, partition, *reducer, opts_.strategy, opts_.netModel);
+    comm::SimTransport transport(ctx.network());
+    comm::Collectives coll(transport, host, comm::TagSpace::kTrainer);
     // With shuffling on, the host re-permutes a private copy each epoch.
     std::vector<text::WordId> shuffled;
     if (opts_.shuffleEachEpoch) shuffled = parts[host];
@@ -277,7 +281,7 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
 
       if (opts_.trackLoss) {
         double sums[2] = {hostLoss, static_cast<double>(hostEpochExamples)};
-        ctx.network().allReduceSum(host, sums);
+        coll.allReduceSum(sums);
         if (host == 0) {
           EpochStats& st = epochStats[epoch];
           st.epoch = epoch + 1;

@@ -3,7 +3,9 @@
 #include <functional>
 #include <limits>
 
+#include "comm/collectives.h"
 #include "comm/scalar_sync.h"
+#include "comm/transport.h"
 #include "graph/algorithms.h"
 #include "graph/partition.h"
 #include "util/bitvector.h"
@@ -35,6 +37,8 @@ DistributedResult runBsp(const CSRGraph& g, unsigned numHosts, sim::NetworkModel
     util::BitVector touched(g.numNodes());
     comm::ScalarSyncEngine sync(ctx, values, touched, partition,
                                 comm::ScalarReduceOp::kMin, netModel);
+    comm::SimTransport transport(ctx.network());
+    comm::Collectives coll(transport, ctx.id(), comm::TagSpace::kGraphAnalytics);
     const auto [lo, hi] = partition.masterRange(ctx.id());
 
     for (;;) {
@@ -45,7 +49,7 @@ DistributedResult runBsp(const CSRGraph& g, unsigned numHosts, sim::NetworkModel
 
       const std::uint64_t received = sync.sync();
       double total[1] = {static_cast<double>(localWork + received)};
-      ctx.network().allReduceSum(ctx.id(), total);
+      coll.allReduceSum(total);
       if (total[0] == 0.0) break;
     }
     roundsOut[ctx.id()] = sync.rounds();
@@ -153,6 +157,8 @@ DistributedPagerankResult distributedPagerank(const CSRGraph& g, unsigned numHos
   result.cluster = sim::runCluster(copts, [&](sim::HostContext& ctx) {
     std::vector<double>& rank = replicaRanks[ctx.id()];
     std::vector<double> partial(n, 0.0);
+    comm::SimTransport transport(ctx.network());
+    comm::Collectives coll(transport, ctx.id(), comm::TagSpace::kGraphAnalytics);
     const auto [lo, hi] = partition.masterRange(ctx.id());
 
     for (int iter = 0; iter < maxIters; ++iter) {
@@ -173,7 +179,7 @@ DistributedPagerankResult distributedPagerank(const CSRGraph& g, unsigned numHos
       // Dense exchange: contribution vector + dangling mass in one reduce.
       const sim::CommSnapshot before = sim::snapshot(ctx.commStats());
       partial.push_back(dangling);
-      ctx.network().allReduceSum(ctx.id(), partial);
+      coll.allReduceSum(partial);
       ctx.addModelledCommSeconds(netModel.exchangeSeconds(
           sim::delta(before, sim::snapshot(ctx.commStats()))));
       const double globalDangling = partial.back();

@@ -35,6 +35,17 @@ class CommStats {
     phases_[static_cast<int>(phase)].bytesReceived.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// Serialized rounds this host sat through inside collective operations
+  /// (ring steps, tree depth, star drain length). The NetworkModel charges
+  /// latency on max(messages, rounds), so algorithm depth shows up in
+  /// modelled time even when this host sent few messages itself.
+  void recordCollectiveRounds(std::uint64_t rounds) noexcept {
+    collectiveRounds_.fetch_add(rounds, std::memory_order_relaxed);
+  }
+  std::uint64_t collectiveRounds() const noexcept {
+    return collectiveRounds_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t bytesSent() const noexcept {
     std::uint64_t total = 0;
     for (const auto& c : phases_) total += c.bytesSent.load(std::memory_order_relaxed);
@@ -64,10 +75,12 @@ class CommStats {
       c.bytesReceived.store(0, std::memory_order_relaxed);
       c.messagesSent.store(0, std::memory_order_relaxed);
     }
+    collectiveRounds_.store(0, std::memory_order_relaxed);
   }
 
  private:
   PhaseCounters phases_[kNumCommPhases];
+  std::atomic<std::uint64_t> collectiveRounds_{0};
 };
 
 /// Plain (non-atomic) snapshot used to compute per-round deltas.
@@ -75,15 +88,17 @@ struct CommSnapshot {
   std::uint64_t bytesSent = 0;
   std::uint64_t bytesReceived = 0;
   std::uint64_t messagesSent = 0;
+  std::uint64_t collectiveRounds = 0;
 };
 
 inline CommSnapshot snapshot(const CommStats& s) {
-  return {s.bytesSent(), s.bytesReceived(), s.messagesSent()};
+  return {s.bytesSent(), s.bytesReceived(), s.messagesSent(), s.collectiveRounds()};
 }
 
 inline CommSnapshot delta(const CommSnapshot& before, const CommSnapshot& after) {
   return {after.bytesSent - before.bytesSent, after.bytesReceived - before.bytesReceived,
-          after.messagesSent - before.messagesSent};
+          after.messagesSent - before.messagesSent,
+          after.collectiveRounds - before.collectiveRounds};
 }
 
 }  // namespace gw2v::sim

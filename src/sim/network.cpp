@@ -6,11 +6,6 @@
 
 namespace gw2v::sim {
 
-namespace {
-constexpr int kTagAllReduce = kInternalTagBase + 1;
-constexpr int kTagBroadcast = kInternalTagBase + 2;
-}  // namespace
-
 Network::Network(unsigned numHosts)
     : numHosts_(numHosts), mailboxes_(numHosts), stats_(numHosts) {
   if (numHosts == 0) throw std::invalid_argument("Network: numHosts must be >= 1");
@@ -101,41 +96,6 @@ void Network::abort() noexcept {
   {
     std::lock_guard<std::mutex> lock(barrierMutex_);
     barrierCv_.notify_all();
-  }
-}
-
-void Network::allReduceSum(HostId host, std::span<double> values) {
-  if (numHosts_ == 1) return;
-  if (host == 0) {
-    for (HostId h = 1; h < numHosts_; ++h) {
-      const std::vector<double> contrib = recvVector<double>(0, h, kTagAllReduce);
-      if (contrib.size() != values.size())
-        throw std::runtime_error("allReduceSum: size mismatch across hosts");
-      for (std::size_t i = 0; i < values.size(); ++i) values[i] += contrib[i];
-    }
-    for (HostId h = 1; h < numHosts_; ++h) {
-      sendVector<double>(0, h, kTagAllReduce, std::span<const double>(values));
-    }
-  } else {
-    sendVector<double>(host, 0, kTagAllReduce, std::span<const double>(values));
-    const std::vector<double> result = recvVector<double>(host, 0, kTagAllReduce);
-    std::copy(result.begin(), result.end(), values.begin());
-  }
-}
-
-void Network::broadcast(HostId host, HostId root, std::span<std::uint8_t> data) {
-  if (numHosts_ == 1) return;
-  if (host == root) {
-    for (HostId h = 0; h < numHosts_; ++h) {
-      if (h == root) continue;
-      std::vector<std::uint8_t> copy(data.begin(), data.end());
-      send(root, h, kTagBroadcast, std::move(copy));
-    }
-  } else {
-    const std::vector<std::uint8_t> payload = recv(host, root, kTagBroadcast);
-    if (payload.size() != data.size())
-      throw std::runtime_error("broadcast: size mismatch across hosts");
-    std::copy(payload.begin(), payload.end(), data.begin());
   }
 }
 

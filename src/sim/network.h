@@ -4,7 +4,9 @@
 //
 // Each host is a thread; hosts exchange byte payloads through per-host
 // mailboxes with (source, tag) matching — the MPI point-to-point subset the
-// Gluon-style sync engine needs — plus a barrier and a few collectives.
+// Gluon-style sync engine needs — plus a barrier. Collectives live one layer
+// up, in comm::Collectives, built on the comm::Transport seam so a socket or
+// MPI backend can replace this simulated fabric.
 // Every payload is copied through the mailbox (never shared), so the hosts
 // genuinely cannot observe each other's memory except via messages; this is
 // what makes the simulation a faithful stand-in for a distributed cluster.
@@ -80,12 +82,6 @@ class Network {
   /// NetworkAborted. Called when a host dies with an exception.
   void abort() noexcept;
   bool aborted() const noexcept { return aborted_.load(std::memory_order_acquire); }
-
-  /// Sum-allreduce of a double vector (flat tree through host 0).
-  void allReduceSum(HostId host, std::span<double> values);
-
-  /// Broadcast from root to everyone (in place at non-roots).
-  void broadcast(HostId host, HostId root, std::span<std::uint8_t> data);
 
   CommStats& statsFor(HostId host) noexcept { return stats_[host]; }
   const CommStats& statsFor(HostId host) const noexcept { return stats_[host]; }

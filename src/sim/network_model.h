@@ -7,6 +7,7 @@
 // alpha-beta (latency + bytes/bandwidth) model applied to the exactly-counted
 // traffic. Defaults match the paper's fabric.
 
+#include <algorithm>
 #include <cstdint>
 
 #include "sim/comm_stats.h"
@@ -29,8 +30,13 @@ struct NetworkModel {
 
   /// Time for a BSP exchange given one host's send+recv delta: the host's
   /// NIC is the bottleneck resource, so cost = alpha*msgs + (sent+recv)/beta.
+  /// Collectives additionally record their serialized round count (ring
+  /// steps, tree depth, star drain); the latency term is charged on
+  /// rounds × alpha when that dominates the host's own message count, so a
+  /// tree leaf still pays for the depth it waited out.
   double exchangeSeconds(const CommSnapshot& d) const noexcept {
-    return transferSeconds(d.bytesSent + d.bytesReceived, d.messagesSent);
+    return transferSeconds(d.bytesSent + d.bytesReceived,
+                           std::max(d.messagesSent, d.collectiveRounds));
   }
 };
 

@@ -1,0 +1,337 @@
+#include "comm/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.h"
+#include "sim/network.h"
+
+namespace gw2v::comm {
+namespace {
+
+// Runs `body(rank, collectives)` on one thread per rank over a fresh
+// simulated network. The first thrown exception fails the test; the network
+// is poisoned so peers unblock instead of deadlocking.
+void runRanks(unsigned numRanks, const std::function<void(RankId, Collectives&)>& body) {
+  sim::Network net(numRanks);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  std::string firstError;
+  std::mutex errMutex;
+  for (unsigned h = 0; h < numRanks; ++h) {
+    threads.emplace_back([&, h] {
+      SimTransport transport(net);
+      Collectives coll(transport, h, TagSpace::kTest);
+      try {
+        body(h, coll);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(errMutex);
+        if (!failed.exchange(true)) firstError = e.what();
+        net.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed.load()) << firstError;
+}
+
+double seqReference(CollOp op, std::size_t i, unsigned numRanks) {
+  // Rank h contributes h * 100 + i to slot i.
+  double acc = static_cast<double>(i);  // rank 0
+  for (unsigned h = 1; h < numRanks; ++h) {
+    const double v = h * 100.0 + static_cast<double>(i);
+    switch (op) {
+      case CollOp::kSum: acc += v; break;
+      case CollOp::kMin: acc = std::min(acc, v); break;
+      case CollOp::kMax: acc = std::max(acc, v); break;
+    }
+  }
+  return acc;
+}
+
+constexpr unsigned kHostCounts[] = {1, 2, 3, 4, 7, 8};
+constexpr std::size_t kPayloadSizes[] = {1, 3, 17, 129};  // odd, non-divisible by H
+constexpr CollOp kOps[] = {CollOp::kSum, CollOp::kMin, CollOp::kMax};
+constexpr CollectiveAlgo kAlgos[] = {CollectiveAlgo::kNaive, CollectiveAlgo::kRing,
+                                     CollectiveAlgo::kTree, CollectiveAlgo::kAuto};
+
+TEST(Collectives, AllReduceMatchesSequentialReference) {
+  for (const unsigned H : kHostCounts) {
+    for (const std::size_t n : kPayloadSizes) {
+      for (const CollOp op : kOps) {
+        for (const CollectiveAlgo algo : kAlgos) {
+          runRanks(H, [&](RankId me, Collectives& coll) {
+            std::vector<double> v(n);
+            for (std::size_t i = 0; i < n; ++i) v[i] = me * 100.0 + static_cast<double>(i);
+            coll.allReduce(std::span<double>(v), op, algo);
+            for (std::size_t i = 0; i < n; ++i) {
+              // Sum of <= 8 exactly-representable doubles: exact in any
+              // association order; min/max trivially exact.
+              ASSERT_DOUBLE_EQ(v[i], seqReference(op, i, H))
+                  << "H=" << H << " n=" << n << " op=" << static_cast<int>(op)
+                  << " algo=" << collectiveAlgoName(algo) << " rank=" << me << " i=" << i;
+            }
+          });
+        }
+      }
+    }
+  }
+}
+
+TEST(Collectives, AllReduceWithCustomFold) {
+  runRanks(4, [](RankId me, Collectives& coll) {
+    std::vector<float> v{static_cast<float>(me + 1)};
+    coll.allReduceWith(std::span<float>(v),
+                       [](std::span<float> acc, std::span<const float> in) {
+                         for (std::size_t i = 0; i < acc.size(); ++i) acc[i] *= in[i];
+                       },
+                       CollectiveAlgo::kTree);
+    ASSERT_FLOAT_EQ(v[0], 1.0f * 2.0f * 3.0f * 4.0f);
+  });
+}
+
+TEST(Collectives, BroadcastFromEveryRoot) {
+  for (const unsigned H : kHostCounts) {
+    for (unsigned root = 0; root < H; ++root) {
+      for (const CollectiveAlgo algo : {CollectiveAlgo::kNaive, CollectiveAlgo::kTree}) {
+        runRanks(H, [&](RankId me, Collectives& coll) {
+          std::vector<std::uint32_t> v(17, me == root ? root * 7 + 1 : 0u);
+          coll.broadcast(std::span<std::uint32_t>(v), root, algo);
+          for (const auto x : v) ASSERT_EQ(x, root * 7 + 1) << "root=" << root << " me=" << me;
+        });
+      }
+    }
+  }
+}
+
+TEST(Collectives, ReduceFoldsAtRoot) {
+  for (const unsigned H : {2u, 5u, 8u}) {
+    for (unsigned root = 0; root < H; ++root) {
+      runRanks(H, [&](RankId me, Collectives& coll) {
+        std::vector<double> v{static_cast<double>(me), 1.0};
+        coll.reduce(std::span<double>(v), root,
+                    [](std::span<double> acc, std::span<const double> in) {
+                      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+                    });
+        if (me == root) {
+          ASSERT_DOUBLE_EQ(v[0], H * (H - 1) / 2.0);
+          ASSERT_DOUBLE_EQ(v[1], static_cast<double>(H));
+        }
+      });
+    }
+  }
+}
+
+TEST(Collectives, GathervCollectsPerSourcePayloads) {
+  for (const unsigned H : kHostCounts) {
+    const unsigned root = H / 2;
+    runRanks(H, [&](RankId me, Collectives& coll) {
+      // Variable-size payload: rank h contributes h+1 bytes of value h.
+      std::vector<std::uint8_t> mine(me + 1, static_cast<std::uint8_t>(me));
+      const auto out = coll.gatherv(std::move(mine), root);
+      if (me == root) {
+        ASSERT_EQ(out.size(), H);
+        for (unsigned src = 0; src < H; ++src) {
+          ASSERT_EQ(out[src].size(), src + 1);
+          for (const auto b : out[src]) ASSERT_EQ(b, src);
+        }
+      } else {
+        ASSERT_TRUE(out.empty());
+      }
+    });
+  }
+}
+
+TEST(Collectives, AllGathervDeliversEveryBlockEverywhere) {
+  for (const unsigned H : kHostCounts) {
+    runRanks(H, [&](RankId me, Collectives& coll) {
+      std::vector<std::uint8_t> mine(2 * me + 1, static_cast<std::uint8_t>(me * 3));
+      const auto out = coll.allGatherv(std::move(mine));
+      ASSERT_EQ(out.size(), H);
+      for (unsigned src = 0; src < H; ++src) {
+        ASSERT_EQ(out[src].size(), 2 * src + 1) << "H=" << H << " me=" << me;
+        for (const auto b : out[src]) ASSERT_EQ(b, src * 3);
+      }
+    });
+  }
+}
+
+TEST(Collectives, AllToAllvExchangesPersonalizedPayloads) {
+  for (const unsigned H : kHostCounts) {
+    runRanks(H, [&](RankId me, Collectives& coll) {
+      std::vector<std::vector<std::uint8_t>> toPeer(H);
+      for (unsigned p = 0; p < H; ++p) {
+        // me -> p carries me*16+p, repeated (p+1) times.
+        toPeer[p].assign(p + 1, static_cast<std::uint8_t>(me * 16 + p));
+      }
+      const auto from = coll.allToAllv(std::move(toPeer), sim::CommPhase::kReduce);
+      ASSERT_EQ(from.size(), H);
+      ASSERT_TRUE(from[me].empty());
+      for (unsigned src = 0; src < H; ++src) {
+        if (src == me) continue;
+        ASSERT_EQ(from[src].size(), me + 1);
+        for (const auto b : from[src]) ASSERT_EQ(b, src * 16 + me);
+      }
+    });
+  }
+}
+
+TEST(Collectives, AllToAllvRejectsWrongSlotCount) {
+  runRanks(2, [](RankId me, Collectives& coll) {
+    if (me == 0) {
+      EXPECT_THROW(coll.allToAllv(std::vector<std::vector<std::uint8_t>>(3)),
+                   std::invalid_argument);
+    }
+    coll.barrier();
+  });
+}
+
+TEST(Collectives, BackToBackOperationsDoNotMix) {
+  // A rank that races ahead into the next collective must not steal messages
+  // from the previous one: tags advance per operation.
+  runRanks(4, [](RankId me, Collectives& coll) {
+    for (int round = 0; round < 25; ++round) {
+      std::vector<double> v{static_cast<double>(me), static_cast<double>(round)};
+      coll.allReduceSum(v, CollectiveAlgo::kNaive);
+      ASSERT_DOUBLE_EQ(v[0], 0.0 + 1.0 + 2.0 + 3.0);
+      ASSERT_DOUBLE_EQ(v[1], 4.0 * round);
+      std::vector<std::uint8_t> blob(1 + (me + round) % 3, static_cast<std::uint8_t>(me));
+      const auto all = coll.allGatherv(std::move(blob));
+      for (unsigned src = 0; src < 4; ++src) {
+        ASSERT_EQ(all[src].size(), 1 + (src + round) % 3);
+      }
+    }
+  });
+}
+
+TEST(Collectives, RingAllReduceStaysWithinBandwidthOptimalBound) {
+  // The point of the ring: per-rank traffic ~= 2 n (H-1)/H elements, not the
+  // star's O(H n) at the root. Check the measured per-rank bytes.
+  const unsigned H = 8;
+  const std::size_t n = 4096;
+  sim::Network net(H);
+  std::vector<std::thread> threads;
+  for (unsigned h = 0; h < H; ++h) {
+    threads.emplace_back([&, h] {
+      SimTransport transport(net);
+      Collectives coll(transport, h, TagSpace::kTest);
+      std::vector<double> v(n, 1.0);
+      coll.allReduceSum(v, CollectiveAlgo::kRing);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double idealBytes = 2.0 * static_cast<double>(n) * sizeof(double) * (H - 1) / H;
+  const std::uint64_t headerBytes = 2 * (H - 1) * sim::Network::kHeaderBytes;
+  for (unsigned h = 0; h < H; ++h) {
+    const std::uint64_t sent = net.statsFor(h).bytesSent();
+    // Uneven chunking adds at most one element per step.
+    EXPECT_LE(sent, static_cast<std::uint64_t>(idealBytes) + headerBytes +
+                        2 * (H - 1) * sizeof(double))
+        << "rank " << h;
+    EXPECT_GE(sent, static_cast<std::uint64_t>(idealBytes * 0.9)) << "rank " << h;
+    EXPECT_EQ(net.statsFor(h).collectiveRounds(), 2u * (H - 1));
+  }
+  // ... while the naive star concentrates O(H n) at the root.
+  net.resetStats();
+  std::vector<std::thread> threads2;
+  for (unsigned h = 0; h < H; ++h) {
+    threads2.emplace_back([&, h] {
+      SimTransport transport(net);
+      Collectives coll(transport, h, TagSpace::kTest);
+      std::vector<double> v(n, 1.0);
+      coll.allReduceSum(v, CollectiveAlgo::kNaive);
+    });
+  }
+  for (auto& t : threads2) t.join();
+  EXPECT_GE(net.statsFor(0).bytesSent() + net.statsFor(0).bytesReceived(),
+            2 * (H - 1) * n * sizeof(double));
+}
+
+TEST(Collectives, TreeRoundsAreLogarithmic) {
+  const unsigned H = 8;
+  sim::Network net(H);
+  std::vector<std::thread> threads;
+  for (unsigned h = 0; h < H; ++h) {
+    threads.emplace_back([&, h] {
+      SimTransport transport(net);
+      Collectives coll(transport, h, TagSpace::kTest);
+      std::vector<double> v{1.0};
+      coll.broadcast(std::span<double>(v), 0, CollectiveAlgo::kTree);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned h = 0; h < H; ++h) {
+    EXPECT_EQ(net.statsFor(h).collectiveRounds(), 3u);  // ceil(log2 8)
+  }
+}
+
+TEST(Collectives, SingleRankEverythingIsANoop) {
+  runRanks(1, [](RankId, Collectives& coll) {
+    std::vector<double> v{5.0};
+    coll.allReduceSum(v, CollectiveAlgo::kRing);
+    ASSERT_DOUBLE_EQ(v[0], 5.0);
+    coll.broadcast(std::span<double>(v), 0);
+    const auto g = coll.gatherv({1, 2, 3}, 0);
+    ASSERT_EQ(g.size(), 1u);
+    ASSERT_EQ(g[0].size(), 3u);
+    const auto ag = coll.allGatherv({9});
+    ASSERT_EQ(ag.size(), 1u);
+    const auto a2a = coll.allToAllv(std::vector<std::vector<std::uint8_t>>(1));
+    ASSERT_EQ(a2a.size(), 1u);
+  });
+}
+
+TEST(Collectives, AbortMidCollectivePropagatesToAllRanks) {
+  // Rank 2 dies before joining the collective; everyone blocked inside it
+  // must observe NetworkAborted instead of deadlocking.
+  for (const CollectiveAlgo algo :
+       {CollectiveAlgo::kNaive, CollectiveAlgo::kRing, CollectiveAlgo::kTree}) {
+    constexpr unsigned H = 4;
+    sim::Network net(H);
+    std::atomic<int> aborted{0};
+    std::vector<std::thread> threads;
+    for (unsigned h = 0; h < H; ++h) {
+      threads.emplace_back([&, h] {
+        SimTransport transport(net);
+        Collectives coll(transport, h, TagSpace::kTest);
+        if (h == 2) {
+          // Simulated fault: poison the fabric without participating.
+          net.abort();
+          return;
+        }
+        std::vector<double> v(64, static_cast<double>(h));
+        try {
+          coll.allReduceSum(v, algo);
+          // A rank may squeak through if it finished before the poison hit;
+          // with rank 2 never sending, at least one peer of 2 cannot.
+        } catch (const sim::NetworkAborted&) {
+          aborted.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_GE(aborted.load(), 1) << collectiveAlgoName(algo);
+    EXPECT_TRUE(net.aborted());
+  }
+}
+
+TEST(Collectives, OpsIssuedAdvancesUniformly) {
+  runRanks(3, [](RankId, Collectives& coll) {
+    ASSERT_EQ(coll.opsIssued(), 0u);
+    std::vector<double> v{1.0};
+    coll.allReduceSum(v, CollectiveAlgo::kNaive);
+    coll.allGatherv({1});
+    ASSERT_EQ(coll.opsIssued(), 2u);
+  });
+}
+
+}  // namespace
+}  // namespace gw2v::comm

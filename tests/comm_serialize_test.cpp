@@ -105,5 +105,40 @@ TEST(Serialize, InterleavedStructure) {
   EXPECT_TRUE(r.done());
 }
 
+TEST(Serialize, MisalignedViewReadsCorrectValues) {
+  // A 1-byte kind tag (the parameter-server message shape) pushes every
+  // following float to an odd offset; view() must still hand out a correctly
+  // aligned, correctly valued span instead of a misaligned reinterpret.
+  const std::vector<float> data{1.25f, -2.5f, 3.75f, 1e-3f};
+  ByteWriter w;
+  w.put(std::uint8_t{1});
+  w.putSpan(std::span<const float>(data));
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint8_t>(), 1);
+  const auto view = r.view<float>(data.size());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(view.data()) % alignof(float), 0u);
+  ASSERT_EQ(view.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) EXPECT_FLOAT_EQ(view[i], data[i]);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, EarlierMisalignedViewsSurviveLaterOnes) {
+  // Fallback copies must not invalidate spans handed out earlier (a vector
+  // of vectors that reallocated would).
+  ByteWriter w;
+  w.put(std::uint8_t{0});
+  for (int i = 0; i < 16; ++i) w.put(static_cast<float>(i));
+  const auto buf = w.take();
+  ByteReader r(buf);
+  (void)r.get<std::uint8_t>();
+  std::vector<std::span<const float>> views;
+  for (int i = 0; i < 16; ++i) views.push_back(r.view<float>(1));
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(views[i].size(), 1u);
+    EXPECT_FLOAT_EQ(views[i][0], static_cast<float>(i));
+  }
+}
+
 }  // namespace
 }  // namespace gw2v::comm

@@ -138,42 +138,9 @@ TEST(Network, BarrierReusable) {
   EXPECT_EQ(counter.load(), static_cast<int>(kHosts) * 20);
 }
 
-TEST(Network, AllReduceSumAcrossHosts) {
-  constexpr unsigned kHosts = 4;
-  Network net(kHosts);
-  std::vector<std::thread> threads;
-  std::vector<std::vector<double>> values(kHosts);
-  for (unsigned h = 0; h < kHosts; ++h) values[h] = {1.0 * h, 10.0};
-  for (unsigned h = 0; h < kHosts; ++h) {
-    threads.emplace_back([&, h] { net.allReduceSum(h, values[h]); });
-  }
-  for (auto& t : threads) t.join();
-  for (unsigned h = 0; h < kHosts; ++h) {
-    EXPECT_DOUBLE_EQ(values[h][0], 0.0 + 1.0 + 2.0 + 3.0);
-    EXPECT_DOUBLE_EQ(values[h][1], 40.0);
-  }
-}
-
-TEST(Network, AllReduceSingleHostNoop) {
-  Network net(1);
-  std::vector<double> v{3.0};
-  net.allReduceSum(0, v);
-  EXPECT_DOUBLE_EQ(v[0], 3.0);
-  EXPECT_EQ(net.totalBytesSent(), 0u);
-}
-
-TEST(Network, BroadcastDistributesRootData) {
-  constexpr unsigned kHosts = 3;
-  Network net(kHosts);
-  std::vector<std::vector<std::uint8_t>> bufs(kHosts, std::vector<std::uint8_t>(4, 0));
-  bufs[1] = {9, 8, 7, 6};  // root = 1
-  std::vector<std::thread> threads;
-  for (unsigned h = 0; h < kHosts; ++h) {
-    threads.emplace_back([&, h] { net.broadcast(h, 1, bufs[h]); });
-  }
-  for (auto& t : threads) t.join();
-  for (unsigned h = 0; h < kHosts; ++h) EXPECT_EQ(bufs[h], bytes({9, 8, 7, 6}));
-}
+// Collectives (all-reduce, broadcast, ...) are covered by
+// comm_collectives_test.cpp — they now live in comm::Collectives on top of
+// the Transport seam, not on Network itself.
 
 TEST(Network, AbortWakesBlockedReceiver) {
   Network net(2);
