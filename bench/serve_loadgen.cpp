@@ -1,0 +1,254 @@
+// Serving-layer load generator: trains a small model, publishes it as a v2
+// checkpoint snapshot, then drives Zipfian top-k traffic through the sharded
+// QueryEngine on a simulated H-host cluster — including one mid-run snapshot
+// hot-swap — and reports QPS, latency quantiles, batch occupancy, cache
+// hit-rate and comm volume as JSON (stdout, plus $GW2V_SERVE_JSON if set).
+//
+// Exit status is the correctness gate the CI smoke job relies on: after the
+// swap, every sampled queryWord(w, 10) must be *identical* (same ids, same
+// order) to the single-host eval::EmbeddingView reference — recall@10 below
+// 1.0 exits nonzero.
+//
+// Environment knobs (on top of bench/common.h's GW2V_SCALE / GW2V_EPOCHS):
+//   GW2V_HOSTS            serving hosts (default 4)
+//   GW2V_SERVE_QUERIES    measured queries in the Zipf phase (default 400)
+//   GW2V_SERVE_CLIENTS    concurrent client threads (default 2)
+//   GW2V_SERVE_BATCH      max queries per scatter-gather round (default 16)
+//   GW2V_SERVE_WINDOW_US  batching window in microseconds (default 200)
+//   GW2V_SERVE_CACHE      rank-0 LRU entries, 0 disables (default 512)
+//   GW2V_SERVE_ZIPF       Zipf exponent of the traffic (default 0.99)
+//   GW2V_SERVE_JSON       also write the JSON report to this path
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "comm/transport.h"
+#include "graph/model_io.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "sim/cluster.h"
+#include "util/rng.h"
+
+using namespace gw2v;
+
+namespace {
+
+/// Inverse-CDF Zipf sampler over word ids. Ids are frequency-sorted by
+/// construction (Vocabulary::finalize), so low ids are the hot head — the
+/// same skew real embedding serving sees.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double exponent) : cdf_(n) {
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  text::WordId sample(util::Rng& rng) const {
+    const double u = rng.uniformDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<text::WordId>(it == cdf_.end() ? cdf_.size() - 1
+                                                      : it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct LoadgenReport {
+  double wallSeconds = 0.0;
+  double qps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, mean = 0.0;
+  double batchOccupancy = 0.0;
+  double cacheHitRate = 0.0;
+  double recallAt10 = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t swapsObserved = 0;
+  std::uint64_t versionAfterSwap = 0;
+  double bytesPerQuery = 0.0;
+  double roundsPerQuery = 0.0;
+};
+
+void printJson(std::FILE* f, const LoadgenReport& r, unsigned hosts, unsigned clients,
+               const serve::ServeOptions& opts, double zipf) {
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"serve_loadgen\",\n"
+               "  \"hosts\": %u,\n"
+               "  \"clients\": %u,\n"
+               "  \"max_batch\": %u,\n"
+               "  \"batch_window_us\": %u,\n"
+               "  \"cache_capacity\": %zu,\n"
+               "  \"zipf_exponent\": %.3f,\n"
+               "  \"queries\": %llu,\n"
+               "  \"wall_seconds\": %.6f,\n"
+               "  \"qps\": %.1f,\n"
+               "  \"latency_us\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"mean\": %.1f},\n"
+               "  \"rounds\": %llu,\n"
+               "  \"rounds_per_query\": %.4f,\n"
+               "  \"batch_occupancy\": %.4f,\n"
+               "  \"cache_hit_rate\": %.4f,\n"
+               "  \"bytes_per_query\": %.1f,\n"
+               "  \"snapshot_swaps_observed\": %llu,\n"
+               "  \"version_after_swap\": %llu,\n"
+               "  \"recall_at_10\": %.4f\n"
+               "}\n",
+               hosts, clients, opts.maxBatch, opts.batchWindowMicros, opts.cacheCapacity,
+               zipf, static_cast<unsigned long long>(r.queries), r.wallSeconds, r.qps,
+               r.p50, r.p95, r.p99, r.mean, static_cast<unsigned long long>(r.rounds),
+               r.roundsPerQuery, r.batchOccupancy, r.cacheHitRate, r.bytesPerQuery,
+               static_cast<unsigned long long>(r.swapsObserved),
+               static_cast<unsigned long long>(r.versionAfterSwap), r.recallAt10);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::envDouble("GW2V_SCALE", 0.05);
+  const unsigned epochs = bench::envUnsigned("GW2V_EPOCHS", 1);
+  const unsigned hosts = bench::envUnsigned("GW2V_HOSTS", 4);
+  const unsigned numQueries = bench::envUnsigned("GW2V_SERVE_QUERIES", 400);
+  const unsigned clients = bench::envUnsigned("GW2V_SERVE_CLIENTS", 2);
+  const double zipf = bench::envDouble("GW2V_SERVE_ZIPF", 0.99);
+
+  serve::ServeOptions opts;
+  opts.maxBatch = bench::envUnsigned("GW2V_SERVE_BATCH", 16);
+  opts.batchWindowMicros = bench::envUnsigned("GW2V_SERVE_WINDOW_US", 200);
+  opts.cacheCapacity = bench::envUnsigned("GW2V_SERVE_CACHE", 512);
+
+  bench::printHeader("Serving layer — sharded top-k under Zipfian load",
+                     "serving extension (no paper figure); DESIGN.md §5d");
+
+  // ---- Train a small model and publish it the way a trainer would: via a
+  // self-contained v2 checkpoint on disk.
+  const auto data = bench::prepare(synth::datasetCatalog(scale)[0]);
+  core::TrainOptions topts;
+  topts.sgns = bench::benchSgns();
+  topts.epochs = epochs;
+  topts.numHosts = 1;
+  topts.trackLoss = false;
+  const auto trained = core::GraphWord2Vec(data.vocab, topts).train(data.corpus);
+  std::printf("trained %s: vocab=%u dim=%u epochs=%u\n", data.info.paperName.c_str(),
+              data.vocab.size(), trained.model.dim(), epochs);
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string ckptPath =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/gw2v_serve_loadgen_ckpt.bin";
+  graph::saveCheckpoint(ckptPath, trained.model, &data.vocab);
+
+  serve::SnapshotStore store(std::max(hosts, 1u) + 1);
+  store.publish(serve::EmbeddingSnapshot::fromCheckpointFile(ckptPath, 1));
+  std::remove(ckptPath.c_str());
+
+  // The hot-swap payload: a successor snapshot standing in for "the trainer
+  // published a newer checkpoint" (same vocab, different rows).
+  graph::ModelGraph model2 = trained.model;
+  model2.randomizeEmbeddings(0xc0ffee);
+  const auto snap2 = std::make_shared<const serve::EmbeddingSnapshot>(model2, &data.vocab, 2);
+  const eval::EmbeddingView view2(model2, data.vocab);
+
+  const ZipfSampler sampler(data.vocab.size(), zipf);
+  const std::uint32_t recallSample = std::min<std::uint32_t>(200, data.vocab.size());
+
+  LoadgenReport rep;
+  bool gateFailed = false;
+
+  sim::ClusterOptions copts;
+  copts.numHosts = hosts;
+  const sim::ClusterReport cluster = sim::runCluster(copts, [&](sim::HostContext& ctx) {
+    comm::SimTransport transport(ctx.network());
+    serve::QueryEngine engine(transport, ctx.id(), store, opts);
+    if (ctx.id() != 0) {
+      engine.run();
+      return;
+    }
+    std::thread driver([&] {
+      // Phase A — measured Zipf traffic from `clients` concurrent threads.
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> workers;
+      for (unsigned c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          util::Rng rng(0x5eed + c);
+          const unsigned mine = numQueries / clients + (c < numQueries % clients ? 1 : 0);
+          for (unsigned i = 0; i < mine; ++i) {
+            (void)engine.queryWord(sampler.sample(rng), 10);
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      rep.wallSeconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+      // Phase B — hot swap while the engine keeps serving.
+      store.publish(snap2);
+      rep.versionAfterSwap = engine.queryWord(0, 10).version;
+
+      // Phase C — the correctness gate: sharded answers after the swap must
+      // be identical to the single-host reference over the new snapshot.
+      std::uint64_t matched = 0, expected = 0;
+      for (std::uint32_t s = 0; s < recallSample; ++s) {
+        const text::WordId w =
+            static_cast<text::WordId>((s * 7919u) % data.vocab.size());
+        const auto got = engine.queryWord(w, 10).neighbors;
+        const auto want = view2.nearestTo(w, 10);
+        expected += want.size();
+        if (got.size() == want.size()) {
+          for (std::size_t i = 0; i < want.size(); ++i) {
+            if (got[i].id == want[i].word && got[i].score == want[i].similarity) ++matched;
+          }
+        }
+      }
+      rep.recallAt10 = expected == 0 ? 0.0 : static_cast<double>(matched) / expected;
+
+      const auto& m = engine.metrics();
+      rep.queries = m.queries.load();
+      rep.rounds = m.batches.load();
+      rep.qps = rep.wallSeconds > 0.0 ? static_cast<double>(numQueries) / rep.wallSeconds : 0.0;
+      rep.p50 = m.latency.quantileMicros(0.50);
+      rep.p95 = m.latency.quantileMicros(0.95);
+      rep.p99 = m.latency.quantileMicros(0.99);
+      rep.mean = m.latency.meanMicros();
+      rep.batchOccupancy = m.batchOccupancy(opts.maxBatch);
+      rep.cacheHitRate = m.cacheHitRate();
+      rep.swapsObserved = m.snapshotSwaps.load();
+      engine.shutdown();
+    });
+    engine.run();
+    driver.join();
+  });
+
+  const std::uint64_t served = rep.queries;
+  rep.bytesPerQuery =
+      served > 0 ? static_cast<double>(cluster.totalBytes()) / static_cast<double>(served) : 0.0;
+  rep.roundsPerQuery =
+      served > 0 ? static_cast<double>(rep.rounds) / static_cast<double>(served) : 0.0;
+
+  printJson(stdout, rep, hosts, clients, opts, zipf);
+  if (const char* jsonPath = std::getenv("GW2V_SERVE_JSON")) {
+    if (std::FILE* f = std::fopen(jsonPath, "w")) {
+      printJson(f, rep, hosts, clients, opts, zipf);
+      std::fclose(f);
+    }
+  }
+
+  if (rep.recallAt10 != 1.0) {
+    std::fprintf(stderr, "FAIL: recall@10 = %.4f (expected exactly 1.0)\n", rep.recallAt10);
+    gateFailed = true;
+  }
+  if (rep.versionAfterSwap != 2) {
+    std::fprintf(stderr, "FAIL: post-swap version = %llu (expected 2)\n",
+                 static_cast<unsigned long long>(rep.versionAfterSwap));
+    gateFailed = true;
+  }
+  return gateFailed ? 1 : 0;
+}

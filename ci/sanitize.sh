@@ -14,3 +14,8 @@ cmake -S . -B "$BUILD_DIR" \
   -DGW2V_NATIVE_ARCH=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Stress the snapshot hot-swap path under the sanitizers: many more
+# publish/pin races than the default run, so lifetime bugs in the
+# hazard-pointer reclamation surface as ASan heap-use-after-free.
+GW2V_HOTSWAP_ITERS=2000 ctest --test-dir "$BUILD_DIR" -R 'Serve' --output-on-failure

@@ -12,6 +12,11 @@ for b in /root/repo/build/bench/*; do
       "$b" --benchmark_out="/root/repo/bench_results/${name}.json" \
            --benchmark_out_format=json
       ;;
+    serve_loadgen)
+      # Serving bench: QPS, p50/p99 latency, batch occupancy, bytes/query,
+      # plus the recall@10 == 1.0 determinism gate (nonzero exit on failure).
+      GW2V_SERVE_JSON=/root/repo/bench_results/BENCH_serve.json "$b"
+      ;;
     *)
       "$b"
       ;;

@@ -63,6 +63,7 @@ enum class TagSpace : int {
   kBaseline = 5,
   kTest = 6,
   kBench = 7,
+  kServe = 8,
 };
 
 class Collectives {

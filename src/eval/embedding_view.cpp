@@ -1,51 +1,29 @@
 #include "eval/embedding_view.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "util/vecmath.h"
+#include "serve/topk.h"
 
 namespace gw2v::eval {
 
 EmbeddingView::EmbeddingView(const graph::ModelGraph& model, const text::Vocabulary& vocab)
-    : vocab_(&vocab), numWords_(model.numNodes()), dim_(model.dim()) {
-  data_.resize(static_cast<std::size_t>(numWords_) * dim_);
-  for (std::uint32_t w = 0; w < numWords_; ++w) {
-    const auto src = model.row(graph::Label::kEmbedding, w);
-    float n = util::norm(src);
-    if (n <= 0.0f) n = 1.0f;
-    float* dst = data_.data() + static_cast<std::size_t>(w) * dim_;
-    for (std::uint32_t d = 0; d < dim_; ++d) dst[d] = src[d] / n;
-  }
-}
+    : vocab_(&vocab),
+      snap_(std::make_shared<const serve::EmbeddingSnapshot>(model, nullptr, /*version=*/1)) {}
 
 std::vector<Neighbor> EmbeddingView::nearest(std::span<const float> query, unsigned k,
                                              std::span<const text::WordId> exclude) const {
-  std::vector<float> q(query.begin(), query.end());
-  float n = util::norm(q);
-  if (n <= 0.0f) n = 1.0f;
-  for (auto& v : q) v /= n;
+  const std::vector<float> q = serve::normalizedCopy(query);
+  std::vector<text::WordId> ex(exclude.begin(), exclude.end());
+  std::sort(ex.begin(), ex.end());
+  ex.erase(std::unique(ex.begin(), ex.end()), ex.end());
 
-  std::vector<Neighbor> best;
-  best.reserve(k + 1);
-  for (std::uint32_t w = 0; w < numWords_; ++w) {
-    if (std::find(exclude.begin(), exclude.end(), w) != exclude.end()) continue;
-    const float sim = util::dot(q, vectorOf(w));
-    if (best.size() < k) {
-      best.push_back({w, sim});
-      std::push_heap(best.begin(), best.end(),
-                     [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
-    } else if (!best.empty() && sim > best.front().similarity) {
-      std::pop_heap(best.begin(), best.end(),
-                    [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
-      best.back() = {w, sim};
-      std::push_heap(best.begin(), best.end(),
-                     [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
-    }
-  }
-  std::sort(best.begin(), best.end(),
-            [](const Neighbor& a, const Neighbor& b) { return a.similarity > b.similarity; });
-  return best;
+  const serve::TopKQuery tq{q.data(), k, ex};
+  const auto lists = serve::topkScore(snap_->rows(), snap_->rowStride(), snap_->vocabSize(),
+                                      /*idBase=*/0, snap_->dim(), {&tq, 1});
+  std::vector<Neighbor> out;
+  out.reserve(lists[0].size());
+  for (const auto& c : lists[0]) out.push_back({c.id, c.score});
+  return out;
 }
 
 std::vector<Neighbor> EmbeddingView::nearestTo(text::WordId w, unsigned k) const {
@@ -55,11 +33,11 @@ std::vector<Neighbor> EmbeddingView::nearestTo(text::WordId w, unsigned k) const
 
 text::WordId EmbeddingView::predictAnalogy(text::WordId a, text::WordId b,
                                            text::WordId c) const {
-  std::vector<float> target(dim_);
+  std::vector<float> target(dim());
   const auto va = vectorOf(a);
   const auto vb = vectorOf(b);
   const auto vc = vectorOf(c);
-  for (std::uint32_t d = 0; d < dim_; ++d) target[d] = vb[d] - va[d] + vc[d];
+  for (std::uint32_t d = 0; d < dim(); ++d) target[d] = vb[d] - va[d] + vc[d];
   const text::WordId ex[] = {a, b, c};
   const auto top = nearest(target, 1, ex);
   return top.empty() ? text::kInvalidWord : top.front().word;

@@ -3,14 +3,22 @@
 // Read-only, unit-normalized view of trained embeddings for evaluation
 // (cosine similarity, nearest neighbours, analogies) — the protocol of the
 // original Word2Vec distance/accuracy tools.
+//
+// Since the serving tier landed, the view is a thin adapter over
+// serve::EmbeddingSnapshot + serve::topkScore: the same 64B-aligned
+// normalized matrix and the same batched SIMD top-k code path the online
+// query engine shards across hosts, so offline eval numbers and served
+// results can never drift apart.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/model_graph.h"
+#include "serve/snapshot.h"
 #include "text/vocabulary.h"
 
 namespace gw2v::eval {
@@ -22,19 +30,24 @@ struct Neighbor {
 
 class EmbeddingView {
  public:
-  /// Copies and L2-normalizes every embedding row.
+  /// Copies and L2-normalizes every embedding row (into an aligned snapshot).
   EmbeddingView(const graph::ModelGraph& model, const text::Vocabulary& vocab);
 
-  std::uint32_t vocabSize() const noexcept { return numWords_; }
-  std::uint32_t dim() const noexcept { return dim_; }
+  std::uint32_t vocabSize() const noexcept { return snap_->vocabSize(); }
+  std::uint32_t dim() const noexcept { return snap_->dim(); }
   const text::Vocabulary& vocab() const noexcept { return *vocab_; }
 
-  std::span<const float> vectorOf(text::WordId w) const noexcept {
-    return {data_.data() + static_cast<std::size_t>(w) * dim_, dim_};
+  std::span<const float> vectorOf(text::WordId w) const noexcept { return snap_->row(w); }
+
+  /// The snapshot backing this view (no embedded vocabulary). Shareable with
+  /// serving-side consumers (ShardedIndex, SnapshotStore tests).
+  const std::shared_ptr<const serve::EmbeddingSnapshot>& snapshot() const noexcept {
+    return snap_;
   }
 
   /// Top-k most similar words to an arbitrary (not necessarily normalized)
-  /// query vector, excluding ids in `exclude`.
+  /// query vector, excluding ids in `exclude`. Ties break toward the lower
+  /// word id — the same total order the sharded query engine merges under.
   std::vector<Neighbor> nearest(std::span<const float> query, unsigned k,
                                 std::span<const text::WordId> exclude = {}) const;
 
@@ -47,9 +60,7 @@ class EmbeddingView {
 
  private:
   const text::Vocabulary* vocab_;
-  std::uint32_t numWords_;
-  std::uint32_t dim_;
-  std::vector<float> data_;
+  std::shared_ptr<const serve::EmbeddingSnapshot> snap_;
 };
 
 }  // namespace gw2v::eval

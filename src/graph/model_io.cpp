@@ -4,38 +4,67 @@
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace gw2v::graph {
 
 namespace {
 constexpr char kMagic[8] = {'G', 'W', '2', 'V', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+/// Longest word the vocabulary section will accept; anything bigger is a
+/// corrupt length field, not a plausible token.
+constexpr std::uint32_t kMaxWordBytes = 1u << 16;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept { std::fclose(f); }
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void writeOrThrow(std::FILE* f, const void* data, std::size_t bytes) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes)
+    throw std::runtime_error("saveCheckpoint: write failed");
+}
+
+void readOrThrow(std::FILE* f, void* data, std::size_t bytes, const std::string& path) {
+  if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes)
+    throw std::runtime_error("loadCheckpoint: truncated file " + path);
+}
 }  // namespace
 
-void saveCheckpoint(const std::string& path, const ModelGraph& model) {
+void saveCheckpoint(const std::string& path, const ModelGraph& model,
+                    const text::Vocabulary* vocab) {
+  if (vocab != nullptr && vocab->size() != model.numNodes()) {
+    throw std::invalid_argument("saveCheckpoint: vocabulary size " +
+                                std::to_string(vocab->size()) + " != model nodes " +
+                                std::to_string(model.numNodes()));
+  }
   File f(std::fopen(path.c_str(), "wb"));
   if (!f) throw std::runtime_error("saveCheckpoint: cannot open " + path);
   const std::uint32_t header[2] = {model.numNodes(), model.dim()};
-  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
-      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
-      std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
-    throw std::runtime_error("saveCheckpoint: write failed");
+  const std::uint32_t hasVocab = vocab != nullptr ? 1 : 0;
+  writeOrThrow(f.get(), kMagic, sizeof(kMagic));
+  writeOrThrow(f.get(), &kVersion, sizeof(kVersion));
+  writeOrThrow(f.get(), header, sizeof(header));
+  writeOrThrow(f.get(), &hasVocab, sizeof(hasVocab));
+  if (vocab != nullptr) {
+    for (text::WordId w = 0; w < vocab->size(); ++w) {
+      const std::string& word = vocab->wordOf(w);
+      const std::uint32_t len = static_cast<std::uint32_t>(word.size());
+      const std::uint64_t count = vocab->countOf(w);
+      writeOrThrow(f.get(), &len, sizeof(len));
+      writeOrThrow(f.get(), word.data(), word.size());
+      writeOrThrow(f.get(), &count, sizeof(count));
+    }
   }
   for (int l = 0; l < kNumLabels; ++l) {
     for (std::uint32_t n = 0; n < model.numNodes(); ++n) {
       const auto row = model.row(static_cast<Label>(l), n);
-      if (std::fwrite(row.data(), sizeof(float), row.size(), f.get()) != row.size())
-        throw std::runtime_error("saveCheckpoint: write failed");
+      writeOrThrow(f.get(), row.data(), row.size_bytes());
     }
   }
 }
 
-ModelGraph loadCheckpoint(const std::string& path) {
+Checkpoint loadCheckpointFull(const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) throw std::runtime_error("loadCheckpoint: cannot open " + path);
   char magic[8];
@@ -45,24 +74,64 @@ ModelGraph loadCheckpoint(const std::string& path) {
       std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
     throw std::runtime_error("loadCheckpoint: bad magic in " + path);
   }
-  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 || version != kVersion)
+  readOrThrow(f.get(), &version, sizeof(version), path);
+  if (version == 0 || version > kVersion)
     throw std::runtime_error("loadCheckpoint: unsupported version in " + path);
-  if (std::fread(header, sizeof(header), 1, f.get()) != 1 || header[1] == 0)
-    throw std::runtime_error("loadCheckpoint: bad header in " + path);
+  readOrThrow(f.get(), header, sizeof(header), path);
+  if (header[1] == 0) throw std::runtime_error("loadCheckpoint: bad header in " + path);
 
-  ModelGraph model(header[0], header[1]);
+  Checkpoint ck{ModelGraph(header[0], header[1]), std::nullopt};
+
+  if (version >= 2) {
+    std::uint32_t hasVocab = 0;
+    readOrThrow(f.get(), &hasVocab, sizeof(hasVocab), path);
+    if (hasVocab > 1)
+      throw std::runtime_error("loadCheckpoint: corrupt vocabulary flag in " + path);
+    if (hasVocab == 1) {
+      std::vector<std::string> words(header[0]);
+      text::Vocabulary vocab;
+      for (std::uint32_t w = 0; w < header[0]; ++w) {
+        std::uint32_t len = 0;
+        readOrThrow(f.get(), &len, sizeof(len), path);
+        if (len == 0 || len > kMaxWordBytes)
+          throw std::runtime_error("loadCheckpoint: corrupt vocabulary section in " + path);
+        words[w].resize(len);
+        readOrThrow(f.get(), words[w].data(), len, path);
+        std::uint64_t count = 0;
+        readOrThrow(f.get(), &count, sizeof(count), path);
+        if (count == 0)
+          throw std::runtime_error("loadCheckpoint: corrupt vocabulary section in " + path);
+        vocab.addCount(words[w], count);
+      }
+      vocab.finalize(1);
+      // finalize() re-sorts by (count desc, word asc) — the exact order ids
+      // were assigned in, so a well-formed section reproduces itself.
+      // Duplicated or reordered words cannot, and mean corruption.
+      if (vocab.size() != header[0])
+        throw std::runtime_error("loadCheckpoint: corrupt vocabulary section in " + path);
+      for (std::uint32_t w = 0; w < header[0]; ++w) {
+        if (vocab.wordOf(w) != words[w])
+          throw std::runtime_error("loadCheckpoint: corrupt vocabulary section in " + path);
+      }
+      ck.vocab = std::move(vocab);
+    }
+  }
+
   for (int l = 0; l < kNumLabels; ++l) {
-    for (std::uint32_t n = 0; n < model.numNodes(); ++n) {
-      auto row = model.mutableRow(static_cast<Label>(l), n);
-      if (std::fread(row.data(), sizeof(float), row.size(), f.get()) != row.size())
-        throw std::runtime_error("loadCheckpoint: truncated file " + path);
+    for (std::uint32_t n = 0; n < ck.model.numNodes(); ++n) {
+      auto row = ck.model.mutableRow(static_cast<Label>(l), n);
+      readOrThrow(f.get(), row.data(), row.size_bytes(), path);
     }
   }
   // Any trailing bytes indicate corruption.
   char extra;
   if (std::fread(&extra, 1, 1, f.get()) == 1)
     throw std::runtime_error("loadCheckpoint: trailing bytes in " + path);
-  return model;
+  return ck;
+}
+
+ModelGraph loadCheckpoint(const std::string& path) {
+  return loadCheckpointFull(path).model;
 }
 
 }  // namespace gw2v::graph

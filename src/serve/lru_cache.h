@@ -1,0 +1,54 @@
+#pragma once
+
+// Small intrusive-list LRU used as the query cache in front of the
+// scatter-gather engine. Not thread-safe — the engine guards it with its own
+// mutex (the cache sits on the request path, never inside the collectives).
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace gw2v::serve {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  /// capacity 0 disables the cache (get misses, put is a no-op).
+  explicit LruCache(std::size_t capacity) : cap_(capacity) {}
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t size() const noexcept { return map_.size(); }
+
+  /// Returns the cached value and promotes the entry to most-recent.
+  std::optional<V> get(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  void put(const K& key, V value) {
+    if (cap_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= cap_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+  }
+
+ private:
+  std::size_t cap_;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> map_;
+};
+
+}  // namespace gw2v::serve

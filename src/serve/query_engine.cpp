@@ -1,0 +1,316 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+
+#include "comm/serialize.h"
+#include "util/rng.h"
+
+namespace gw2v::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsedMicros(Clock::time_point since) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - since).count());
+}
+
+/// Flat wire format for per-query partial top-k lists: per query a u32 count
+/// followed by that many Candidates.
+std::vector<std::uint8_t> serializeParts(const std::vector<std::vector<Candidate>>& parts) {
+  comm::ByteWriter w;
+  for (const auto& p : parts) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(p.size()));
+    w.putSpan<Candidate>(p);
+  }
+  return w.take();
+}
+
+std::vector<std::vector<Candidate>> parseParts(std::span<const std::uint8_t> bytes,
+                                               std::size_t numQueries) {
+  comm::ByteReader r(bytes);
+  std::vector<std::vector<Candidate>> parts(numQueries);
+  for (std::size_t q = 0; q < numQueries; ++q) {
+    const std::uint32_t n = r.get<std::uint32_t>();
+    const auto v = r.view<Candidate>(n);
+    parts[q].assign(v.begin(), v.end());
+  }
+  if (!r.done()) throw std::runtime_error("QueryEngine: trailing bytes in partial top-k");
+  return parts;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(comm::Transport& transport, comm::RankId me,
+                         const SnapshotStore& store, ServeOptions opts)
+    : me_(me),
+      numRanks_(transport.numRanks()),
+      store_(store),
+      opts_(opts),
+      coll_(transport, me, comm::TagSpace::kServe),
+      cache_(me == 0 ? opts.cacheCapacity : 0) {
+  if (opts_.maxBatch == 0) throw std::invalid_argument("QueryEngine: maxBatch must be >= 1");
+  if (store.maxReaders() < numRanks_)
+    throw std::invalid_argument("QueryEngine: SnapshotStore needs maxReaders >= numRanks");
+}
+
+void QueryEngine::run() {
+  if (me_ == 0) {
+    runCoordinator();
+  } else {
+    runWorker();
+  }
+}
+
+QueryResult QueryEngine::query(std::vector<float> vec, unsigned k,
+                               std::vector<text::WordId> exclude) {
+  Request req;
+  req.vec = normalizedCopy(vec);
+  req.k = k;
+  req.exclude = std::move(exclude);
+  return submit(std::move(req));
+}
+
+QueryResult QueryEngine::queryWord(text::WordId w, unsigned k) {
+  Request req;
+  req.word = w;
+  req.k = k;
+  req.exclude = {w};
+  return submit(std::move(req));
+}
+
+QueryResult QueryEngine::submit(Request req) {
+  if (me_ != 0)
+    throw std::logic_error("QueryEngine: queries enter at the rank-0 front-end only");
+  req.submitted = Clock::now();
+  std::sort(req.exclude.begin(), req.exclude.end());
+  req.exclude.erase(std::unique(req.exclude.begin(), req.exclude.end()), req.exclude.end());
+
+  if (opts_.cacheCapacity > 0) {
+    req.cacheable = true;
+    req.key = keyOf(req.vec, req.word, req.k, req.exclude, store_.currentVersion());
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    if (auto hit = cache_.get(req.key)) {
+      metrics_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queries.fetch_add(1, std::memory_order_relaxed);
+      metrics_.latency.record(elapsedMicros(req.submitted));
+      hit->cacheHit = true;
+      return *std::move(hit);
+    }
+    metrics_.cacheMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queueMu_);
+    if (stopping_) throw std::runtime_error("QueryEngine: shutting down");
+    queue_.push_back(std::move(req));
+  }
+  queueCv_.notify_all();
+  return future.get();
+}
+
+void QueryEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queueMu_);
+    stopping_ = true;
+  }
+  queueCv_.notify_all();
+}
+
+std::vector<QueryEngine::Request> QueryEngine::nextBatch() {
+  std::unique_lock<std::mutex> lock(queueMu_);
+  queueCv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+  if (queue_.empty()) return {};  // stopping and drained
+
+  std::vector<Request> batch;
+  batch.reserve(opts_.maxBatch);
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(opts_.batchWindowMicros);
+  for (;;) {
+    while (!queue_.empty() && batch.size() < opts_.maxBatch) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (batch.size() >= opts_.maxBatch || stopping_) break;
+    if (queueCv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      while (!queue_.empty() && batch.size() < opts_.maxBatch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      break;
+    }
+  }
+  return batch;
+}
+
+void QueryEngine::refreshPin(SnapshotStore::Pin& pin, ShardedIndex& index) {
+  if (store_.currentVersion() != pin->version()) {
+    pin.release();
+    pin = store_.pin(me_);
+    index = ShardedIndex(*pin, me_, numRanks_);
+    metrics_.snapshotSwaps.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryEngine::runCoordinator() {
+  SnapshotStore::Pin pin = store_.pin(me_);
+  if (!pin) throw std::runtime_error("QueryEngine::run: no snapshot published");
+  ShardedIndex index(*pin, me_, numRanks_);
+
+  for (;;) {
+    std::vector<Request> batch = nextBatch();
+    if (batch.empty()) {
+      BatchHeader stop;
+      stop.stop = 1;
+      coll_.broadcast(std::span<BatchHeader>(&stop, 1), 0, comm::CollectiveAlgo::kAuto,
+                      sim::CommPhase::kControl);
+      break;
+    }
+    refreshPin(pin, index);
+    const EmbeddingSnapshot& snap = *pin;
+
+    // Resolve by-word requests against the pinned snapshot; answer unknown
+    // ids and malformed vectors without spending a collective round.
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (auto& r : batch) {
+      if (r.vec.empty() && r.word != text::kInvalidWord) {
+        if (r.word >= snap.vocabSize()) {
+          QueryResult miss;
+          miss.version = snap.version();
+          metrics_.queries.fetch_add(1, std::memory_order_relaxed);
+          metrics_.latency.record(elapsedMicros(r.submitted));
+          r.promise.set_value(std::move(miss));
+          continue;
+        }
+        // normalizedCopy (not a raw row copy) keeps this path bit-identical
+        // to eval::EmbeddingView::nearestTo, which re-normalizes the same row.
+        r.vec = normalizedCopy(snap.row(r.word));
+      }
+      if (r.vec.size() != snap.dim()) {
+        r.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+            "QueryEngine: query vector has " + std::to_string(r.vec.size()) +
+            " elements, snapshot dim is " + std::to_string(snap.dim()))));
+        continue;
+      }
+      live.push_back(std::move(r));
+    }
+    if (live.empty()) continue;
+
+    // Pack the round: query matrix first, then per-query k + exclude list.
+    comm::ByteWriter w;
+    for (const auto& r : live) w.putSpan<float>(r.vec);
+    for (const auto& r : live) {
+      w.put<std::uint32_t>(r.k);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(r.exclude.size()));
+      w.putSpan<text::WordId>(r.exclude);
+    }
+    std::vector<std::uint8_t> payload = w.take();
+
+    BatchHeader h;
+    h.count = static_cast<std::uint32_t>(live.size());
+    h.dim = snap.dim();
+    h.payloadBytes = static_cast<std::uint32_t>(payload.size());
+    h.version = snap.version();
+    coll_.broadcast(std::span<BatchHeader>(&h, 1), 0, comm::CollectiveAlgo::kAuto,
+                    sim::CommPhase::kControl);
+    coll_.broadcast(std::span<std::uint8_t>(payload), 0, comm::CollectiveAlgo::kAuto,
+                    sim::CommPhase::kBroadcast);
+    metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+    metrics_.batchedQueries.fetch_add(live.size(), std::memory_order_relaxed);
+
+    std::vector<TopKQuery> queries;
+    queries.reserve(live.size());
+    for (const auto& r : live) queries.push_back({r.vec.data(), r.k, r.exclude});
+    const auto mine = index.topk(queries);
+
+    const auto perRank =
+        coll_.gatherv(serializeParts(mine), 0, sim::CommPhase::kReduce);
+    std::vector<std::vector<std::vector<Candidate>>> parts(numRanks_);
+    for (unsigned r = 0; r < numRanks_; ++r) parts[r] = parseParts(perRank[r], live.size());
+
+    std::vector<std::vector<Candidate>> shardLists(numRanks_);
+    for (std::size_t q = 0; q < live.size(); ++q) {
+      for (unsigned r = 0; r < numRanks_; ++r) shardLists[r] = std::move(parts[r][q]);
+      QueryResult res;
+      res.neighbors = mergeTopK(shardLists, live[q].k);
+      res.version = snap.version();
+      if (live[q].cacheable) {
+        // Key on the version that actually served the request, so lookups
+        // after a hot swap miss instead of returning stale neighbours. For
+        // by-word requests the key covers the word id, not the resolved row
+        // (lookups happen before resolution, when req.vec is still empty).
+        const std::span<const float> keyVec =
+            live[q].word != text::kInvalidWord ? std::span<const float>{}
+                                               : std::span<const float>(live[q].vec);
+        const CacheKey key = keyOf(keyVec, live[q].word, live[q].k, live[q].exclude, res.version);
+        std::lock_guard<std::mutex> lock(cacheMu_);
+        cache_.put(key, res);
+      }
+      metrics_.queries.fetch_add(1, std::memory_order_relaxed);
+      metrics_.latency.record(elapsedMicros(live[q].submitted));
+      live[q].promise.set_value(std::move(res));
+    }
+  }
+}
+
+void QueryEngine::runWorker() {
+  SnapshotStore::Pin pin = store_.pin(me_);
+  if (!pin) throw std::runtime_error("QueryEngine::run: no snapshot published");
+  ShardedIndex index(*pin, me_, numRanks_);
+
+  for (;;) {
+    BatchHeader h;
+    coll_.broadcast(std::span<BatchHeader>(&h, 1), 0, comm::CollectiveAlgo::kAuto,
+                    sim::CommPhase::kControl);
+    if (h.stop != 0) break;
+    std::vector<std::uint8_t> payload(h.payloadBytes);
+    coll_.broadcast(std::span<std::uint8_t>(payload), 0, comm::CollectiveAlgo::kAuto,
+                    sim::CommPhase::kBroadcast);
+    refreshPin(pin, index);
+    if (h.dim != pin->dim())
+      throw std::runtime_error("QueryEngine: batch dim does not match local snapshot");
+
+    comm::ByteReader rd(payload);
+    const auto matrix = rd.view<float>(static_cast<std::size_t>(h.count) * h.dim);
+    std::vector<TopKQuery> queries;
+    queries.reserve(h.count);
+    for (std::uint32_t q = 0; q < h.count; ++q) {
+      TopKQuery tq;
+      tq.vec = matrix.data() + static_cast<std::size_t>(q) * h.dim;
+      tq.k = rd.get<std::uint32_t>();
+      const std::uint32_t exLen = rd.get<std::uint32_t>();
+      tq.sortedExclude = rd.view<text::WordId>(exLen);
+      queries.push_back(tq);
+    }
+    if (!rd.done()) throw std::runtime_error("QueryEngine: trailing bytes in query batch");
+
+    coll_.gatherv(serializeParts(index.topk(queries)), 0, sim::CommPhase::kReduce);
+  }
+}
+
+QueryEngine::CacheKey QueryEngine::keyOf(std::span<const float> vec, text::WordId word,
+                                         unsigned k, std::span<const text::WordId> exclude,
+                                         std::uint64_t version) noexcept {
+  CacheKey key{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+  const auto mix = [&key](std::uint64_t v) noexcept {
+    key.lo = util::hash64(key.lo ^ v);
+    key.hi = util::hash64(key.hi + (v * 0xff51afd7ed558ccdULL | 1));
+  };
+  mix(word == text::kInvalidWord ? 0x1ULL : 0x2ULL);  // domain-separate vec/word keys
+  mix(word);
+  mix(k);
+  mix(version);
+  mix(vec.size());
+  for (const float f : vec) mix(std::bit_cast<std::uint32_t>(f));
+  mix(exclude.size());
+  for (const text::WordId id : exclude) mix(id);
+  return key;
+}
+
+}  // namespace gw2v::serve

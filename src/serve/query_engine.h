@@ -1,0 +1,158 @@
+#pragma once
+
+// Sharded top-k query engine: scatter-gather over the Transport substrate.
+//
+// SPMD like everything above the comm seam: every rank constructs a
+// QueryEngine and calls run(). Rank 0 is the coordinator/front-end — client
+// threads call query()/queryWord() (thread-safe, blocking) and a dispatcher
+// groups requests into batches (up to maxBatch, waiting at most
+// batchWindowMicros after the first arrival to fill up). Each batch is one
+// collective round in TagSpace::kServe:
+//
+//   broadcast  BatchHeader + packed queries (matrix + per-query k/exclude)
+//   local      every rank scores its blocked vocabulary shard (SIMD top-k)
+//   gatherv    partial top-k lists back to rank 0, merged under the
+//              deterministic `better` order — identical to a single-host scan
+//
+// Query traffic is charged to the normal CommPhase accounting (broadcast /
+// reduce), so bytes-per-query falls out of CommStats like every other
+// subsystem's volume.
+//
+// Each rank pins its SnapshotStore's current version for whole batches and
+// repins between batches when a publish happened (hot swap: in-flight
+// batches finish on the old version, the next batch sees the new one; during
+// the one round that straddles a publish, ranks may briefly serve different
+// versions of their own shards — bounded by a single batch and surfaced via
+// QueryResult::version).
+//
+// Rank 0 additionally runs a version-keyed LRU in front of the batcher, so
+// repeated hot queries (Zipfian traffic) short-circuit the collective round;
+// publishing a new snapshot naturally invalidates the cache (the version is
+// part of the key).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "comm/transport.h"
+#include "serve/lru_cache.h"
+#include "serve/metrics.h"
+#include "serve/sharded_index.h"
+#include "serve/snapshot.h"
+#include "serve/topk.h"
+
+namespace gw2v::serve {
+
+struct ServeOptions {
+  /// Max queries per scatter-gather round.
+  unsigned maxBatch = 32;
+  /// How long the dispatcher waits after the first request of a batch for
+  /// more to arrive (amortizes kernel + collective overhead).
+  unsigned batchWindowMicros = 200;
+  /// Rank-0 LRU entries; 0 disables the cache.
+  std::size_t cacheCapacity = 1024;
+};
+
+struct QueryResult {
+  std::vector<Candidate> neighbors;  // sorted by `better`
+  std::uint64_t version = 0;         // snapshot version that served it
+  bool cacheHit = false;
+};
+
+class QueryEngine {
+ public:
+  /// `store` outlives the engine; rank `me` uses hazard slot `me`, so the
+  /// store needs maxReaders >= numRanks.
+  QueryEngine(comm::Transport& transport, comm::RankId me, const SnapshotStore& store,
+              ServeOptions opts = {});
+
+  comm::RankId rank() const noexcept { return me_; }
+  const ServeOptions& options() const noexcept { return opts_; }
+
+  /// SPMD entry. Rank 0: dispatch batches until shutdown() and the queue is
+  /// drained. Other ranks: serve scoring rounds until the stop broadcast.
+  /// Requires a published snapshot.
+  void run();
+
+  /// Rank 0, thread-safe, blocking. `vec` must have snapshot dim elements;
+  /// it is L2-normalized internally, `exclude` need not be sorted.
+  QueryResult query(std::vector<float> vec, unsigned k,
+                    std::vector<text::WordId> exclude = {});
+
+  /// Rank 0: top-k neighbours of word `w` (excluding itself). Unknown ids
+  /// resolve to an empty result.
+  QueryResult queryWord(text::WordId w, unsigned k);
+
+  /// Rank 0, thread-safe: stop accepting queries, serve what is queued, then
+  /// broadcast stop so every rank's run() returns.
+  void shutdown();
+
+  ServeMetrics& metrics() noexcept { return metrics_; }
+  const ServeMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  struct CacheKey {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  struct Request {
+    std::vector<float> vec;                    // empty for by-word requests
+    text::WordId word = text::kInvalidWord;    // valid for by-word requests
+    unsigned k = 0;
+    std::vector<text::WordId> exclude;         // sorted, deduped
+    std::chrono::steady_clock::time_point submitted;
+    CacheKey key{};
+    bool cacheable = false;
+    std::promise<QueryResult> promise;
+  };
+
+  /// Fixed-size round preamble broadcast before the packed queries.
+  struct BatchHeader {
+    std::uint32_t stop = 0;
+    std::uint32_t count = 0;
+    std::uint32_t dim = 0;
+    std::uint32_t payloadBytes = 0;
+    std::uint64_t version = 0;
+  };
+
+  void runCoordinator();
+  void runWorker();
+
+  QueryResult submit(Request req);
+  /// Blocks for the next batch; empty result means shutdown-and-drained.
+  std::vector<Request> nextBatch();
+  void refreshPin(SnapshotStore::Pin& pin, ShardedIndex& index);
+
+  static CacheKey keyOf(std::span<const float> vec, text::WordId word, unsigned k,
+                        std::span<const text::WordId> exclude, std::uint64_t version) noexcept;
+
+  comm::RankId me_;
+  unsigned numRanks_;
+  const SnapshotStore& store_;
+  ServeOptions opts_;
+  comm::Collectives coll_;
+  ServeMetrics metrics_;
+
+  std::mutex queueMu_;
+  std::condition_variable queueCv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::mutex cacheMu_;
+  LruCache<CacheKey, QueryResult, CacheKeyHash> cache_;
+};
+
+}  // namespace gw2v::serve

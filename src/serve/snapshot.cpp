@@ -1,0 +1,121 @@
+#include "serve/snapshot.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/model_io.h"
+#include "util/vecmath.h"
+
+namespace gw2v::serve {
+
+EmbeddingSnapshot::EmbeddingSnapshot(const graph::ModelGraph& model,
+                                     const text::Vocabulary* vocab, std::uint64_t version)
+    : numWords_(model.numNodes()),
+      dim_(model.dim()),
+      stride_(util::paddedRowWidth(model.dim(), sizeof(float))),
+      version_(version) {
+  if (vocab != nullptr) {
+    if (vocab->size() != numWords_) {
+      throw std::invalid_argument("EmbeddingSnapshot: vocabulary size " +
+                                  std::to_string(vocab->size()) + " != model nodes " +
+                                  std::to_string(numWords_));
+    }
+    vocab_ = *vocab;
+  }
+  data_.assign(static_cast<std::size_t>(numWords_) * stride_, 0.0f);
+  for (std::uint32_t w = 0; w < numWords_; ++w) {
+    const auto src = model.row(graph::Label::kEmbedding, w);
+    float n = util::norm(src);
+    if (n <= 0.0f) n = 1.0f;
+    float* dst = data_.data() + static_cast<std::size_t>(w) * stride_;
+    for (std::uint32_t d = 0; d < dim_; ++d) dst[d] = src[d] / n;
+  }
+}
+
+std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromCheckpointFile(
+    const std::string& path, std::uint64_t version) {
+  graph::Checkpoint ck = graph::loadCheckpointFull(path);
+  if (!ck.vocab.has_value()) {
+    throw std::runtime_error(
+        "EmbeddingSnapshot: " + path +
+        " has no vocabulary section (v1 checkpoint?) — serving needs a self-contained "
+        "snapshot; re-save it with graph::saveCheckpoint(path, model, &vocab)");
+  }
+  return std::make_shared<const EmbeddingSnapshot>(ck.model, &*ck.vocab, version);
+}
+
+const text::Vocabulary& EmbeddingSnapshot::vocab() const {
+  if (!vocab_.has_value())
+    throw std::logic_error("EmbeddingSnapshot: built without a vocabulary");
+  return *vocab_;
+}
+
+SnapshotStore::SnapshotStore(unsigned maxReaders)
+    : maxReaders_(maxReaders), slots_(std::make_unique<Slot[]>(maxReaders)) {
+  if (maxReaders == 0) throw std::invalid_argument("SnapshotStore: maxReaders must be >= 1");
+}
+
+void SnapshotStore::Pin::release() noexcept {
+  if (store_ != nullptr) {
+    store_->slots_[slot_].hazard.store(nullptr, std::memory_order_seq_cst);
+    store_ = nullptr;
+    snap_ = nullptr;
+  }
+}
+
+SnapshotStore::Pin SnapshotStore::pin(unsigned readerId) const {
+  if (readerId >= maxReaders_)
+    throw std::invalid_argument("SnapshotStore::pin: readerId out of range");
+  Slot& slot = slots_[readerId];
+  assert(slot.hazard.load(std::memory_order_relaxed) == nullptr &&
+         "SnapshotStore: one live Pin per readerId");
+  // Announce-and-validate (hazard-pointer protocol, seq_cst throughout): if
+  // the head moved between our load and our announcement, the publisher may
+  // not have seen the hazard, so retry. Once the re-load agrees with the
+  // announced pointer, the publisher's reclamation scan is guaranteed to see
+  // it (its head store precedes its slot scan in the seq_cst total order).
+  for (;;) {
+    const EmbeddingSnapshot* p = head_.load(std::memory_order_seq_cst);
+    if (p == nullptr) {
+      slot.hazard.store(nullptr, std::memory_order_seq_cst);
+      return Pin{};
+    }
+    slot.hazard.store(p, std::memory_order_seq_cst);
+    if (head_.load(std::memory_order_seq_cst) == p) return Pin{this, readerId, p};
+  }
+}
+
+void SnapshotStore::publish(std::shared_ptr<const EmbeddingSnapshot> snap) {
+  if (snap == nullptr) throw std::invalid_argument("SnapshotStore::publish: null snapshot");
+  std::lock_guard<std::mutex> lock(publishMu_);
+  const std::uint64_t cur = version_.load(std::memory_order_relaxed);
+  if (snap->version() <= cur) {
+    throw std::invalid_argument("SnapshotStore::publish: version " +
+                                std::to_string(snap->version()) +
+                                " not greater than current " + std::to_string(cur));
+  }
+  const EmbeddingSnapshot* raw = snap.get();
+  retained_.push_back(std::move(snap));
+  head_.store(raw, std::memory_order_seq_cst);
+  version_.store(raw->version(), std::memory_order_release);
+
+  // Reclaim retirees no hazard slot announces. A reader racing with this
+  // scan either validated before our head store (its hazard is visible) or
+  // re-reads the new head and pins `raw` instead.
+  auto pinned = [&](const EmbeddingSnapshot* p) {
+    for (unsigned s = 0; s < maxReaders_; ++s) {
+      if (slots_[s].hazard.load(std::memory_order_seq_cst) == p) return true;
+    }
+    return false;
+  };
+  std::erase_if(retained_, [&](const std::shared_ptr<const EmbeddingSnapshot>& s) {
+    return s.get() != raw && !pinned(s.get());
+  });
+}
+
+std::size_t SnapshotStore::retainedCount() const {
+  std::lock_guard<std::mutex> lock(publishMu_);
+  return retained_.size();
+}
+
+}  // namespace gw2v::serve

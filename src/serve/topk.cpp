@@ -1,0 +1,102 @@
+#include "serve/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/simd.h"
+
+namespace gw2v::serve {
+
+namespace {
+
+bool candidateLess(const Candidate& a, const Candidate& b) noexcept { return better(a, b); }
+
+/// Bounded min-heap under the `better` total order: with candidateLess as
+/// the heap comparator the *worst* retained candidate sits at the front,
+/// so admission is a single compare against front().
+struct BoundedHeap {
+  std::vector<Candidate> v;
+  unsigned k = 0;
+
+  void offer(text::WordId id, float score, std::span<const text::WordId> sortedExclude) {
+    if (k == 0) return;
+    const Candidate c{id, score};
+    if (v.size() >= k) {
+      if (!better(c, v.front())) return;
+      if (std::binary_search(sortedExclude.begin(), sortedExclude.end(), id)) return;
+      std::pop_heap(v.begin(), v.end(), candidateLess);
+      v.back() = c;
+      std::push_heap(v.begin(), v.end(), candidateLess);
+    } else {
+      if (std::binary_search(sortedExclude.begin(), sortedExclude.end(), id)) return;
+      v.push_back(c);
+      std::push_heap(v.begin(), v.end(), candidateLess);
+    }
+  }
+
+  std::vector<Candidate> sortedTake() {
+    std::sort(v.begin(), v.end(), candidateLess);
+    return std::move(v);
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<Candidate>> topkScore(const float* rows, std::size_t rowStride,
+                                              std::uint32_t numRows, text::WordId idBase,
+                                              std::uint32_t dim,
+                                              std::span<const TopKQuery> queries) {
+  const auto& kern = util::simd::activeKernels();
+  const std::size_t numQ = queries.size();
+
+  std::vector<BoundedHeap> heaps(numQ);
+  for (std::size_t q = 0; q < numQ; ++q) {
+    heaps[q].k = queries[q].k;
+    heaps[q].v.reserve(std::min<std::size_t>(queries[q].k, numRows) + 1);
+  }
+
+  // Stream the matrix once; score each row against four queries per dot4
+  // pass (the row is the shared operand, so its memory traffic is amortized
+  // over the query block).
+  for (std::uint32_t r = 0; r < numRows; ++r) {
+    const float* row = rows + static_cast<std::size_t>(r) * rowStride;
+    const text::WordId id = idBase + r;
+    std::size_t q = 0;
+    for (; q + 4 <= numQ; q += 4) {
+      float s[4];
+      kern.dot4(row, queries[q].vec, queries[q + 1].vec, queries[q + 2].vec,
+                queries[q + 3].vec, dim, s);
+      for (int j = 0; j < 4; ++j) heaps[q + j].offer(id, s[j], queries[q + j].sortedExclude);
+    }
+    for (; q < numQ; ++q) {
+      heaps[q].offer(id, kern.dot(row, queries[q].vec, dim), queries[q].sortedExclude);
+    }
+  }
+
+  std::vector<std::vector<Candidate>> out(numQ);
+  for (std::size_t q = 0; q < numQ; ++q) out[q] = heaps[q].sortedTake();
+  return out;
+}
+
+std::vector<Candidate> mergeTopK(std::span<const std::vector<Candidate>> parts, unsigned k) {
+  std::vector<Candidate> all;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  all.reserve(total);
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end(), candidateLess);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<float> normalizedCopy(std::span<const float> v) {
+  std::vector<float> out(v.begin(), v.end());
+  const float n2 = util::simd::activeKernels().dot(out.data(), out.data(), out.size());
+  if (n2 > 0.0f) {
+    const float inv = 1.0f / std::sqrt(n2);
+    util::simd::activeKernels().scale(inv, out.data(), out.size());
+  }
+  return out;
+}
+
+}  // namespace gw2v::serve

@@ -1,0 +1,69 @@
+#pragma once
+
+// Brute-force top-k scoring over L2-normalized embedding matrices — the one
+// code path shared by the offline evaluator (eval::EmbeddingView) and the
+// online serving tier (serve::ShardedIndex / serve::QueryEngine).
+//
+// The scorer is batched: each 64B-aligned row is streamed once and scored
+// against up to four queries per pass through the dot4 kernel of the runtime
+// SIMD dispatch (util/simd.h), instead of one dot per (row, query) pair.
+// Candidate ordering is a total order (score desc, then word id asc), so
+// sharded top-k + merge returns bit-identical results to a single-host scan
+// regardless of shard count or scan order.
+//
+// Exclusion lists are sorted; membership is only checked when a row would
+// actually enter a heap (i.e. O(log |exclude|) on the rare insert path, not
+// per scanned row — the fix for the O(|exclude|) std::find the old
+// EmbeddingView did on every row).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace gw2v::serve {
+
+/// One scored word. Trivially copyable on purpose: partial top-k lists cross
+/// the transport as flat Candidate arrays.
+struct Candidate {
+  text::WordId id;
+  float score;
+};
+static_assert(sizeof(Candidate) == 8);
+
+/// Total order on candidates: higher score first, ties broken by the lower
+/// word id. Every consumer (heaps, merges, final sorts) uses this one
+/// predicate, which is what makes sharded results deterministic.
+inline bool better(const Candidate& a, const Candidate& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// One query against a row matrix: a normalized vector, a result budget k,
+/// and a sorted-ascending exclude list of global word ids.
+struct TopKQuery {
+  const float* vec = nullptr;
+  unsigned k = 0;
+  std::span<const text::WordId> sortedExclude{};
+};
+
+/// Score `queries` against rows [idBase, idBase + numRows) of a matrix whose
+/// rows are L2-normalized, `rowStride` floats apart and 64B-aligned (an
+/// EmbeddingSnapshot shard). Returns one list per query, sorted by `better`,
+/// of at most k candidates carrying *global* word ids.
+std::vector<std::vector<Candidate>> topkScore(const float* rows, std::size_t rowStride,
+                                              std::uint32_t numRows, text::WordId idBase,
+                                              std::uint32_t dim,
+                                              std::span<const TopKQuery> queries);
+
+/// Merge per-shard partial top-k lists (each sorted by `better`) into the
+/// global top-k. Identical to scoring all shards' rows in one pass.
+std::vector<Candidate> mergeTopK(std::span<const std::vector<Candidate>> parts, unsigned k);
+
+/// L2-normalized copy of an arbitrary query vector (zero vectors pass
+/// through unscaled, matching EmbeddingView's historical behaviour).
+std::vector<float> normalizedCopy(std::span<const float> v);
+
+}  // namespace gw2v::serve

@@ -104,20 +104,41 @@ __attribute__((target("avx2,fma"))) float dotAvx2(const float* a, const float* b
   return acc;
 }
 
+// Per-query accumulation mirrors dotAvx2 exactly (same unroll, same fold,
+// same tail), so dot4(a, b0..b3) is bitwise-equal to four dot(a, bk) calls.
+// The serving tier's determinism contract (batched scoring == per-query
+// scoring == sharded + merged scoring) depends on this equivalence.
 __attribute__((target("avx2,fma"))) void dot4Avx2(const float* a, const float* b0,
                                                   const float* b1, const float* b2,
                                                   const float* b3, std::size_t n, float* out) {
-  __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
-  __m256 s2 = _mm256_setzero_ps(), s3 = _mm256_setzero_ps();
+  __m256 s0a = _mm256_setzero_ps(), s0b = _mm256_setzero_ps();
+  __m256 s1a = _mm256_setzero_ps(), s1b = _mm256_setzero_ps();
+  __m256 s2a = _mm256_setzero_ps(), s2b = _mm256_setzero_ps();
+  __m256 s3a = _mm256_setzero_ps(), s3b = _mm256_setzero_ps();
   std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 va0 = _mm256_loadu_ps(a + i);
+    const __m256 va1 = _mm256_loadu_ps(a + i + 8);
+    s0a = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b0 + i), s0a);
+    s0b = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b0 + i + 8), s0b);
+    s1a = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b1 + i), s1a);
+    s1b = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b1 + i + 8), s1b);
+    s2a = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b2 + i), s2a);
+    s2b = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b2 + i + 8), s2b);
+    s3a = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b3 + i), s3a);
+    s3b = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b3 + i + 8), s3b);
+  }
   for (; i + 8 <= n; i += 8) {
     const __m256 va = _mm256_loadu_ps(a + i);
-    s0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + i), s0);
-    s1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + i), s1);
-    s2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + i), s2);
-    s3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + i), s3);
+    s0a = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + i), s0a);
+    s1a = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + i), s1a);
+    s2a = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + i), s2a);
+    s3a = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + i), s3a);
   }
-  float r0 = hsum256(s0), r1 = hsum256(s1), r2 = hsum256(s2), r3 = hsum256(s3);
+  float r0 = hsum256(_mm256_add_ps(s0a, s0b));
+  float r1 = hsum256(_mm256_add_ps(s1a, s1b));
+  float r2 = hsum256(_mm256_add_ps(s2a, s2b));
+  float r3 = hsum256(_mm256_add_ps(s3a, s3b));
   for (; i < n; ++i) {
     const float v = a[i];
     r0 += v * b0[i];
@@ -227,32 +248,49 @@ __attribute__((target("avx512f"))) float dotAvx512(const float* a, const float* 
   return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
 }
 
+// Mirrors dotAvx512's per-query reduction exactly (32-wide main loop into
+// acc0/acc1, 16-wide into acc0, masked tail into acc1) for the same
+// bitwise-equivalence contract as dot4Avx2.
 __attribute__((target("avx512f"))) void dot4Avx512(const float* a, const float* b0,
                                                    const float* b1, const float* b2,
                                                    const float* b3, std::size_t n,
                                                    float* out) {
-  __m512 s0 = _mm512_setzero_ps(), s1 = _mm512_setzero_ps();
-  __m512 s2 = _mm512_setzero_ps(), s3 = _mm512_setzero_ps();
+  __m512 s0a = _mm512_setzero_ps(), s0b = _mm512_setzero_ps();
+  __m512 s1a = _mm512_setzero_ps(), s1b = _mm512_setzero_ps();
+  __m512 s2a = _mm512_setzero_ps(), s2b = _mm512_setzero_ps();
+  __m512 s3a = _mm512_setzero_ps(), s3b = _mm512_setzero_ps();
   std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512 va0 = _mm512_loadu_ps(a + i);
+    const __m512 va1 = _mm512_loadu_ps(a + i + 16);
+    s0a = _mm512_fmadd_ps(va0, _mm512_loadu_ps(b0 + i), s0a);
+    s0b = _mm512_fmadd_ps(va1, _mm512_loadu_ps(b0 + i + 16), s0b);
+    s1a = _mm512_fmadd_ps(va0, _mm512_loadu_ps(b1 + i), s1a);
+    s1b = _mm512_fmadd_ps(va1, _mm512_loadu_ps(b1 + i + 16), s1b);
+    s2a = _mm512_fmadd_ps(va0, _mm512_loadu_ps(b2 + i), s2a);
+    s2b = _mm512_fmadd_ps(va1, _mm512_loadu_ps(b2 + i + 16), s2b);
+    s3a = _mm512_fmadd_ps(va0, _mm512_loadu_ps(b3 + i), s3a);
+    s3b = _mm512_fmadd_ps(va1, _mm512_loadu_ps(b3 + i + 16), s3b);
+  }
   for (; i + 16 <= n; i += 16) {
     const __m512 va = _mm512_loadu_ps(a + i);
-    s0 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b0 + i), s0);
-    s1 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b1 + i), s1);
-    s2 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b2 + i), s2);
-    s3 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b3 + i), s3);
+    s0a = _mm512_fmadd_ps(va, _mm512_loadu_ps(b0 + i), s0a);
+    s1a = _mm512_fmadd_ps(va, _mm512_loadu_ps(b1 + i), s1a);
+    s2a = _mm512_fmadd_ps(va, _mm512_loadu_ps(b2 + i), s2a);
+    s3a = _mm512_fmadd_ps(va, _mm512_loadu_ps(b3 + i), s3a);
   }
   if (i < n) {
     const __mmask16 m = tailMask(n - i);
     const __m512 va = _mm512_maskz_loadu_ps(m, a + i);
-    s0 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b0 + i), s0);
-    s1 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b1 + i), s1);
-    s2 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b2 + i), s2);
-    s3 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b3 + i), s3);
+    s0b = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b0 + i), s0b);
+    s1b = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b1 + i), s1b);
+    s2b = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b2 + i), s2b);
+    s3b = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b3 + i), s3b);
   }
-  out[0] = _mm512_reduce_add_ps(s0);
-  out[1] = _mm512_reduce_add_ps(s1);
-  out[2] = _mm512_reduce_add_ps(s2);
-  out[3] = _mm512_reduce_add_ps(s3);
+  out[0] = _mm512_reduce_add_ps(_mm512_add_ps(s0a, s0b));
+  out[1] = _mm512_reduce_add_ps(_mm512_add_ps(s1a, s1b));
+  out[2] = _mm512_reduce_add_ps(_mm512_add_ps(s2a, s2b));
+  out[3] = _mm512_reduce_add_ps(_mm512_add_ps(s3a, s3b));
 }
 
 __attribute__((target("avx512f"))) void axpyAvx512(float alpha, const float* x, float* y,

@@ -1,0 +1,96 @@
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "serve/lru_cache.h"
+
+namespace gw2v::serve {
+namespace {
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_DOUBLE_EQ(h.quantileMicros(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantileMicros(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.meanMicros(), 3.5);
+}
+
+TEST(LatencyHistogram, QuantilesWithinBucketError) {
+  // Log-bucketed with 8 sub-buckets per octave: relative error <= 12.5%
+  // (half a bucket width, via the midpoint rule).
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = q * 10000.0;
+    const double approx = h.quantileMicros(q);
+    EXPECT_NEAR(approx, exact, exact * 0.125) << "q=" << q;
+  }
+  EXPECT_NEAR(h.meanMicros(), 5000.5, 1e-6);
+}
+
+TEST(LatencyHistogram, BucketOfIsMonotonicAndInRange) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t v = 0; v < (1u << 14); ++v) {
+    const unsigned b = LatencyHistogram::bucketOf(v);
+    ASSERT_LT(b, LatencyHistogram::kNumBuckets);
+    ASSERT_GE(b, prev);
+    prev = b;
+  }
+  // The far end of the range must still map inside the table.
+  EXPECT_LT(LatencyHistogram::bucketOf(~0ull), LatencyHistogram::kNumBuckets);
+}
+
+TEST(LatencyHistogram, EmptyHistogramReadsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantileMicros(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.meanMicros(), 0.0);
+}
+
+TEST(ServeMetrics, DerivedRates) {
+  ServeMetrics m;
+  EXPECT_DOUBLE_EQ(m.cacheHitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.batchOccupancy(32), 0.0);
+  m.cacheHits = 3;
+  m.cacheMisses = 1;
+  m.batches = 2;
+  m.batchedQueries = 16;
+  EXPECT_DOUBLE_EQ(m.cacheHitRate(), 0.75);
+  EXPECT_DOUBLE_EQ(m.batchOccupancy(32), 16.0 / 64.0);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> cache(2);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  ASSERT_TRUE(cache.get(1).has_value());  // promote 1; 2 is now LRU
+  cache.put(3, "three");                  // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value(), "one");
+  EXPECT_EQ(cache.get(3).value(), "three");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, PutOverwritesAndPromotes) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // overwrite promotes 1; 2 is LRU
+  cache.put(3, 30);
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value(), 11);
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+  LruCache<int, int> cache(0);
+  cache.put(1, 10);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gw2v::serve

@@ -1,0 +1,180 @@
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "graph/model_io.h"
+#include "text/vocabulary.h"
+
+namespace gw2v::serve {
+namespace {
+
+std::string tempPath(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+text::Vocabulary makeVocab(std::uint32_t n) {
+  text::Vocabulary v;
+  for (std::uint32_t i = 0; i < n; ++i) v.addCount("w" + std::to_string(i), 1000 - i);
+  v.finalize(1);
+  return v;
+}
+
+TEST(EmbeddingSnapshot, NormalizesRowsIntoPaddedAlignedMatrix) {
+  graph::ModelGraph model(5, 7);
+  model.randomizeEmbeddings(2);
+  const EmbeddingSnapshot snap(model, nullptr, 3);
+
+  EXPECT_EQ(snap.version(), 3u);
+  EXPECT_EQ(snap.vocabSize(), 5u);
+  EXPECT_EQ(snap.dim(), 7u);
+  EXPECT_EQ(snap.rowStride() % 16, 0u);  // 64B-aligned stride
+  EXPECT_GE(snap.rowStride(), 7u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(snap.rows()) % 64, 0u);
+  EXPECT_EQ(snap.matrixBytes(), 5u * snap.rowStride() * sizeof(float));
+
+  for (std::uint32_t w = 0; w < 5; ++w) {
+    double n2 = 0.0;
+    for (const float x : snap.row(w)) n2 += static_cast<double>(x) * x;
+    EXPECT_NEAR(n2, 1.0, 1e-5) << "row " << w;
+  }
+  EXPECT_FALSE(snap.hasVocab());
+  EXPECT_THROW(snap.vocab(), std::logic_error);
+}
+
+TEST(EmbeddingSnapshot, ZeroRowSurvivesNormalization) {
+  graph::ModelGraph model(2, 4);  // rows default to zero
+  const EmbeddingSnapshot snap(model, nullptr, 1);
+  for (const float x : snap.row(0)) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(EmbeddingSnapshot, CarriesVocabularyWhenGiven) {
+  graph::ModelGraph model(6, 4);
+  const text::Vocabulary vocab = makeVocab(6);
+  const EmbeddingSnapshot snap(model, &vocab, 1);
+  ASSERT_TRUE(snap.hasVocab());
+  EXPECT_EQ(snap.vocab().size(), 6u);
+  EXPECT_EQ(snap.vocab().wordOf(0), "w0");
+}
+
+TEST(EmbeddingSnapshot, VocabSizeMismatchThrows) {
+  graph::ModelGraph model(6, 4);
+  const text::Vocabulary vocab = makeVocab(4);
+  EXPECT_THROW(EmbeddingSnapshot(model, &vocab, 1), std::invalid_argument);
+}
+
+TEST(EmbeddingSnapshot, FromCheckpointFileRoundTrips) {
+  graph::ModelGraph model(9, 5);
+  model.randomizeEmbeddings(8);
+  const text::Vocabulary vocab = makeVocab(9);
+  const std::string path = tempPath("gw2v_serve_snap.bin");
+  graph::saveCheckpoint(path, model, &vocab);
+
+  const auto snap = EmbeddingSnapshot::fromCheckpointFile(path, 7);
+  EXPECT_EQ(snap->version(), 7u);
+  EXPECT_EQ(snap->vocabSize(), 9u);
+  EXPECT_EQ(snap->dim(), 5u);
+  ASSERT_TRUE(snap->hasVocab());
+  EXPECT_EQ(snap->vocab().idOf("w3"), std::optional<text::WordId>(3u));
+
+  // Rows equal an in-memory snapshot of the same model, bit for bit.
+  const EmbeddingSnapshot direct(model, nullptr, 7);
+  for (std::uint32_t w = 0; w < 9; ++w) {
+    const auto a = snap->row(w);
+    const auto b = direct.row(w);
+    for (std::uint32_t d = 0; d < 5; ++d) ASSERT_EQ(a[d], b[d]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingSnapshot, FromCheckpointFileRejectsVocabLessFile) {
+  graph::ModelGraph model(4, 3);
+  const std::string path = tempPath("gw2v_serve_snap_novocab.bin");
+  graph::saveCheckpoint(path, model);  // v2 but no vocab section
+  try {
+    EmbeddingSnapshot::fromCheckpointFile(path, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("vocabulary"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStore, PinBeforePublishIsEmpty) {
+  SnapshotStore store(4);
+  EXPECT_EQ(store.currentVersion(), 0u);
+  auto pin = store.pin(0);
+  EXPECT_FALSE(pin);
+  EXPECT_EQ(pin.get(), nullptr);
+}
+
+TEST(SnapshotStore, PublishAndPin) {
+  SnapshotStore store(4);
+  graph::ModelGraph model(3, 4);
+  store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 1));
+  EXPECT_EQ(store.currentVersion(), 1u);
+  auto pin = store.pin(2);
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(pin->version(), 1u);
+  EXPECT_EQ(store.retainedCount(), 1u);
+}
+
+TEST(SnapshotStore, PublishRequiresStrictlyIncreasingVersions) {
+  SnapshotStore store(2);
+  graph::ModelGraph model(3, 4);
+  store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 5));
+  EXPECT_THROW(store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 5)),
+               std::invalid_argument);
+  EXPECT_THROW(store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(store.publish(nullptr), std::invalid_argument);
+}
+
+TEST(SnapshotStore, PinnedRetireeSurvivesPublishUnpinnedIsReclaimed) {
+  SnapshotStore store(4);
+  graph::ModelGraph model(3, 4);
+  store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 1));
+
+  auto pin = store.pin(0);
+  ASSERT_TRUE(pin);
+  const EmbeddingSnapshot* v1 = pin.get();
+
+  store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 2));
+  // v1 is pinned: still retained; the pinned pointer still reads version 1.
+  EXPECT_EQ(store.retainedCount(), 2u);
+  EXPECT_EQ(pin->version(), 1u);
+  EXPECT_EQ(pin.get(), v1);
+  // A fresh pin sees version 2.
+  EXPECT_EQ(store.pin(1)->version(), 2u);
+
+  pin.release();
+  EXPECT_FALSE(pin);
+  // The next publish reclaims the now-unpinned v1 (and unpinned v2).
+  store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 3));
+  EXPECT_EQ(store.retainedCount(), 1u);
+}
+
+TEST(SnapshotStore, PinIsValidatedAgainstReaderRange) {
+  SnapshotStore store(2);
+  EXPECT_THROW(store.pin(2), std::invalid_argument);
+  EXPECT_THROW(SnapshotStore(0), std::invalid_argument);
+}
+
+TEST(SnapshotStore, MovedPinTransfersTheHazard) {
+  SnapshotStore store(2);
+  graph::ModelGraph model(3, 4);
+  store.publish(std::make_shared<const EmbeddingSnapshot>(model, nullptr, 1));
+  auto a = store.pin(0);
+  auto b = std::move(a);
+  EXPECT_FALSE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->version(), 1u);
+  b.release();
+  // Slot is free again: re-pinning with the same readerId must work.
+  auto c = store.pin(0);
+  EXPECT_TRUE(c);
+}
+
+}  // namespace
+}  // namespace gw2v::serve
