@@ -1,0 +1,71 @@
+// Microbenchmark of the model-state layer's round cost: touch a fraction of
+// a word2vec-scale table (100k vocab x dim 200), walk the resulting deltas
+// the way SyncEngine::doSync does, then rebaseline. Before the DeltaLog
+// refactor, rebaselining copied the full model regardless of how many rows a
+// round touched; with row-granular capture the whole round is O(dirty set),
+// so the 1%-dirty configuration must be far cheaper than the 100% one (the
+// regression gate checks >= 5x).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "model/embedding_table.h"
+#include "util/rng.h"
+#include "util/vecmath.h"
+
+namespace {
+
+using namespace gw2v;
+
+constexpr std::uint32_t kVocab = 100000;
+constexpr std::uint32_t kDim = 200;
+
+void BM_SyncRebaseline(benchmark::State& state) {
+  const auto dirtyPct = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t numDirty = kVocab / 100 * dirtyPct;
+
+  model::EmbeddingTable table(kVocab, kDim);
+  util::Rng rng(17);
+  for (std::uint32_t n = 0; n < kVocab; ++n) {
+    auto r = table.untrackedRow(n);
+    for (auto& v : r) v = rng.uniformFloat(-0.5f, 0.5f);
+  }
+  // A fixed random-looking but reusable touch set, drawn outside the timed
+  // region so every configuration pays only for the round itself.
+  std::vector<std::uint32_t> touch(kVocab);
+  std::iota(touch.begin(), touch.end(), 0u);
+  for (std::uint32_t n = kVocab - 1; n > 0; --n) {
+    std::swap(touch[n], touch[rng.bounded(n + 1)]);
+  }
+  touch.resize(numDirty);
+
+  std::vector<float> delta(kDim);
+  std::uint64_t rowsShipped = 0;
+  for (auto _ : state) {
+    // Train phase: first touch captures the pre-round bits.
+    for (const std::uint32_t n : touch) table.mutableRow(n)[n % kDim] += 0.01f;
+    // Reduce phase: materialize (new - baseline) per dirty row.
+    table.forEachDelta([&](std::uint32_t, std::span<const float> oldRow,
+                           std::span<const float> cur) {
+      util::sub(cur, oldRow, delta);
+      benchmark::DoNotOptimize(delta.data());
+      ++rowsShipped;
+    });
+    // Rebaseline: declare the current model the baseline for the next round.
+    table.clearDirty();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rowsShipped));
+  state.SetBytesProcessed(static_cast<std::int64_t>(rowsShipped) * kDim *
+                          static_cast<std::int64_t>(sizeof(float)));
+  state.SetLabel(std::to_string(dirtyPct) + "% dirty");
+}
+
+// Dirty fraction of the vocabulary per round, in percent.
+BENCHMARK(BM_SyncRebaseline)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,6 +8,12 @@ for b in /root/repo/build/bench/*; do
   echo "##### $b"
   name=$(basename "$b")
   case "$name" in
+    micro_model)
+      # Model-state layer round cost: O(dirty set) rebaselining at 1/10/100%
+      # dirty fractions (BM_SyncRebaseline).
+      "$b" --benchmark_out=/root/repo/bench_results/BENCH_model.json \
+           --benchmark_out_format=json
+      ;;
     micro_*)
       "$b" --benchmark_out="/root/repo/bench_results/${name}.json" \
            --benchmark_out_format=json

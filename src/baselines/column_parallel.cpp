@@ -145,16 +145,21 @@ ColumnParallelResult trainColumnParallel(const text::Vocabulary& vocab,
   result.epochLoss = std::move(epochLoss);
   result.totalExamples = totalExamples;
 
-  // Assemble the full model from per-host dimension slices.
+  // Assemble the full model from per-host dimension slices. Every replica
+  // started from the identical seeded init and its tables recorded which
+  // rows the batches actually touched, so seed the result the same way and
+  // overlay only the dirty rows' slices instead of copying the whole model.
   result.model.init(vocabSize, dim);
+  result.model.randomizeEmbeddings(opts.seed);
   for (unsigned h = 0; h < numHosts; ++h) {
     const auto [dlo, dhi] = runtime::blockRange(dim, numHosts, h);
-    for (std::uint32_t n = 0; n < vocabSize; ++n) {
-      for (int l = 0; l < graph::kNumLabels; ++l) {
-        const auto label = static_cast<graph::Label>(l);
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      const auto label = static_cast<graph::Label>(l);
+      replicas[h]->touched(label).forEachSet([&](std::size_t n32) {
+        const auto n = static_cast<std::uint32_t>(n32);
         const auto src = replicas[h]->row(label, n).subspan(dlo, dhi - dlo);
-        util::copyInto(src, result.model.mutableRow(label, n).subspan(dlo, dhi - dlo));
-      }
+        util::copyInto(src, result.model.untrackedRow(label, n).subspan(dlo, dhi - dlo));
+      });
     }
   }
   return result;

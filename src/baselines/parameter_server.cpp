@@ -68,13 +68,15 @@ ParameterServerResult trainParameterServer(const text::Vocabulary& vocab,
           ctx.computeTimer().stop();
           net.send(0, src, kTagReply, w.take(), sim::CommPhase::kBroadcast);
         } else {
-          // Push: apply the raw delta immediately — no reconciliation.
+          // Push: apply the raw delta immediately — no reconciliation. The
+          // server's copy is the authority, so the write bumps row versions
+          // without entering any dirty set.
           ctx.computeTimer().start();
           const std::uint32_t count = r.get<std::uint32_t>();
           for (std::uint32_t i = 0; i < count; ++i) {
             const std::uint32_t n = r.get<std::uint32_t>();
-            util::add(r.view<float>(dim), serverModel.mutableRow(graph::Label::kEmbedding, n));
-            util::add(r.view<float>(dim), serverModel.mutableRow(graph::Label::kTraining, n));
+            util::add(r.view<float>(dim), serverModel.overwriteRow(graph::Label::kEmbedding, n));
+            util::add(r.view<float>(dim), serverModel.overwriteRow(graph::Label::kTraining, n));
           }
           ctx.computeTimer().stop();
         }
@@ -90,8 +92,6 @@ ParameterServerResult trainParameterServer(const text::Vocabulary& vocab,
     local.randomizeEmbeddings(opts.seed);
     core::SgnsScratch scratch(dim);
     util::BitVector access(vocabSize);
-    // Snapshot of pulled rows, for delta computation after the round.
-    std::vector<float> pulledBase;
     std::vector<std::uint32_t> accessList;
 
     for (unsigned epoch = 0; epoch < opts.epochs; ++epoch) {
@@ -129,18 +129,17 @@ ParameterServerResult trainParameterServer(const text::Vocabulary& vocab,
           for (const auto n : accessList) w.put(n);
           net.send(ctx.id(), 0, kTagRequest, w.take(), sim::CommPhase::kControl);
         }
+        // Pulled values are the server's canonical bits; the round's dirty
+        // set was cleared after the last push, so the DeltaLog's first-touch
+        // captures during training snapshot exactly these values — no
+        // separate pulledBase array needed.
         {
           const auto payload = net.recv(ctx.id(), 0, kTagReply, sim::CommPhase::kBroadcast);
           comm::ByteReader r(payload);
-          pulledBase.resize(accessList.size() * static_cast<std::size_t>(dim) * 2);
           for (std::size_t i = 0; i < accessList.size(); ++i) {
             const std::uint32_t n = r.get<std::uint32_t>();
-            const auto e = r.view<float>(dim);
-            const auto t = r.view<float>(dim);
-            util::copyInto(e, local.mutableRow(graph::Label::kEmbedding, n));
-            util::copyInto(t, local.mutableRow(graph::Label::kTraining, n));
-            util::copyInto(e, std::span<float>(pulledBase.data() + i * dim * 2, dim));
-            util::copyInto(t, std::span<float>(pulledBase.data() + i * dim * 2 + dim, dim));
+            util::copyInto(r.view<float>(dim), local.overwriteRow(graph::Label::kEmbedding, n));
+            util::copyInto(r.view<float>(dim), local.overwriteRow(graph::Label::kTraining, n));
           }
         }
 
@@ -156,19 +155,21 @@ ParameterServerResult trainParameterServer(const text::Vocabulary& vocab,
                                       ++perWorkerExamples[worker];
                                     });
         }
-        // Push deltas relative to the pulled snapshot.
+        // Push deltas relative to the pulled snapshot: the tables' baselines
+        // serve dirty rows from the DeltaLog capture (= pulled bits) and
+        // clean access-list rows from the unchanged row itself (zero delta,
+        // exactly as the old dense snapshot produced).
         comm::ByteWriter w;
         w.put(kMsgPush);
         w.put(static_cast<std::uint32_t>(accessList.size()));
         std::vector<float> delta(dim);
-        for (std::size_t i = 0; i < accessList.size(); ++i) {
-          const std::uint32_t n = accessList[i];
+        const auto& embTable = local.table(graph::Label::kEmbedding);
+        const auto& trnTable = local.table(graph::Label::kTraining);
+        for (const std::uint32_t n : accessList) {
           w.put(n);
-          util::sub(local.row(graph::Label::kEmbedding, n),
-                    std::span<const float>(pulledBase.data() + i * dim * 2, dim), delta);
+          util::sub(local.row(graph::Label::kEmbedding, n), embTable.baselineRow(n), delta);
           w.putSpan(std::span<const float>(delta));
-          util::sub(local.row(graph::Label::kTraining, n),
-                    std::span<const float>(pulledBase.data() + i * dim * 2 + dim, dim), delta);
+          util::sub(local.row(graph::Label::kTraining, n), trnTable.baselineRow(n), delta);
           w.putSpan(std::span<const float>(delta));
         }
         ctx.computeTimer().stop();

@@ -37,14 +37,11 @@ std::uint64_t ScalarSyncEngine::sync() {
     if (peer == me) continue;
     const auto [lo, hi] = partition_.masterRange(peer);
     ByteWriter w;
-    std::uint32_t count = 0;
-    for (std::uint32_t n = lo; n < hi; ++n) count += touched_.test(n) ? 1 : 0;
-    w.put(count);
-    for (std::uint32_t n = lo; n < hi; ++n) {
-      if (!touched_.test(n)) continue;
-      w.put(n);
+    w.put(static_cast<std::uint32_t>(touched_.countInRange(lo, hi)));
+    touched_.forEachSetInRange(lo, hi, [&](std::size_t n) {
+      w.put(static_cast<std::uint32_t>(n));
       w.put(values_[n]);
-    }
+    });
     reduceOut[peer] = w.take();
   }
   const std::vector<std::vector<std::uint8_t>> reduceIn =
@@ -55,9 +52,7 @@ std::uint64_t ScalarSyncEngine::sync() {
   const auto [ownLo, ownHi] = partition_.masterRange(me);
   util::BitVector improved(ownHi - ownLo);
   // The master's own relaxations count as improvements to publish too.
-  for (std::uint32_t n = ownLo; n < ownHi; ++n) {
-    if (touched_.test(n)) improved.set(n - ownLo);
-  }
+  touched_.forEachSetInRange(ownLo, ownHi, [&](std::size_t n) { improved.set(n - ownLo); });
   for (unsigned src = 0; src < numHosts; ++src) {
     if (src == me) continue;
     ByteReader r(reduceIn[src]);

@@ -44,28 +44,8 @@ SyncEngine::SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
 }
 
 void SyncEngine::rebaseline() {
-  const std::size_t total = static_cast<std::size_t>(model_.numNodes()) * model_.dim();
-  for (int l = 0; l < graph::kNumLabels; ++l) {
-    baseline_[l].resize(total);
-    for (std::uint32_t n = 0; n < model_.numNodes(); ++n) {
-      util::copyInto(model_.row(static_cast<graph::Label>(l), n),
-                     mutableBaselineRow(static_cast<graph::Label>(l), n));
-    }
-  }
-}
-
-std::span<const float> SyncEngine::baselineRow(graph::Label label,
-                                               std::uint32_t node) const noexcept {
-  return {baseline_[static_cast<int>(label)].data() +
-              static_cast<std::size_t>(node) * model_.dim(),
-          model_.dim()};
-}
-
-std::span<float> SyncEngine::mutableBaselineRow(graph::Label label,
-                                                std::uint32_t node) noexcept {
-  return {baseline_[static_cast<int>(label)].data() +
-              static_cast<std::size_t>(node) * model_.dim(),
-          model_.dim()};
+  // The model is the baseline; dropping pending captures makes it official.
+  model_.clearTouched();
 }
 
 void SyncEngine::sync() { doSync(nullptr); }
@@ -114,25 +94,32 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
   // ---- Reduce phase: ship touched (or all, for Naive) mirror deltas to
   // masters. -------------------------------------------------------------
   const auto [ownLo, ownHi] = partition_.masterRange(me);
+  std::vector<float> delta(dim);
   std::vector<std::vector<std::uint8_t>> reduceOut(numHosts);
   for (unsigned peer = 0; peer < numHosts; ++peer) {
     if (peer == me) continue;
     const auto [lo, hi] = partition_.masterRange(peer);
     ByteWriter w;
     for (int l = 0; l < graph::kNumLabels; ++l) {
-      const auto label = static_cast<graph::Label>(l);
-      // First pass to count, second to fill (avoids patching offsets).
-      std::uint32_t count = 0;
-      for (std::uint32_t n = lo; n < hi; ++n) {
-        if (naive || model_.isTouched(label, n)) ++count;
-      }
-      w.put(count);
-      std::vector<float> delta(dim);
-      for (std::uint32_t n = lo; n < hi; ++n) {
-        if (!(naive || model_.isTouched(label, n))) continue;
-        util::sub(model_.row(label, n), baselineRow(label, n), delta);
-        w.put(n);
-        w.putSpan(std::span<const float>(delta));
+      const auto& table = model_.table(static_cast<graph::Label>(l));
+      if (naive) {
+        w.put(hi - lo);
+        for (std::uint32_t n = lo; n < hi; ++n) {
+          // Clean rows subtract against themselves and ship exact zeros —
+          // the Naive strategy's pay-for-everything byte count.
+          util::sub(table.row(n), table.baselineRow(n), delta);
+          w.put(n);
+          w.putSpan(std::span<const float>(delta));
+        }
+      } else {
+        w.put(static_cast<std::uint32_t>(table.dirty().countInRange(lo, hi)));
+        table.forEachDeltaInRange(
+            lo, hi,
+            [&](std::uint32_t n, std::span<const float> oldRow, std::span<const float> cur) {
+              util::sub(cur, oldRow, delta);
+              w.put(n);
+              w.putSpan(std::span<const float>(delta));
+            });
       }
     }
     reduceOut[peer] = w.take();
@@ -170,11 +157,19 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
   for (unsigned src = 0; src < numHosts; ++src) {
     if (src == me) {
       for (int l = 0; l < graph::kNumLabels; ++l) {
-        const auto label = static_cast<graph::Label>(l);
-        for (std::uint32_t n = ownLo; n < ownHi; ++n) {
-          if (!(naive || model_.isTouched(label, n))) continue;
-          util::sub(model_.row(label, n), baselineRow(label, n), scratch);
-          foldContribution(l, n, scratch);
+        const auto& table = model_.table(static_cast<graph::Label>(l));
+        if (naive) {
+          for (std::uint32_t n = ownLo; n < ownHi; ++n) {
+            util::sub(table.row(n), table.baselineRow(n), scratch);
+            foldContribution(l, n, scratch);
+          }
+        } else {
+          table.forEachDeltaInRange(
+              ownLo, ownHi,
+              [&](std::uint32_t n, std::span<const float> oldRow, std::span<const float> cur) {
+                util::sub(cur, oldRow, scratch);
+                foldContribution(l, n, scratch);
+              });
         }
       }
       continue;
@@ -189,17 +184,19 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
     }
   }
 
-  // Apply combined steps to canonical values (master's own rows + baseline).
+  // Apply combined steps to canonical values. The baseline must be copied
+  // out before the overwrite: for rows no thread captured, it aliases the
+  // row itself.
   for (int l = 0; l < graph::kNumLabels; ++l) {
-    const auto label = static_cast<graph::Label>(l);
+    auto& table = model_.table(static_cast<graph::Label>(l));
     for (std::uint32_t n = ownLo; n < ownHi; ++n) {
       const std::uint32_t c = contribAt(l, n);
       if (c == 0) continue;
       auto a = accRow(l, n);
       reducer_.finalize(a, c);
-      auto base = mutableBaselineRow(label, n);
-      util::add(a, base);
-      util::copyInto(base, model_.mutableRow(label, n));
+      util::copyInto(table.baselineRow(n), scratch);
+      util::add(a, scratch);
+      util::copyInto(scratch, table.overwriteRow(n));
     }
   }
 
@@ -249,18 +246,11 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
     bcastOut[peer] = w.take();
   }
 
-  // Locally-touched mirror rows whose fresh value we may never receive
-  // (PullModel): rebase so future deltas are relative to what we hold.
-  for (int l = 0; l < graph::kNumLabels; ++l) {
-    const auto label = static_cast<graph::Label>(l);
-    model_.touched(label).forEachSet([&](std::size_t n32) {
-      const auto n = static_cast<std::uint32_t>(n32);
-      if (n >= ownLo && n < ownHi) return;  // masters already canonical
-      util::copyInto(model_.row(label, n), mutableBaselineRow(label, n));
-    });
-  }
-
-  // ---- Exchange broadcasts and overwrite mirrors + baselines. ------------
+  // ---- Exchange broadcasts and overwrite mirrors. ------------------------
+  // No explicit rebasing anywhere: clearTouched() below declares the
+  // post-round model the baseline, which covers broadcast-overwritten
+  // mirrors, masters, and the locally-touched mirrors a PullModel round
+  // never refreshes (their baseline becomes what they hold) alike.
   const std::vector<std::vector<std::uint8_t>> bcastIn =
       coll_.allToAllv(std::move(bcastOut), sim::CommPhase::kBroadcast);
   for (unsigned src = 0; src < numHosts; ++src) {
@@ -271,9 +261,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
       const std::uint32_t count = r.get<std::uint32_t>();
       for (std::uint32_t i = 0; i < count; ++i) {
         const std::uint32_t n = r.get<std::uint32_t>();
-        const auto value = r.view<float>(dim);
-        util::copyInto(value, model_.mutableRow(label, n));
-        util::copyInto(value, mutableBaselineRow(label, n));
+        util::copyInto(r.view<float>(dim), model_.overwriteRow(label, n));
       }
     }
   }

@@ -11,6 +11,13 @@
 //              applies the combined step to its canonical value.
 //   broadcast: masters ship fresh canonical values back to mirrors.
 //
+// Baselines come from the model's row-granular DeltaLog
+// (model/embedding_table.h), not a dense snapshot: after every round the
+// model IS the baseline (masters canonical, broadcast overwrote receiving
+// mirrors, skipped pull-mirrors rebase to what they hold), so the table
+// captures a row's pre-round bits lazily on first touch and rebaselining is
+// an O(dirty set) clear.
+//
 // Three strategies reproduce the paper's variants:
 //   RepModel-Naive : reduce ships every mirror, broadcast ships every master.
 //   RepModel-Opt   : bit-vector tracked — reduce ships only touched mirrors,
@@ -60,15 +67,13 @@ class SyncEngine {
 
   SyncStrategy strategy() const noexcept { return strategy_; }
 
-  /// Reset baselines to the current model (call after any out-of-band model
-  /// overwrite, e.g. initial broadcast of host 0's random init).
+  /// Declare the current model the baseline (call after any out-of-band
+  /// model overwrite, e.g. initial broadcast of host 0's random init).
+  /// Forgets pending captures in O(dirty set) — no model copies.
   void rebaseline();
 
  private:
   void doSync(const util::BitVector* willAccess);
-
-  std::span<const float> baselineRow(graph::Label label, std::uint32_t node) const noexcept;
-  std::span<float> mutableBaselineRow(graph::Label label, std::uint32_t node) noexcept;
 
   sim::HostContext& ctx_;
   SimTransport transport_;
@@ -78,9 +83,6 @@ class SyncEngine {
   const Reducer& reducer_;
   SyncStrategy strategy_;
   sim::NetworkModel netModel_;
-
-  /// Model snapshot at last sync; deltas are measured against this.
-  std::vector<float> baseline_[graph::kNumLabels];
 
   std::uint64_t round_ = 0;
 };

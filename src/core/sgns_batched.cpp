@@ -10,7 +10,7 @@ namespace gw2v::core {
 
 SgnsBatchScratch::SgnsBatchScratch(std::uint32_t dim, std::uint32_t maxBatch,
                                    std::uint32_t maxNegatives)
-    : stride(static_cast<std::uint32_t>(util::paddedRowWidth(dim, sizeof(float)))),
+    : stride(static_cast<std::uint32_t>(util::rowStrideFloats(dim))),
       ctxTile(static_cast<std::size_t>(maxBatch) * stride, 0.0f),
       tgtTile(static_cast<std::size_t>(1 + maxNegatives) * stride, 0.0f),
       ctxDelta(static_cast<std::size_t>(maxBatch) * stride, 0.0f),
@@ -37,10 +37,12 @@ float sgnsStepBatched(graph::ModelGraph& model, text::WordId center,
   const std::size_t T = 1 + negatives.size();
   assert(T * stride <= scratch.tgtTile.size());
   const auto& kern = util::simd::activeKernels();
-  float* ctx = scratch.ctxTile.data();
-  float* tgt = scratch.tgtTile.data();
-  float* dCtx = scratch.ctxDelta.data();
-  float* dTgt = scratch.tgtDelta.data();
+  // The tiles honor the same layout contract as model rows (util/aligned.h):
+  // 64B-aligned base, rowStrideFloats rows — the SIMD kernels below rely on it.
+  float* ctx = util::checkedRow(scratch.ctxTile.data());
+  float* tgt = util::checkedRow(scratch.tgtTile.data());
+  float* dCtx = util::checkedRow(scratch.ctxDelta.data());
+  float* dTgt = util::checkedRow(scratch.tgtDelta.data());
   float* grad = scratch.grad.data();
 
   // Gather snapshots of the touched rows into the L1-resident tiles.

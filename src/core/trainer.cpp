@@ -108,7 +108,7 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
         for (int l = 0; l < graph::kNumLabels; ++l) {
           const auto label = static_cast<graph::Label>(l);
           util::copyInto(opts_.initialModel->row(label, n),
-                         replicas[h]->mutableRow(label, n));
+                         replicas[h]->untrackedRow(label, n));
         }
       }
     } else {
@@ -324,7 +324,7 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
     for (std::uint32_t n = lo; n < hi; ++n) {
       for (int l = 0; l < graph::kNumLabels; ++l) {
         const auto label = static_cast<graph::Label>(l);
-        util::copyInto(replicas[h]->row(label, n), result.model.mutableRow(label, n));
+        util::copyInto(replicas[h]->row(label, n), result.model.untrackedRow(label, n));
       }
     }
   }

@@ -47,7 +47,7 @@ LoadedVectors loadTextVectors(const std::string& path) {
     if (std::fscanf(f.get(), "%4095s", wordBuf) != 1)
       throw std::runtime_error("loadTextVectors: truncated file (word)");
     words[w] = wordBuf;
-    auto row = out.model.mutableRow(graph::Label::kEmbedding, w);
+    auto row = out.model.untrackedRow(graph::Label::kEmbedding, w);
     for (unsigned d = 0; d < dim; ++d) {
       float v = 0.0f;
       if (std::fscanf(f.get(), "%f", &v) != 1)

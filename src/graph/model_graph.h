@@ -6,15 +6,16 @@
 // are never materialized: the Skip-Gram operator generates positive pairs by
 // sliding a window over the corpus and negative pairs by sampling.
 //
-// Rows are cache-line padded; Hogwild workers update rows concurrently and
-// benignly race within a row (the word2vec.c discipline).
+// ModelGraph is a thin façade over one model::EmbeddingTable per label; the
+// table owns storage, the dirty set, and the row-granular DeltaLog the sync
+// layer measures deltas against (see model/embedding_table.h). Rows are
+// cache-line padded; Hogwild workers update rows concurrently and benignly
+// race within a row (the word2vec.c discipline).
 
-#include <cassert>
 #include <cstdint>
 #include <span>
-#include <stdexcept>
 
-#include "util/aligned.h"
+#include "model/embedding_table.h"
 #include "util/bitvector.h"
 #include "util/rng.h"
 
@@ -30,73 +31,73 @@ class ModelGraph {
   ModelGraph(std::uint32_t numNodes, std::uint32_t dim) { init(numNodes, dim); }
 
   void init(std::uint32_t numNodes, std::uint32_t dim) {
-    if (dim == 0) throw std::invalid_argument("ModelGraph: dim must be >= 1");
-    numNodes_ = numNodes;
-    dim_ = dim;
-    stride_ = static_cast<std::uint32_t>(util::paddedRowWidth(dim, sizeof(float)));
-    const std::size_t total = static_cast<std::size_t>(numNodes) * stride_;
-    embedding_.assign(total, 0.0f);
-    training_.assign(total, 0.0f);
-    for (auto& bv : touched_) bv.resize(numNodes);
+    for (auto& t : tables_) t.init(numNodes, dim);
   }
 
-  std::uint32_t numNodes() const noexcept { return numNodes_; }
-  std::uint32_t dim() const noexcept { return dim_; }
+  std::uint32_t numNodes() const noexcept { return tables_[0].numRows(); }
+  std::uint32_t dim() const noexcept { return tables_[0].dim(); }
+
+  /// The backing table for one label — sync, serving, and checkpoint code
+  /// work against tables directly (baselines, deltas, versions).
+  model::EmbeddingTable& table(Label label) noexcept {
+    return tables_[static_cast<int>(label)];
+  }
+  const model::EmbeddingTable& table(Label label) const noexcept {
+    return tables_[static_cast<int>(label)];
+  }
 
   /// word2vec.c initialization: embeddings uniform in [-0.5/dim, 0.5/dim),
   /// training vectors zero. Seeded per node so the layout is reproducible
-  /// regardless of traversal order (hosts must agree bit-for-bit).
+  /// regardless of traversal order (hosts must agree bit-for-bit). Bulk init
+  /// is not a training update, so it writes untracked.
   void randomizeEmbeddings(std::uint64_t seed) {
-    const float inv = 0.5f / static_cast<float>(dim_);
-    for (std::uint32_t n = 0; n < numNodes_; ++n) {
+    auto& emb = table(Label::kEmbedding);
+    const float inv = 0.5f / static_cast<float>(dim());
+    for (std::uint32_t n = 0; n < numNodes(); ++n) {
       util::Rng rng(util::hash64(seed ^ (0xabcdULL + n)));
-      auto row = mutableRow(Label::kEmbedding, n);
+      auto row = emb.untrackedRow(n);
       for (auto& v : row) v = rng.uniformFloat(-inv, inv);
     }
   }
 
   std::span<const float> row(Label label, std::uint32_t node) const noexcept {
-    const auto& m = label == Label::kEmbedding ? embedding_ : training_;
-    return {m.data() + static_cast<std::size_t>(node) * stride_, dim_};
+    return table(label).row(node);
   }
 
+  /// Tracked write: first touch after a sync round snapshots the row into
+  /// the label's DeltaLog (model/embedding_table.h).
   std::span<float> mutableRow(Label label, std::uint32_t node) noexcept {
-    auto& m = label == Label::kEmbedding ? embedding_ : training_;
-    float* p = m.data() + static_cast<std::size_t>(node) * stride_;
-    // The SIMD kernels rely on rows never splitting a cache line: the matrix
-    // base is 64-byte aligned (AlignedVector) and stride_ is a multiple of
-    // 16 floats (static_assert in util/aligned.h), so every row is too.
-    assert(util::isSimdAligned(p) && "ModelGraph row lost its 64-byte alignment");
-    return {p, dim_};
+    return table(label).mutableRow(node);
+  }
+
+  /// Untracked write for bulk loads / model composition.
+  std::span<float> untrackedRow(Label label, std::uint32_t node) noexcept {
+    return table(label).untrackedRow(node);
+  }
+
+  /// Write of an externally-canonical value (sync apply/broadcast, pulls).
+  std::span<float> overwriteRow(Label label, std::uint32_t node) noexcept {
+    return table(label).overwriteRow(node);
   }
 
   /// Sparse-sync support: mark and query the per-label dirty bit-vector.
-  void markTouched(Label label, std::uint32_t node) noexcept {
-    touched_[static_cast<int>(label)].set(node);
-  }
+  void markTouched(Label label, std::uint32_t node) noexcept { table(label).markDirty(node); }
   bool isTouched(Label label, std::uint32_t node) const noexcept {
-    return touched_[static_cast<int>(label)].test(node);
+    return table(label).isDirty(node);
   }
-  const util::BitVector& touched(Label label) const noexcept {
-    return touched_[static_cast<int>(label)];
-  }
+  const util::BitVector& touched(Label label) const noexcept { return table(label).dirty(); }
   void clearTouched() noexcept {
-    for (auto& bv : touched_) bv.reset();
+    for (auto& t : tables_) t.clearDirty();
   }
 
   /// Bytes a full replica of the model occupies (both labels, unpadded) —
   /// the quantity the paper's "model fits in ~4GB" discussion refers to.
   std::uint64_t modelBytes() const noexcept {
-    return static_cast<std::uint64_t>(numNodes_) * dim_ * sizeof(float) * kNumLabels;
+    return static_cast<std::uint64_t>(numNodes()) * dim() * sizeof(float) * kNumLabels;
   }
 
  private:
-  std::uint32_t numNodes_ = 0;
-  std::uint32_t dim_ = 0;
-  std::uint32_t stride_ = 0;
-  util::AlignedVector<float> embedding_;
-  util::AlignedVector<float> training_;
-  util::BitVector touched_[kNumLabels];
+  model::EmbeddingTable tables_[kNumLabels];
 };
 
 }  // namespace gw2v::graph

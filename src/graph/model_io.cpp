@@ -117,9 +117,10 @@ Checkpoint loadCheckpointFull(const std::string& path) {
     }
   }
 
+  // Bulk load into a fresh model: nothing to track, no deltas to capture.
   for (int l = 0; l < kNumLabels; ++l) {
     for (std::uint32_t n = 0; n < ck.model.numNodes(); ++n) {
-      auto row = ck.model.mutableRow(static_cast<Label>(l), n);
+      auto row = ck.model.untrackedRow(static_cast<Label>(l), n);
       readOrThrow(f.get(), row.data(), row.size_bytes(), path);
     }
   }

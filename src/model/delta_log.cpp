@@ -1,0 +1,30 @@
+#include "model/delta_log.h"
+
+namespace gw2v::model {
+
+void DeltaLog::init(std::uint32_t numRows, std::uint32_t strideFloats) {
+  stride_ = strideFloats;
+  chunks_.clear();
+  chunks_.resize((static_cast<std::size_t>(numRows) + kRowsPerChunk - 1) / kRowsPerChunk);
+  allocatedChunks_.v.store(0, std::memory_order_relaxed);
+  slotOf_.assign(numRows, detail::RelaxedCell<std::uint32_t>{});
+  next_.v.store(0, std::memory_order_relaxed);
+}
+
+void DeltaLog::capture(std::uint32_t row, const float* src) {
+  const std::uint32_t slot = next_.v.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t ci = slot / kRowsPerChunk;
+  if (ci >= allocatedChunks_.v.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> g(growMu_.m);
+    while (allocatedChunks_.v.load(std::memory_order_relaxed) <= ci) {
+      const std::uint32_t grown = allocatedChunks_.v.load(std::memory_order_relaxed);
+      chunks_[grown].resize(static_cast<std::size_t>(kRowsPerChunk) * stride_);
+      allocatedChunks_.v.store(grown + 1, std::memory_order_release);
+    }
+  }
+  std::memcpy(chunks_[ci].data() + static_cast<std::size_t>(slot % kRowsPerChunk) * stride_, src,
+              static_cast<std::size_t>(stride_) * sizeof(float));
+  slotOf_[row].v.store(slot, std::memory_order_release);
+}
+
+}  // namespace gw2v::model

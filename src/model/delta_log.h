@@ -1,0 +1,91 @@
+#pragma once
+
+// Row-granular change log backing model::EmbeddingTable (see
+// embedding_table.h for the capture protocol and why it is bit-exact).
+//
+// The log owns a chunked arena of row-sized slots. The first writer to touch
+// a row after a sync round claims a slot from an atomic counter and
+// snapshots the row's pre-touch bits into it; slots live until the owning
+// table clears its dirty set, which simply rewinds the counter (chunks are
+// kept for reuse, stale slot ids are never consulted because the dirty bits
+// are reset in the same breath). Chunks are allocated lazily under a mutex,
+// and the chunk directory is sized up-front so concurrent captures never see
+// it move.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace gw2v::model {
+
+namespace detail {
+
+/// Relaxed-atomic cell with value-copy semantics so containers of atomics —
+/// and the model objects holding them — keep normal copy/move behaviour.
+template <typename T>
+struct RelaxedCell {
+  std::atomic<T> v{};
+  RelaxedCell() = default;
+  RelaxedCell(const RelaxedCell& o) : v(o.v.load(std::memory_order_relaxed)) {}
+  RelaxedCell& operator=(const RelaxedCell& o) {
+    v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+/// A mutex that "copies" as a fresh mutex: it guards per-object chunk
+/// growth, not content, so copying the content must not copy the lock.
+struct UncopiedMutex {
+  std::mutex m;
+  UncopiedMutex() = default;
+  UncopiedMutex(const UncopiedMutex&) noexcept {}
+  UncopiedMutex& operator=(const UncopiedMutex&) noexcept { return *this; }
+};
+
+}  // namespace detail
+
+class DeltaLog {
+ public:
+  DeltaLog() = default;
+
+  /// Size for numRows rows of strideFloats floats each. Forgets all captures;
+  /// previously grown chunks are released.
+  void init(std::uint32_t numRows, std::uint32_t strideFloats);
+
+  /// Snapshot src (stride floats) as row's pre-touch value. Must be called at
+  /// most once per row between rewind()s — EmbeddingTable's dirty-bit claim
+  /// (BitVector::testAndSet) elects that single caller.
+  void capture(std::uint32_t row, const float* src);
+
+  /// The captured pre-touch bits for a row. Only meaningful while the owning
+  /// table's dirty bit for row is set.
+  const float* oldRow(std::uint32_t row) const noexcept {
+    const std::uint32_t slot = slotOf_[row].v.load(std::memory_order_acquire);
+    return chunks_[slot / kRowsPerChunk].data() +
+           static_cast<std::size_t>(slot % kRowsPerChunk) * stride_;
+  }
+
+  /// Slots claimed since the last rewind().
+  std::uint32_t size() const noexcept { return next_.v.load(std::memory_order_relaxed); }
+
+  /// Forget every capture in O(1); chunks are kept for reuse.
+  void rewind() noexcept { next_.v.store(0, std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::uint32_t kRowsPerChunk = 256;
+
+  std::uint32_t stride_ = 0;
+  /// Sized to the worst case at init so capture never moves the directory;
+  /// individual chunks grow lazily under growMu_.
+  std::vector<util::AlignedVector<float>> chunks_;
+  detail::RelaxedCell<std::uint32_t> allocatedChunks_;
+  std::vector<detail::RelaxedCell<std::uint32_t>> slotOf_;
+  detail::RelaxedCell<std::uint32_t> next_;
+  detail::UncopiedMutex growMu_;
+};
+
+}  // namespace gw2v::model

@@ -1,0 +1,23 @@
+#include "model/embedding_table.h"
+
+namespace gw2v::model {
+
+void EmbeddingTable::init(std::uint32_t numRows, std::uint32_t dim) {
+  if (dim == 0) throw std::invalid_argument("EmbeddingTable: dim must be >= 1");
+  numRows_ = numRows;
+  dim_ = dim;
+  stride_ = static_cast<std::uint32_t>(util::rowStrideFloats(dim));
+  data_.assign(static_cast<std::size_t>(numRows) * stride_, 0.0f);
+  dirty_.resize(numRows);
+  log_.init(numRows, stride_);
+  rowVersion_.assign(numRows, detail::RelaxedCell<std::uint64_t>{});
+  version_.v.store(1, std::memory_order_relaxed);
+}
+
+void EmbeddingTable::clearDirty() noexcept {
+  dirty_.reset();
+  log_.rewind();
+  version_.v.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace gw2v::model

@@ -1,0 +1,163 @@
+#pragma once
+
+// model::EmbeddingTable — one dense row matrix with built-in change
+// tracking, the storage substrate behind graph::ModelGraph.
+//
+// Layout contract (util/aligned.h): 64-byte-aligned base, consecutive rows
+// util::rowStrideFloats(dim) apart, so every row starts on a cache line and
+// the widest SIMD loads never split one.
+//
+// Change tracking replaces the dense per-label "baseline" copies the sync
+// layer used to keep. After every sync round the model IS the baseline:
+// masters hold canonical values, broadcast overwrote receiving mirrors, and
+// locally-touched mirrors a PullModel round skipped are rebased to what they
+// hold by definition. So a row's pre-round value only needs to be
+// materialized when the row is first touched. mutableRow() does exactly
+// that: the first caller per round wins the dirty bit
+// (util::BitVector::testAndSet) and snapshots the row into the DeltaLog;
+// baselineRow() then serves dirty rows from the log and clean rows from the
+// matrix itself. Rebaselining collapses to clearDirty() — reset bits, rewind
+// the log — with no full-model copies anywhere.
+//
+// Three write paths, chosen by intent:
+//   mutableRow()   tracked training update: first-touch capture + dirty bit
+//                  + row version
+//   overwriteRow() replace with externally-canonical bits (sync broadcast
+//                  and apply, parameter-server pulls): row version bump only
+//   untrackedRow() bulk init / checkpoint load / model composition: no
+//                  tracking at all
+//
+// Versioning: version() is bumped by clearDirty(); each row records the
+// version it was last written under, which lets the serving layer
+// renormalize only rows changed since a snapshot was published (an
+// over-approximation within the current version epoch, never an under-
+// approximation, since renormalization is idempotent).
+//
+// Concurrency: mutableRow/overwriteRow race benignly between Hogwild
+// workers exactly like the raw matrices did. A capture racing a concurrent
+// writer of the same row may snapshot a torn mix of pre- and post-update
+// bits — the same class of benign loss word2vec.c tolerates. With one
+// worker thread per host (every determinism and regression test) capture is
+// exact and sync payloads are bit-identical to the dense-baseline
+// implementation.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "model/delta_log.h"
+#include "util/aligned.h"
+#include "util/bitvector.h"
+
+namespace gw2v::model {
+
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+  EmbeddingTable(std::uint32_t numRows, std::uint32_t dim) { init(numRows, dim); }
+
+  void init(std::uint32_t numRows, std::uint32_t dim);
+
+  std::uint32_t numRows() const noexcept { return numRows_; }
+  std::uint32_t dim() const noexcept { return dim_; }
+  std::uint32_t stride() const noexcept { return stride_; }
+
+  /// Monotone table version; starts at 1, bumped by clearDirty().
+  std::uint64_t version() const noexcept { return version_.v.load(std::memory_order_relaxed); }
+
+  /// Version the row was last written under (0 = untouched since init;
+  /// untrackedRow writes deliberately don't bump it).
+  std::uint64_t rowVersion(std::uint32_t row) const noexcept {
+    return rowVersion_[row].v.load(std::memory_order_relaxed);
+  }
+
+  std::span<const float> row(std::uint32_t row) const noexcept { return {rowPtr(row), dim_}; }
+
+  /// Tracked training update: first touch per round claims the dirty bit and
+  /// snapshots the pre-touch bits into the DeltaLog.
+  std::span<float> mutableRow(std::uint32_t row) noexcept {
+    float* p = rowPtr(row);
+    if (!dirty_.test(row) && !dirty_.testAndSet(row)) {
+      log_.capture(row, p);
+      rowVersion_[row].v.store(version_.v.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    }
+    return {util::checkedRow(p), dim_};
+  }
+
+  /// Replace the row with externally-canonical bits: bumps the row version
+  /// (serving must renormalize it) without touching the dirty set — the
+  /// caller is writing a value the cluster already agreed on, not a local
+  /// update that needs to be shipped.
+  std::span<float> overwriteRow(std::uint32_t row) noexcept {
+    rowVersion_[row].v.store(version_.v.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    return {util::checkedRow(rowPtr(row)), dim_};
+  }
+
+  /// No tracking at all: bulk init, checkpoint load, result composition.
+  /// Incremental snapshot publishes are not valid across untracked rewrites.
+  std::span<float> untrackedRow(std::uint32_t row) noexcept {
+    return {util::checkedRow(rowPtr(row)), dim_};
+  }
+
+  /// Same first-touch capture as mutableRow without returning the span.
+  /// Callers must not have modified the row since the last clearDirty()
+  /// except through mutableRow(), or the captured baseline is already stale.
+  void markDirty(std::uint32_t row) noexcept {
+    if (!dirty_.test(row) && !dirty_.testAndSet(row)) {
+      log_.capture(row, rowPtr(row));
+      rowVersion_[row].v.store(version_.v.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    }
+  }
+
+  bool isDirty(std::uint32_t row) const noexcept { return dirty_.test(row); }
+  const util::BitVector& dirty() const noexcept { return dirty_; }
+  std::size_t dirtyCount() const noexcept { return dirty_.count(); }
+
+  /// The row's value as of the last clearDirty(): the DeltaLog capture for
+  /// dirty rows, the row itself (unchanged since) for clean ones.
+  std::span<const float> baselineRow(std::uint32_t row) const noexcept {
+    if (dirty_.test(row)) return {log_.oldRow(row), dim_};
+    return {rowPtr(row), dim_};
+  }
+
+  /// fn(row, old, current) for every dirty row in [lo, hi), ascending.
+  template <typename Fn>
+  void forEachDeltaInRange(std::uint32_t lo, std::uint32_t hi, Fn&& fn) const {
+    dirty_.forEachSetInRange(lo, hi, [&](std::size_t n) {
+      const auto r = static_cast<std::uint32_t>(n);
+      fn(r, std::span<const float>(log_.oldRow(r), dim_),
+         std::span<const float>(rowPtr(r), dim_));
+    });
+  }
+
+  template <typename Fn>
+  void forEachDelta(Fn&& fn) const {
+    forEachDeltaInRange(0, numRows_, std::forward<Fn>(fn));
+  }
+
+  /// Declare the current model the new baseline: reset the dirty set, rewind
+  /// the log, advance the table version. O(dirty set + bitvector words).
+  void clearDirty() noexcept;
+
+ private:
+  const float* rowPtr(std::uint32_t row) const noexcept {
+    return data_.data() + static_cast<std::size_t>(row) * stride_;
+  }
+  float* rowPtr(std::uint32_t row) noexcept {
+    return data_.data() + static_cast<std::size_t>(row) * stride_;
+  }
+
+  std::uint32_t numRows_ = 0;
+  std::uint32_t dim_ = 0;
+  std::uint32_t stride_ = 0;
+  util::AlignedVector<float> data_;
+  util::BitVector dirty_;
+  DeltaLog log_;
+  std::vector<detail::RelaxedCell<std::uint64_t>> rowVersion_;
+  detail::RelaxedCell<std::uint64_t> version_;
+};
+
+}  // namespace gw2v::model

@@ -10,10 +10,16 @@ namespace gw2v::serve {
 
 EmbeddingSnapshot::EmbeddingSnapshot(const graph::ModelGraph& model,
                                      const text::Vocabulary* vocab, std::uint64_t version)
+    : EmbeddingSnapshot(model, vocab, version, nullptr) {}
+
+EmbeddingSnapshot::EmbeddingSnapshot(const graph::ModelGraph& model,
+                                     const text::Vocabulary* vocab, std::uint64_t version,
+                                     const EmbeddingSnapshot* prev)
     : numWords_(model.numNodes()),
       dim_(model.dim()),
-      stride_(util::paddedRowWidth(model.dim(), sizeof(float))),
-      version_(version) {
+      stride_(util::rowStrideFloats(model.dim())),
+      version_(version),
+      tableVersion_(model.table(graph::Label::kEmbedding).version()) {
   if (vocab != nullptr) {
     if (vocab->size() != numWords_) {
       throw std::invalid_argument("EmbeddingSnapshot: vocabulary size " +
@@ -22,14 +28,40 @@ EmbeddingSnapshot::EmbeddingSnapshot(const graph::ModelGraph& model,
     }
     vocab_ = *vocab;
   }
-  data_.assign(static_cast<std::size_t>(numWords_) * stride_, 0.0f);
-  for (std::uint32_t w = 0; w < numWords_; ++w) {
-    const auto src = model.row(graph::Label::kEmbedding, w);
+  const auto& table = model.table(graph::Label::kEmbedding);
+  const auto renormalize = [&](std::uint32_t w) {
+    const auto src = table.row(w);
     float n = util::norm(src);
     if (n <= 0.0f) n = 1.0f;
-    float* dst = data_.data() + static_cast<std::size_t>(w) * stride_;
+    float* dst = util::checkedRow(data_.data() + static_cast<std::size_t>(w) * stride_);
     for (std::uint32_t d = 0; d < dim_; ++d) dst[d] = src[d] / n;
+  };
+  // Renormalization is deterministic per row, so redoing an unchanged row is
+  // a bitwise no-op: renormalizing every row with rowVersion >= the previous
+  // snapshot's table version (an over-approximation of "changed since") is
+  // bit-identical to a from-scratch build.
+  if (prev != nullptr && prev->numWords_ == numWords_ && prev->dim_ == dim_ &&
+      prev->tableVersion_ <= tableVersion_ && prev->tableVersion_ > 0) {
+    data_ = prev->data_;
+    for (std::uint32_t w = 0; w < numWords_; ++w) {
+      if (table.rowVersion(w) >= prev->tableVersion_) renormalize(w);
+    }
+  } else {
+    data_.assign(static_cast<std::size_t>(numWords_) * stride_, 0.0f);
+    for (std::uint32_t w = 0; w < numWords_; ++w) renormalize(w);
   }
+}
+
+std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromModel(
+    const graph::ModelGraph& model, const text::Vocabulary* vocab, std::uint64_t version) {
+  return std::make_shared<const EmbeddingSnapshot>(model, vocab, version);
+}
+
+std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromModel(
+    const graph::ModelGraph& model, const text::Vocabulary* vocab, std::uint64_t version,
+    const EmbeddingSnapshot& prev) {
+  return std::shared_ptr<const EmbeddingSnapshot>(
+      new EmbeddingSnapshot(model, vocab, version, &prev));
 }
 
 std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromCheckpointFile(
@@ -111,6 +143,16 @@ void SnapshotStore::publish(std::shared_ptr<const EmbeddingSnapshot> snap) {
   std::erase_if(retained_, [&](const std::shared_ptr<const EmbeddingSnapshot>& s) {
     return s.get() != raw && !pinned(s.get());
   });
+}
+
+std::shared_ptr<const EmbeddingSnapshot> SnapshotStore::current() const {
+  std::lock_guard<std::mutex> lock(publishMu_);
+  const EmbeddingSnapshot* raw = head_.load(std::memory_order_seq_cst);
+  if (raw == nullptr) return nullptr;
+  for (const auto& s : retained_) {
+    if (s.get() == raw) return s;
+  }
+  return nullptr;
 }
 
 std::size_t SnapshotStore::retainedCount() const {

@@ -41,6 +41,25 @@ class EmbeddingSnapshot {
   EmbeddingSnapshot(const graph::ModelGraph& model, const text::Vocabulary* vocab,
                     std::uint64_t version);
 
+  /// Full build (same work as the constructor), as a shared_ptr ready to
+  /// publish.
+  static std::shared_ptr<const EmbeddingSnapshot> fromModel(const graph::ModelGraph& model,
+                                                            const text::Vocabulary* vocab,
+                                                            std::uint64_t version);
+
+  /// Incremental build: copy prev's normalized matrix and renormalize only
+  /// rows the model's embedding table wrote since prev was built (tracked by
+  /// EmbeddingTable row versions — an over-approximation within the current
+  /// epoch, never an under-approximation, so the result is bit-identical to
+  /// a from-scratch build). prev must have been built from the same table;
+  /// falls back to a full build on shape mismatch or a rewound table
+  /// version. Untracked bulk rewrites of the model are not covered — publish
+  /// a full snapshot after those.
+  static std::shared_ptr<const EmbeddingSnapshot> fromModel(const graph::ModelGraph& model,
+                                                            const text::Vocabulary* vocab,
+                                                            std::uint64_t version,
+                                                            const EmbeddingSnapshot& prev);
+
   /// Rebuild a snapshot from a checkpoint file. The checkpoint must be v2
   /// with a vocabulary section (saveCheckpoint(path, model, &vocab)); a
   /// vocab-less v1 file throws with a message saying how to re-save it.
@@ -48,6 +67,10 @@ class EmbeddingSnapshot {
                                                                      std::uint64_t version);
 
   std::uint64_t version() const noexcept { return version_; }
+
+  /// The embedding table's version when this snapshot was built — what the
+  /// next incremental fromModel measures "changed since" against.
+  std::uint64_t modelTableVersion() const noexcept { return tableVersion_; }
   std::uint32_t vocabSize() const noexcept { return numWords_; }
   std::uint32_t dim() const noexcept { return dim_; }
   std::size_t rowStride() const noexcept { return stride_; }
@@ -69,10 +92,14 @@ class EmbeddingSnapshot {
   }
 
  private:
+  EmbeddingSnapshot(const graph::ModelGraph& model, const text::Vocabulary* vocab,
+                    std::uint64_t version, const EmbeddingSnapshot* prev);
+
   std::uint32_t numWords_;
   std::uint32_t dim_;
   std::size_t stride_;
   std::uint64_t version_;
+  std::uint64_t tableVersion_;
   util::AlignedVector<float> data_;
   std::optional<text::Vocabulary> vocab_;
 };
@@ -131,6 +158,10 @@ class SnapshotStore {
   std::uint64_t currentVersion() const noexcept {
     return version_.load(std::memory_order_acquire);
   }
+
+  /// The currently-published snapshot (nullptr before the first publish) —
+  /// the natural `prev` for an incremental fromModel + publish chain.
+  std::shared_ptr<const EmbeddingSnapshot> current() const;
 
   /// Install `snap` as the current version and reclaim every retired version
   /// no reader has pinned. Versions must be strictly increasing. Publishers

@@ -6,6 +6,7 @@
 // worker threads; 64-byte alignment keeps each row on distinct cache lines
 // for typical dimensions and lets the compiler emit aligned vector loads.
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -63,6 +64,32 @@ static_assert(paddedRowWidth(200, sizeof(float)) % kSimdFloats == 0,
 /// True when p sits on a cache-line (= widest SIMD) boundary.
 inline bool isSimdAligned(const void* p) noexcept {
   return (reinterpret_cast<std::uintptr_t>(p) & (kCacheLine - 1)) == 0;
+}
+
+// ---- The model-row layout contract, checked in one place. -----------------
+//
+// Every row matrix in the system — EmbeddingTable labels, the batched-SGNS
+// scratch tiles, serving snapshots — promises the SIMD kernels the same two
+// things: the base of each row is 64-byte aligned, and consecutive rows are
+// rowStrideFloats(dim) apart (a multiple of kSimdFloats, so an AVX-512 load
+// never splits a cache line). Funnel row-pointer derivation through these
+// helpers instead of restating the asserts at each site.
+
+/// Float stride between consecutive rows of a dim-wide matrix.
+constexpr std::size_t rowStrideFloats(std::size_t dim) noexcept {
+  return paddedRowWidth(dim, sizeof(float));
+}
+static_assert(rowStrideFloats(7) % kSimdFloats == 0 && rowStrideFloats(32) % kSimdFloats == 0,
+              "rowStrideFloats must preserve the 16-float stride contract");
+
+/// Asserted gateway for handing a row pointer to the kernel layer.
+inline float* checkedRow(float* p) noexcept {
+  assert(isSimdAligned(p) && "model row lost its 64-byte alignment");
+  return p;
+}
+inline const float* checkedRow(const float* p) noexcept {
+  assert(isSimdAligned(p) && "model row lost its 64-byte alignment");
+  return p;
 }
 
 }  // namespace gw2v::util

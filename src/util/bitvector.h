@@ -30,6 +30,14 @@ class BitVector {
     words_[i >> 6].v.fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
   }
 
+  /// Atomically set bit i; returns true when it was already set. The single
+  /// "false" winner per (bit, epoch) is what EmbeddingTable uses to elect the
+  /// one thread that snapshots a row's old value into the DeltaLog.
+  bool testAndSet(std::size_t i) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    return (words_[i >> 6].v.fetch_or(mask, std::memory_order_relaxed) & mask) != 0;
+  }
+
   bool test(std::size_t i) const noexcept {
     return (words_[i >> 6].v.load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
   }
@@ -56,6 +64,42 @@ class BitVector {
         w &= w - 1;
       }
     }
+  }
+
+  /// Invoke fn(index) for every set bit in [lo, hi), in increasing index
+  /// order. Word-skipping like forEachSet — the edge words are masked so the
+  /// inner loop never tests bits outside the range one at a time — which is
+  /// what makes per-master-range delta iteration O(set bits), not O(range).
+  template <typename Fn>
+  void forEachSetInRange(std::size_t lo, std::size_t hi, Fn&& fn) const {
+    if (lo >= hi) return;
+    const std::size_t wLo = lo >> 6;
+    const std::size_t wHi = (hi - 1) >> 6;
+    for (std::size_t wi = wLo; wi <= wHi; ++wi) {
+      std::uint64_t w = words_[wi].v.load(std::memory_order_relaxed);
+      if (wi == wLo) w &= ~0ULL << (lo & 63);
+      if (wi == wHi && (hi & 63) != 0) w &= ~0ULL >> (64 - (hi & 63));
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Number of set bits in [lo, hi).
+  std::size_t countInRange(std::size_t lo, std::size_t hi) const noexcept {
+    if (lo >= hi) return 0;
+    const std::size_t wLo = lo >> 6;
+    const std::size_t wHi = (hi - 1) >> 6;
+    std::size_t c = 0;
+    for (std::size_t wi = wLo; wi <= wHi; ++wi) {
+      std::uint64_t w = words_[wi].v.load(std::memory_order_relaxed);
+      if (wi == wLo) w &= ~0ULL << (lo & 63);
+      if (wi == wHi && (hi & 63) != 0) w &= ~0ULL >> (64 - (hi & 63));
+      c += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return c;
   }
 
   /// this |= other (sizes must match). Not thread-safe.

@@ -1,0 +1,148 @@
+// Golden-file regression for checkpoint formats across the model-state
+// refactor: v1 and v2 files written by the pre-refactor writer must keep
+// loading byte-identically, and the v2 writer must keep producing the exact
+// same bytes for the same model.
+//
+// tests/golden/checkpoint_v1.bin and checkpoint_v2.bin were written by the
+// pre-refactor graph/model_io (dense ModelGraph storage). Regenerate with
+// GW2V_REGEN_GOLDEN=1 only for an intentional format change.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/model_io.h"
+#include "util/rng.h"
+
+namespace gw2v::graph {
+namespace {
+
+#ifndef GW2V_GOLDEN_DIR
+#define GW2V_GOLDEN_DIR "tests/golden"
+#endif
+
+constexpr const char* kV1Path = GW2V_GOLDEN_DIR "/checkpoint_v1.bin";
+constexpr const char* kV2Path = GW2V_GOLDEN_DIR "/checkpoint_v2.bin";
+constexpr std::uint32_t kNodes = 17;  // deliberately not a round number
+constexpr std::uint32_t kDim = 9;     // exercises stride padding vs unpadded file rows
+
+/// The reference model both golden files encode: deterministic embedding
+/// init plus a distinct pattern in the training label so neither matrix is
+/// trivially zero.
+ModelGraph referenceModel() {
+  ModelGraph m(kNodes, kDim);
+  m.randomizeEmbeddings(123);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    auto row = m.mutableRow(Label::kTraining, n);
+    for (std::uint32_t d = 0; d < kDim; ++d) {
+      row[d] = static_cast<float>(n) * 0.5f - static_cast<float>(d) * 0.125f;
+    }
+  }
+  return m;
+}
+
+text::Vocabulary referenceVocab() {
+  text::Vocabulary v;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "word%02u", i);
+    v.addCount(buf, 900 - 11ULL * i);
+  }
+  v.finalize(1);
+  return v;
+}
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Hand-written v1 layout: magic, version=1, numNodes, dim, rows (no vocab
+/// flag, no vocab section). The v1 *writer* no longer exists, so the golden
+/// generator reproduces the layout directly.
+void writeV1(const std::string& path, const ModelGraph& m) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char magic[8] = {'G', 'W', '2', 'V', 'C', 'K', 'P', 'T'};
+  const std::uint32_t version = 1;
+  const std::uint32_t header[2] = {m.numNodes(), m.dim()};
+  std::fwrite(magic, 1, sizeof(magic), f);
+  std::fwrite(&version, sizeof(version), 1, f);
+  std::fwrite(header, sizeof(header), 1, f);
+  for (int l = 0; l < kNumLabels; ++l) {
+    for (std::uint32_t n = 0; n < m.numNodes(); ++n) {
+      const auto row = m.row(static_cast<Label>(l), n);
+      std::fwrite(row.data(), 1, row.size_bytes(), f);
+    }
+  }
+  std::fclose(f);
+}
+
+void expectModelsBitIdentical(const ModelGraph& a, const ModelGraph& b) {
+  ASSERT_EQ(a.numNodes(), b.numNodes());
+  ASSERT_EQ(a.dim(), b.dim());
+  for (int l = 0; l < kNumLabels; ++l) {
+    for (std::uint32_t n = 0; n < a.numNodes(); ++n) {
+      const auto ra = a.row(static_cast<Label>(l), n);
+      const auto rb = b.row(static_cast<Label>(l), n);
+      ASSERT_EQ(0, std::memcmp(ra.data(), rb.data(), ra.size_bytes()))
+          << "label " << l << " node " << n;
+    }
+  }
+}
+
+TEST(ModelIoGolden, MaybeRegenerate) {
+  if (std::getenv("GW2V_REGEN_GOLDEN") == nullptr) GTEST_SKIP();
+  const ModelGraph m = referenceModel();
+  const text::Vocabulary v = referenceVocab();
+  writeV1(kV1Path, m);
+  saveCheckpoint(kV2Path, m, &v);
+  std::fprintf(stderr, "regenerated %s and %s\n", kV1Path, kV2Path);
+}
+
+TEST(ModelIoGolden, V1LoadsBitIdentically) {
+  const ModelGraph loaded = loadCheckpoint(kV1Path);
+  expectModelsBitIdentical(referenceModel(), loaded);
+}
+
+TEST(ModelIoGolden, V2LoadsBitIdenticallyWithVocab) {
+  const Checkpoint ck = loadCheckpointFull(kV2Path);
+  expectModelsBitIdentical(referenceModel(), ck.model);
+  ASSERT_TRUE(ck.vocab.has_value());
+  const text::Vocabulary expect = referenceVocab();
+  ASSERT_EQ(expect.size(), ck.vocab->size());
+  for (text::WordId w = 0; w < expect.size(); ++w) {
+    EXPECT_EQ(expect.wordOf(w), ck.vocab->wordOf(w));
+    EXPECT_EQ(expect.countOf(w), ck.vocab->countOf(w));
+  }
+}
+
+TEST(ModelIoGolden, V2WriterReproducesGoldenBytes) {
+  const ModelGraph m = referenceModel();
+  const text::Vocabulary v = referenceVocab();
+  const std::string tmp = ::testing::TempDir() + "gw2v_ckpt_golden_rewrite.bin";
+  saveCheckpoint(tmp, m, &v);
+  EXPECT_EQ(slurp(kV2Path), slurp(tmp)) << "v2 writer no longer byte-identical on disk";
+  std::remove(tmp.c_str());
+}
+
+/// Round-trip through a loaded golden: load v2, re-save, load again — the
+/// second generation must equal the first bit-for-bit.
+TEST(ModelIoGolden, SecondGenerationRoundTrip) {
+  const Checkpoint ck = loadCheckpointFull(kV2Path);
+  const std::string tmp = ::testing::TempDir() + "gw2v_ckpt_golden_gen2.bin";
+  saveCheckpoint(tmp, ck.model, &*ck.vocab);
+  const Checkpoint ck2 = loadCheckpointFull(tmp);
+  expectModelsBitIdentical(ck.model, ck2.model);
+  std::remove(tmp.c_str());
+}
+
+}  // namespace
+}  // namespace gw2v::graph

@@ -1,0 +1,241 @@
+// Unit and property tests for the model-state layer: model::EmbeddingTable's
+// three write paths, first-touch DeltaLog capture, baseline views, row/table
+// versioning, and O(dirty) rebaselining.
+
+#include "model/embedding_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gw2v::model {
+namespace {
+
+std::vector<float> rowCopy(std::span<const float> s) { return {s.begin(), s.end()}; }
+
+TEST(EmbeddingTable, InitZeroesAndHonorsLayoutContract) {
+  EmbeddingTable t(13, 9);
+  EXPECT_EQ(t.numRows(), 13u);
+  EXPECT_EQ(t.dim(), 9u);
+  EXPECT_EQ(t.stride(), util::rowStrideFloats(9));
+  EXPECT_EQ(t.stride() % util::kSimdFloats, 0u);
+  EXPECT_EQ(t.version(), 1u);
+  for (std::uint32_t n = 0; n < 13; ++n) {
+    EXPECT_TRUE(util::isSimdAligned(t.row(n).data())) << "row " << n;
+    EXPECT_EQ(t.rowVersion(n), 0u);
+    for (const float x : t.row(n)) EXPECT_EQ(x, 0.0f);
+  }
+  EXPECT_EQ(t.dirtyCount(), 0u);
+}
+
+TEST(EmbeddingTable, MutableRowCapturesPreTouchBitsOnce) {
+  EmbeddingTable t(8, 4);
+  {
+    auto r = t.untrackedRow(3);
+    for (std::uint32_t d = 0; d < 4; ++d) r[d] = 1.0f + static_cast<float>(d);
+  }
+  const std::vector<float> before = rowCopy(t.row(3));
+
+  auto r = t.mutableRow(3);
+  EXPECT_TRUE(t.isDirty(3));
+  for (auto& v : r) v += 10.0f;
+  // Baseline is the pre-touch value; the row is the new one.
+  EXPECT_EQ(rowCopy(t.baselineRow(3)), before);
+  EXPECT_EQ(t.row(3)[0], 11.0f);
+
+  // A second touch must not re-capture the (now modified) row.
+  auto r2 = t.mutableRow(3);
+  for (auto& v : r2) v += 100.0f;
+  EXPECT_EQ(rowCopy(t.baselineRow(3)), before);
+  EXPECT_EQ(t.dirtyCount(), 1u);
+}
+
+TEST(EmbeddingTable, CleanRowBaselineAliasesTheRowItself) {
+  EmbeddingTable t(4, 5);
+  EXPECT_EQ(t.baselineRow(2).data(), t.row(2).data());
+}
+
+TEST(EmbeddingTable, ClearDirtyDeclaresModelTheBaseline) {
+  EmbeddingTable t(6, 3);
+  t.mutableRow(1)[0] = 7.0f;
+  t.mutableRow(4)[2] = -2.0f;
+  EXPECT_EQ(t.dirtyCount(), 2u);
+  const std::uint64_t v = t.version();
+  t.clearDirty();
+  EXPECT_EQ(t.dirtyCount(), 0u);
+  EXPECT_EQ(t.version(), v + 1);
+  // Baselines now serve the current bits again.
+  EXPECT_EQ(t.baselineRow(1).data(), t.row(1).data());
+  EXPECT_EQ(t.row(1)[0], 7.0f);
+
+  // Next round re-captures against the new baseline.
+  const std::vector<float> snap = rowCopy(t.row(1));
+  t.mutableRow(1)[0] = 99.0f;
+  EXPECT_EQ(rowCopy(t.baselineRow(1)), snap);
+}
+
+TEST(EmbeddingTable, WritePathsTrackExactlyAsDocumented) {
+  EmbeddingTable t(5, 4);
+  t.clearDirty();  // version -> 2
+
+  t.untrackedRow(0)[0] = 1.0f;
+  EXPECT_FALSE(t.isDirty(0));
+  EXPECT_EQ(t.rowVersion(0), 0u);  // untracked: not even a version bump
+
+  t.overwriteRow(1)[0] = 2.0f;
+  EXPECT_FALSE(t.isDirty(1));
+  EXPECT_EQ(t.rowVersion(1), t.version());  // canonical write: version bump
+
+  t.mutableRow(2)[0] = 3.0f;
+  EXPECT_TRUE(t.isDirty(2));
+  EXPECT_EQ(t.rowVersion(2), t.version());
+}
+
+TEST(EmbeddingTable, MarkDirtyMatchesMutableRowAndIsIdempotent) {
+  EmbeddingTable t(5, 4);
+  t.untrackedRow(2)[1] = 5.0f;
+  const std::vector<float> before = rowCopy(t.row(2));
+  t.markDirty(2);
+  EXPECT_TRUE(t.isDirty(2));
+  EXPECT_EQ(rowCopy(t.baselineRow(2)), before);
+  // Marking after a tracked modification must not clobber the capture.
+  t.mutableRow(2)[1] = 6.0f;
+  t.markDirty(2);
+  EXPECT_EQ(rowCopy(t.baselineRow(2)), before);
+  EXPECT_EQ(t.dirtyCount(), 1u);
+}
+
+TEST(EmbeddingTable, ForEachDeltaYieldsOldAndNewViewsAscending) {
+  EmbeddingTable t(600, 3);  // > one DeltaLog chunk of captures
+  util::Rng rng(42);
+  std::vector<std::uint32_t> touched;
+  std::vector<std::vector<float>> olds;
+  for (std::uint32_t n = 0; n < 600; n += 1 + static_cast<std::uint32_t>(rng.bounded(3))) {
+    t.untrackedRow(n)[0] = static_cast<float>(n);
+  }
+  for (std::uint32_t n = 1; n < 600; n += 2) {
+    touched.push_back(n);
+    olds.push_back(rowCopy(t.row(n)));
+    auto r = t.mutableRow(n);
+    r[1] = static_cast<float>(n) * 0.5f;
+  }
+  std::size_t i = 0;
+  t.forEachDelta([&](std::uint32_t n, std::span<const float> oldRow, std::span<const float> cur) {
+    ASSERT_LT(i, touched.size());
+    EXPECT_EQ(n, touched[i]);
+    EXPECT_EQ(rowCopy(oldRow), olds[i]);
+    EXPECT_EQ(cur[1], static_cast<float>(n) * 0.5f);
+    ++i;
+  });
+  EXPECT_EQ(i, touched.size());
+
+  // Range views agree with filtered full iteration.
+  std::vector<std::uint32_t> inRange;
+  t.forEachDeltaInRange(100, 300, [&](std::uint32_t n, auto, auto) { inRange.push_back(n); });
+  std::vector<std::uint32_t> expect;
+  for (const auto n : touched) {
+    if (n >= 100 && n < 300) expect.push_back(n);
+  }
+  EXPECT_EQ(inRange, expect);
+}
+
+/// Property: across random rounds of touches and clears, baselineRow always
+/// reproduces the row's bits as of the last clearDirty().
+TEST(EmbeddingTable, BaselinePropertyOverRandomRounds) {
+  constexpr std::uint32_t kRows = 257;  // straddles a chunk boundary
+  constexpr std::uint32_t kDim = 6;
+  EmbeddingTable t(kRows, kDim);
+  util::Rng rng(7);
+  std::vector<std::vector<float>> shadow(kRows, std::vector<float>(kDim, 0.0f));
+
+  for (int round = 0; round < 8; ++round) {
+    const unsigned touches = 1 + static_cast<unsigned>(rng.bounded(3 * kRows));
+    for (unsigned k = 0; k < touches; ++k) {
+      const auto n = static_cast<std::uint32_t>(rng.bounded(kRows));
+      auto r = t.mutableRow(n);
+      for (auto& v : r) v += rng.uniformFloat(-1.0f, 1.0f);
+    }
+    for (std::uint32_t n = 0; n < kRows; ++n) {
+      const auto base = t.baselineRow(n);
+      ASSERT_EQ(0, std::memcmp(base.data(), shadow[n].data(), kDim * sizeof(float)))
+          << "round " << round << " row " << n;
+    }
+    t.clearDirty();
+    for (std::uint32_t n = 0; n < kRows; ++n) {
+      const auto cur = t.row(n);
+      std::memcpy(shadow[n].data(), cur.data(), kDim * sizeof(float));
+    }
+  }
+}
+
+TEST(EmbeddingTable, ConcurrentFirstTouchCapturesDisjointRows) {
+  constexpr std::uint32_t kRows = 2048;
+  constexpr std::uint32_t kDim = 8;
+  EmbeddingTable t(kRows, kDim);
+  for (std::uint32_t n = 0; n < kRows; ++n) t.untrackedRow(n)[0] = static_cast<float>(n);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t, w] {
+      for (std::uint32_t n = static_cast<std::uint32_t>(w); n < kRows; n += kThreads) {
+        auto r = t.mutableRow(n);
+        r[1] = -static_cast<float>(n);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(t.dirtyCount(), kRows);
+  for (std::uint32_t n = 0; n < kRows; ++n) {
+    const auto base = t.baselineRow(n);
+    EXPECT_EQ(base[0], static_cast<float>(n));
+    EXPECT_EQ(base[1], 0.0f);  // pre-touch bits
+    EXPECT_EQ(t.row(n)[1], -static_cast<float>(n));
+  }
+}
+
+TEST(EmbeddingTable, CopiesAreIndependent) {
+  EmbeddingTable a(10, 4);
+  a.mutableRow(3)[0] = 1.0f;
+  EmbeddingTable b = a;
+  b.mutableRow(7)[0] = 2.0f;
+  b.clearDirty();
+  // The copy's round lifecycle must not leak into the original.
+  EXPECT_TRUE(a.isDirty(3));
+  EXPECT_FALSE(a.isDirty(7));
+  EXPECT_EQ(a.row(7)[0], 0.0f);
+  EXPECT_EQ(b.row(3)[0], 1.0f);
+  EXPECT_EQ(b.version(), a.version() + 1);
+}
+
+TEST(DeltaLog, CaptureSpansManyChunksAndRewindReuses) {
+  constexpr std::uint32_t kRows = 1000;  // ~4 chunks
+  constexpr std::uint32_t kStride = 16;
+  DeltaLog log;
+  log.init(kRows, kStride);
+  std::vector<float> buf(kStride);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t n = 0; n < kRows; ++n) {
+      for (std::uint32_t d = 0; d < kStride; ++d) {
+        buf[d] = static_cast<float>(n + d) + static_cast<float>(round) * 0.25f;
+      }
+      log.capture(n, buf.data());
+    }
+    EXPECT_EQ(log.size(), kRows);
+    for (std::uint32_t n = 0; n < kRows; ++n) {
+      const float* old = log.oldRow(n);
+      EXPECT_EQ(old[0], static_cast<float>(n) + static_cast<float>(round) * 0.25f);
+      EXPECT_TRUE(util::isSimdAligned(old) || kStride % util::kSimdFloats != 0);
+    }
+    log.rewind();
+    EXPECT_EQ(log.size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gw2v::model

@@ -4,10 +4,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "graph/model_io.h"
 #include "text/vocabulary.h"
+#include "util/rng.h"
 
 namespace gw2v::serve {
 namespace {
@@ -99,6 +101,88 @@ TEST(EmbeddingSnapshot, FromCheckpointFileRejectsVocabLessFile) {
     EXPECT_NE(std::string(e.what()).find("vocabulary"), std::string::npos);
   }
   std::remove(path.c_str());
+}
+
+void expectMatricesBitIdentical(const EmbeddingSnapshot& a, const EmbeddingSnapshot& b) {
+  ASSERT_EQ(a.vocabSize(), b.vocabSize());
+  ASSERT_EQ(a.rowStride(), b.rowStride());
+  ASSERT_EQ(0, std::memcmp(a.rows(), b.rows(), a.matrixBytes()));
+}
+
+TEST(EmbeddingSnapshot, IncrementalBuildMatchesFullBuild) {
+  graph::ModelGraph model(40, 6);
+  model.randomizeEmbeddings(11);
+  auto prev = EmbeddingSnapshot::fromModel(model, nullptr, 1);
+  model.clearTouched();  // as a sync round would
+
+  for (std::uint32_t n = 0; n < 40; n += 3) model.mutableRow(graph::Label::kEmbedding, n)[0] += 0.5f;
+  model.clearTouched();
+
+  const auto inc = EmbeddingSnapshot::fromModel(model, nullptr, 2, *prev);
+  const auto full = EmbeddingSnapshot::fromModel(model, nullptr, 2);
+  EXPECT_EQ(inc->version(), 2u);
+  EXPECT_EQ(inc->modelTableVersion(), full->modelTableVersion());
+  expectMatricesBitIdentical(*full, *inc);
+}
+
+/// Property: chained incremental publishes over random dirty sets — with
+/// builds landing both between and in the middle of rounds — stay
+/// bit-identical to from-scratch builds.
+TEST(EmbeddingSnapshot, IncrementalChainOverRandomDirtySetsMatchesFromScratch) {
+  constexpr std::uint32_t kWords = 300;
+  constexpr std::uint32_t kDim = 12;
+  graph::ModelGraph model(kWords, kDim);
+  model.randomizeEmbeddings(3);
+  util::Rng rng(0xabcdefULL);
+
+  auto prev = EmbeddingSnapshot::fromModel(model, nullptr, 1);
+  for (std::uint64_t round = 0; round < 12; ++round) {
+    const unsigned touches = static_cast<unsigned>(rng.bounded(2 * kWords));
+    for (unsigned k = 0; k < touches; ++k) {
+      const auto n = static_cast<std::uint32_t>(rng.bounded(kWords));
+      const auto label = rng.bounded(2) == 0 ? graph::Label::kEmbedding : graph::Label::kTraining;
+      auto row = model.mutableRow(label, n);
+      row[rng.bounded(kDim)] += rng.uniformFloat(-0.3f, 0.3f);
+    }
+    // Half the builds land mid-round (dirty set populated), half after the
+    // round's clearTouched — both must be safe for the next incremental.
+    if (rng.bounded(2) == 0) model.clearTouched();
+    const auto inc = EmbeddingSnapshot::fromModel(model, nullptr, round + 2, *prev);
+    const auto full = EmbeddingSnapshot::fromModel(model, nullptr, round + 2);
+    expectMatricesBitIdentical(*full, *inc);
+    prev = inc;
+  }
+}
+
+TEST(EmbeddingSnapshot, IncrementalFallsBackToFullOnShapeMismatch) {
+  graph::ModelGraph small(8, 4);
+  small.randomizeEmbeddings(1);
+  const auto prev = EmbeddingSnapshot::fromModel(small, nullptr, 1);
+
+  graph::ModelGraph big(16, 4);
+  big.randomizeEmbeddings(2);
+  const auto inc = EmbeddingSnapshot::fromModel(big, nullptr, 2, *prev);
+  const auto full = EmbeddingSnapshot::fromModel(big, nullptr, 2);
+  expectMatricesBitIdentical(*full, *inc);
+}
+
+TEST(SnapshotStore, CurrentReturnsThePublishedSnapshot) {
+  SnapshotStore store(2);
+  EXPECT_EQ(store.current(), nullptr);
+  graph::ModelGraph model(5, 4);
+  model.randomizeEmbeddings(9);
+  store.publish(EmbeddingSnapshot::fromModel(model, nullptr, 1));
+  auto cur = store.current();
+  ASSERT_NE(cur, nullptr);
+  EXPECT_EQ(cur->version(), 1u);
+
+  // The natural incremental chain: current() as prev for the next publish.
+  model.mutableRow(graph::Label::kEmbedding, 2)[1] += 1.0f;
+  model.clearTouched();
+  store.publish(EmbeddingSnapshot::fromModel(model, nullptr, 2, *cur));
+  EXPECT_EQ(store.current()->version(), 2u);
+  expectMatricesBitIdentical(*EmbeddingSnapshot::fromModel(model, nullptr, 2),
+                             *store.current());
 }
 
 TEST(SnapshotStore, PinBeforePublishIsEmpty) {

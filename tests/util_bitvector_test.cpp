@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace gw2v::util {
 namespace {
 
@@ -117,6 +119,82 @@ TEST(BitVector, ConcurrentSetsSameWord) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(bv.count(), 64u);
+}
+
+TEST(BitVector, TestAndSetReportsPriorState) {
+  BitVector bv(130);
+  EXPECT_FALSE(bv.testAndSet(65));  // first claim wins
+  EXPECT_TRUE(bv.testAndSet(65));   // already set
+  EXPECT_TRUE(bv.test(65));
+  bv.reset();
+  EXPECT_FALSE(bv.testAndSet(65));  // fresh epoch, claimable again
+}
+
+TEST(BitVector, TestAndSetElectsExactlyOneWinnerPerBit) {
+  constexpr std::size_t kBits = 512;
+  BitVector bv(kBits);
+  std::vector<std::vector<std::size_t>> wins(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&bv, &wins, t] {
+      for (std::size_t i = 0; i < kBits; ++i) {
+        if (!bv.testAndSet(i)) wins[static_cast<std::size_t>(t)].push_back(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<int> winners(kBits, 0);
+  for (const auto& w : wins) {
+    for (const auto i : w) ++winners[i];
+  }
+  for (std::size_t i = 0; i < kBits; ++i) EXPECT_EQ(winners[i], 1) << "bit " << i;
+}
+
+/// Range iteration and counting must agree with the naive per-bit loop for
+/// arbitrary (lo, hi) straddling word boundaries.
+TEST(BitVector, RangeOpsMatchNaiveLoopOnRandomVectors) {
+  util::Rng rng(0x5eedULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t bits = 1 + rng.bounded(700);
+    BitVector bv(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (rng.bounded(4) == 0) bv.set(i);
+    }
+    for (int q = 0; q < 20; ++q) {
+      std::size_t lo = rng.bounded(bits + 1);
+      std::size_t hi = rng.bounded(bits + 1);
+      if (lo > hi) std::swap(lo, hi);
+      std::size_t naiveCount = 0;
+      std::vector<std::size_t> naiveSet;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (bv.test(i)) {
+          ++naiveCount;
+          naiveSet.push_back(i);
+        }
+      }
+      EXPECT_EQ(bv.countInRange(lo, hi), naiveCount) << "[" << lo << "," << hi << ")";
+      std::vector<std::size_t> got;
+      bv.forEachSetInRange(lo, hi, [&](std::size_t i) { got.push_back(i); });
+      EXPECT_EQ(got, naiveSet) << "[" << lo << "," << hi << ")";
+    }
+  }
+}
+
+TEST(BitVector, RangeOpsEdgeCases) {
+  BitVector bv(256);
+  for (const std::size_t i : {0ul, 63ul, 64ul, 127ul, 128ul, 255ul}) bv.set(i);
+  // Empty and degenerate ranges.
+  EXPECT_EQ(bv.countInRange(10, 10), 0u);
+  EXPECT_EQ(bv.countInRange(64, 10), 0u);
+  int visits = 0;
+  bv.forEachSetInRange(64, 64, [&](std::size_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  // Word-aligned boundaries include lo, exclude hi.
+  EXPECT_EQ(bv.countInRange(64, 128), 2u);  // 64, 127
+  EXPECT_EQ(bv.countInRange(0, 256), 6u);
+  std::vector<std::size_t> got;
+  bv.forEachSetInRange(63, 129, [&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, (std::vector<std::size_t>{63, 64, 127, 128}));
 }
 
 class BitVectorDensity : public ::testing::TestWithParam<int> {};
