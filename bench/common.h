@@ -83,6 +83,44 @@ inline double accuracyOf(const eval::AnalogyTask& task, const graph::ModelGraph&
   return task.evaluate(view).total;
 }
 
+/// Machine-readable bench output: an array of flat JSON objects, written only
+/// when the given environment variable points at a destination file (see
+/// run_benches.sh, which routes each figure to bench_results/BENCH_*.json).
+/// Rows are preformatted by the caller; this just owns the envelope.
+class JsonRows {
+ public:
+  explicit JsonRows(const char* envVar) {
+    const char* p = std::getenv(envVar);
+    if (p != nullptr) path_ = p;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& obj) {
+    if (enabled()) rows_.push_back(obj);
+  }
+
+  void write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path_.c_str(), rows_.size());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
 inline void printHeader(const char* title, const char* paperRef) {
   std::printf("================================================================\n");
   std::printf("%s\n", title);

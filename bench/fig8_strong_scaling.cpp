@@ -25,6 +25,7 @@ int main() {
   const comm::SyncStrategy variants[] = {comm::SyncStrategy::kRepModelNaive,
                                          comm::SyncStrategy::kRepModelOpt,
                                          comm::SyncStrategy::kPullModel};
+  bench::JsonRows json("GW2V_FIG8_JSON");
 
   for (const auto& info : synth::datasetCatalog(scale)) {
     const auto data = bench::prepare(info);
@@ -50,6 +51,16 @@ int main() {
         const auto result = core::GraphWord2Vec(data.vocab, o).train(data.corpus);
         std::printf(" %9.3f", result.cluster.simulatedSeconds());
         std::fflush(stdout);
+        if (json.enabled()) {
+          char row[256];
+          std::snprintf(row, sizeof(row),
+                        "{\"dataset\": \"%s\", \"variant\": \"%s\", \"hosts\": %u, "
+                        "\"sync_rounds\": %u, \"sim_seconds\": %.6f, \"bytes\": %llu}",
+                        info.paperName.c_str(), comm::syncStrategyName(strategy), h,
+                        core::defaultSyncRounds(h), result.cluster.simulatedSeconds(),
+                        static_cast<unsigned long long>(result.cluster.totalBytes()));
+          json.add(row);
+        }
       }
       std::printf("\n");
     }
@@ -57,5 +68,6 @@ int main() {
   }
   std::printf("expected shape: time falls with hosts for all variants (paper: 8.5x Naive,\n"
               "10.5x Opt, 8.8x Pull at 32 hosts on 1-billion); Opt <= Naive everywhere.\n");
+  json.write();
   return 0;
 }

@@ -24,13 +24,18 @@ int main() {
                                          comm::SyncStrategy::kPullModel};
   const unsigned hostCounts[] = {2u, 8u, 32u};
   bool volumeCheckFailed = false;
+  bench::JsonRows json("GW2V_FIG9_JSON");
 
   for (const auto& info : synth::datasetCatalog(scale)) {
     const auto data = bench::prepare(info);
     std::printf("--- %s (vocab=%u tokens=%zu) ---\n", info.paperName.c_str(),
                 data.vocab.size(), data.corpus.size());
-    std::printf("%-16s %-12s %10s %10s %10s %12s\n", "variant", "hosts(sync)", "comp(s)",
-                "comm(s)", "total(s)", "volume");
+    // comp/comm/total are simulated seconds; the last four columns split the
+    // worst host's *measured* sync wall into pack/exchange/fold/apply
+    // (satellite of the parallel-sync work; see DESIGN.md section 5f).
+    std::printf("%-16s %-12s %10s %10s %10s %12s %9s %9s %9s %9s\n", "variant",
+                "hosts(sync)", "comp(s)", "comm(s)", "total(s)", "volume", "pack(s)",
+                "xchg(s)", "fold(s)", "apply(s)");
 
     double naiveMB[3] = {0, 0, 0};
     double optMB[3] = {0, 0, 0};
@@ -49,11 +54,25 @@ int main() {
         const double volumeMB = static_cast<double>(result.cluster.totalBytes()) / 1e6;
         if (strategy == comm::SyncStrategy::kRepModelNaive) naiveMB[hi] = volumeMB;
         if (strategy == comm::SyncStrategy::kRepModelOpt) optMB[hi] = volumeMB;
+        const runtime::SyncPhaseSeconds phases = result.cluster.maxSyncPhaseSeconds();
         char cfg[16];
         std::snprintf(cfg, sizeof(cfg), "%u(%u)", h, core::defaultSyncRounds(h));
-        std::printf("%-16s %-12s %10.3f %10.4f %10.3f %9.1fMB\n",
-                    comm::syncStrategyName(strategy), cfg, comp, comm, comp + comm, volumeMB);
+        std::printf("%-16s %-12s %10.3f %10.4f %10.3f %9.1fMB %9.4f %9.4f %9.4f %9.4f\n",
+                    comm::syncStrategyName(strategy), cfg, comp, comm, comp + comm, volumeMB,
+                    phases.pack, phases.exchange, phases.fold, phases.apply);
         std::fflush(stdout);
+        if (json.enabled()) {
+          char row[384];
+          std::snprintf(
+              row, sizeof(row),
+              "{\"dataset\": \"%s\", \"variant\": \"%s\", \"hosts\": %u, "
+              "\"comp_seconds\": %.6f, \"comm_seconds\": %.6f, \"volume_mb\": %.3f, "
+              "\"sync_pack_s\": %.6f, \"sync_exchange_s\": %.6f, \"sync_fold_s\": %.6f, "
+              "\"sync_apply_s\": %.6f}",
+              info.paperName.c_str(), comm::syncStrategyName(strategy), h, comp, comm,
+              volumeMB, phases.pack, phases.exchange, phases.fold, phases.apply);
+          json.add(row);
+        }
       }
     }
     // The paper's headline claim (Fig 9): touched-only sync moves ~half the
@@ -69,6 +88,7 @@ int main() {
   }
   std::printf("expected shape: comp ~ 1/hosts; volume grows with hosts; Opt ~ 0.5x Naive\n"
               "volume (paper: 27.6TB vs 17.1TB at 32 hosts on 1-billion); Pull between.\n");
+  json.write();
   if (volumeCheckFailed) {
     std::printf("VOLUME CHECK FAILED: Opt did not undercut Naive by the expected margin.\n");
     return 1;

@@ -1,0 +1,130 @@
+// Microbenchmark of one full sync round (pack -> exchange -> fold -> apply)
+// at word2vec scale: 100k vocab x dim 200, H=2 simulated hosts, RepModel-Opt.
+// Sweeps the dirty fraction (1/10/100%), the per-host worker pool (1 and 4
+// threads), and the engine mode (serial reference vs the parallel/pipelined
+// path). UseManualTime reports the sync() wall alone — replica setup, the
+// training-phase touches, and cluster spin-up are all untimed.
+//
+// The regression gate (EXPERIMENTS.md) compares the parallel 4-thread rows
+// against the serial rows at 10% dirty. On a multi-core host the parallel
+// path must be >= 2x faster; on a single-core container the two collapse to
+// parity (the pool degrades to inline execution), so gate only where
+// std::thread::hardware_concurrency() >= 4.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "comm/reducer.h"
+#include "comm/sync_engine.h"
+#include "graph/model_graph.h"
+#include "graph/partition.h"
+#include "sim/cluster.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gw2v;
+
+constexpr std::uint32_t kVocab = 100000;
+constexpr std::uint32_t kDim = 200;
+constexpr unsigned kHosts = 2;
+constexpr unsigned kRoundsPerIter = 2;
+
+/// Replicas and touch order are built once and shared across configurations:
+/// sync rebaselines the model every round, so reuse is safe, and the 320MB of
+/// table storage is paid a single time.
+struct SyncFixture {
+  std::vector<std::unique_ptr<graph::ModelGraph>> replicas;
+  std::vector<std::vector<std::uint32_t>> touch;  // per-host shuffled ids
+  graph::BlockedPartition partition{kVocab, kHosts};
+
+  SyncFixture() {
+    util::Rng rng(17);
+    for (unsigned h = 0; h < kHosts; ++h) {
+      replicas.push_back(std::make_unique<graph::ModelGraph>(kVocab, kDim));
+      replicas.back()->randomizeEmbeddings(29 + h);
+      auto& t = touch.emplace_back(kVocab);
+      std::iota(t.begin(), t.end(), 0u);
+      for (std::uint32_t n = kVocab - 1; n > 0; --n) {
+        std::swap(t[n], t[rng.bounded(n + 1)]);
+      }
+    }
+  }
+
+  static SyncFixture& instance() {
+    static SyncFixture f;
+    return f;
+  }
+};
+
+void BM_SyncRound(benchmark::State& state) {
+  const auto dirtyPct = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const bool serial = state.range(2) != 0;
+  const std::uint32_t numDirty = kVocab / 100 * dirtyPct;
+
+  SyncFixture& fix = SyncFixture::instance();
+  const comm::SumReducer sum;
+  comm::SyncOptions sopts;
+  sopts.serial = serial;
+
+  std::uint64_t shippedBytes = 0;
+  for (auto _ : state) {
+    std::vector<double> syncWall(kHosts, 0.0);
+    sim::ClusterOptions copts;
+    copts.numHosts = kHosts;
+    copts.workerThreadsPerHost = threads;
+    const sim::ClusterReport report = sim::runCluster(copts, [&](sim::HostContext& ctx) {
+      graph::ModelGraph& m = *fix.replicas[ctx.id()];
+      comm::SyncEngine engine(ctx, m, fix.partition, sum, comm::SyncStrategy::kRepModelOpt,
+                              {}, sopts);
+      const auto& touch = fix.touch[ctx.id()];
+      for (unsigned r = 0; r < kRoundsPerIter; ++r) {
+        for (std::uint32_t i = 0; i < numDirty; ++i) {
+          const std::uint32_t n = touch[i];
+          m.mutableRow(graph::Label::kEmbedding, n)[r % kDim] += 0.01f;
+          m.mutableRow(graph::Label::kTraining, n)[(r + 1) % kDim] -= 0.01f;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.sync();
+        syncWall[ctx.id()] +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      }
+    });
+    shippedBytes += report.totalBytes();
+    state.SetIterationTime(*std::max_element(syncWall.begin(), syncWall.end()) /
+                           kRoundsPerIter);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(shippedBytes / kRoundsPerIter));
+  state.SetLabel(std::to_string(dirtyPct) + "% dirty, " + std::to_string(threads) +
+                 (threads == 1 ? " thread, " : " threads, ") +
+                 (serial ? "serial" : "parallel"));
+}
+
+// Args: dirty percent, worker threads per host, serial engine flag. The
+// serial reference only makes sense single-threaded; the parallel path runs
+// at 1 and 4 threads so the same-thread-count delta isolates pack/fold
+// restructuring overhead from actual parallel speedup.
+BENCHMARK(BM_SyncRound)
+    ->Args({1, 1, 1})
+    ->Args({10, 1, 1})
+    ->Args({100, 1, 1})
+    ->Args({1, 1, 0})
+    ->Args({10, 1, 0})
+    ->Args({100, 1, 0})
+    ->Args({1, 4, 0})
+    ->Args({10, 4, 0})
+    ->Args({100, 4, 0})
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

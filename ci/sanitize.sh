@@ -20,9 +20,12 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 if [[ "$SANITIZE" == *thread* ]]; then
   # Multi-threaded Hogwild training races on model rows BY DESIGN (the same
   # benign lost-update semantics as word2vec.c, documented on
-  # model::EmbeddingTable), so those tests are excluded; everything else —
-  # including the trainer -> DeltaLog first-touch capture -> SyncEngine chain
-  # and the concurrent model/bitvector tests — must be race-free.
+  # model::EmbeddingTable), so those tests are excluded — any new racy-by-
+  # design e2e test must carry "Hogwild" in its name. Everything else —
+  # including the trainer -> DeltaLog first-touch capture -> SyncEngine chain,
+  # the parallel sync path (SyncMt.*: row-disjoint mt updates + parallel
+  # pack/fold/apply/pipelining at threads {2,4}), and the concurrent
+  # model/bitvector tests — must be race-free.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" -E 'Hogwild'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

@@ -14,9 +14,22 @@ for b in /root/repo/build/bench/*; do
       "$b" --benchmark_out=/root/repo/bench_results/BENCH_model.json \
            --benchmark_out_format=json
       ;;
+    micro_sync)
+      # Sync critical path: one full pack/exchange/fold/apply round at
+      # 100k x 200 scale, serial vs parallel engine, 1 vs 4 worker threads
+      # (BM_SyncRound; sync() wall only via manual timing).
+      "$b" --benchmark_out=/root/repo/bench_results/BENCH_sync.json \
+           --benchmark_out_format=json
+      ;;
     micro_*)
       "$b" --benchmark_out="/root/repo/bench_results/${name}.json" \
            --benchmark_out_format=json
+      ;;
+    fig8_strong_scaling)
+      GW2V_FIG8_JSON=/root/repo/bench_results/BENCH_fig8.json "$b"
+      ;;
+    fig9_comm_breakdown)
+      GW2V_FIG9_JSON=/root/repo/bench_results/BENCH_fig9.json "$b"
       ;;
     serve_loadgen)
       # Serving bench: QPS, p50/p99 latency, batch occupancy, bytes/query,

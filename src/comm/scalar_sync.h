@@ -11,6 +11,12 @@
 // every label improved at the master is broadcast to all hosts. sync()
 // returns the number of labels that changed on this host (via fold or
 // broadcast), which callers combine across hosts to detect quiescence.
+//
+// Deliberately single-threaded: scalar payloads are a few bytes per label,
+// so this engine stays the simple sequential reference while SyncEngine's
+// dense-row path is parallelized/pipelined (the fuzz tests cross-check the
+// parallel row engine against SyncEngine's serial mode, which shares this
+// file's one-pass protocol shape).
 
 #include <cstdint>
 #include <span>

@@ -1,8 +1,13 @@
 #include "comm/sync_engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "comm/serialize.h"
+#include "runtime/do_all.h"
+#include "sim/network.h"
+#include "util/timer.h"
 #include "util/vecmath.h"
 
 namespace gw2v::comm {
@@ -14,6 +19,14 @@ bool isZero(std::span<const float> v) noexcept {
     if (x != 0.0f) return false;
   }
   return true;
+}
+
+void putU32(std::uint8_t* p, std::uint32_t v) noexcept { std::memcpy(p, &v, 4); }
+
+std::uint32_t getU32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
 }
 
 }  // namespace
@@ -29,7 +42,7 @@ const char* syncStrategyName(SyncStrategy s) noexcept {
 
 SyncEngine::SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
                        const graph::BlockedPartition& partition, const Reducer& reducer,
-                       SyncStrategy strategy, sim::NetworkModel netModel)
+                       SyncStrategy strategy, sim::NetworkModel netModel, SyncOptions opts)
     : ctx_(ctx),
       transport_(ctx.network()),
       coll_(transport_, ctx.id(), TagSpace::kModelSync),
@@ -37,7 +50,8 @@ SyncEngine::SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
       partition_(partition),
       reducer_(reducer),
       strategy_(strategy),
-      netModel_(netModel) {
+      netModel_(netModel),
+      syncOpts_(opts) {
   assert(partition_.numNodes() == model_.numNodes());
   assert(partition_.numHosts() == ctx_.numHosts());
   rebaseline();
@@ -55,13 +69,585 @@ void SyncEngine::sync(const util::BitVector& willAccessNextRound) {
 }
 
 void SyncEngine::doSync(const util::BitVector* willAccess) {
+  if (syncOpts_.serial) {
+    doSyncSerial(willAccess);
+  } else {
+    doSyncParallel(willAccess);
+  }
+}
+
+std::vector<std::uint8_t> SyncEngine::acquireBuf(std::size_t bytes) {
+  // Best-fit from the recycle pool: smallest buffer that already fits, else
+  // the largest one grows. The pool holds O(H) entries, so a linear scan is
+  // cheaper than any ordered structure.
+  const std::size_t none = bufPool_.size();
+  std::size_t best = none;
+  for (std::size_t i = 0; i < bufPool_.size(); ++i) {
+    const std::size_t cap = bufPool_[i].capacity();
+    if (cap >= bytes && (best == none || cap < bufPool_[best].capacity())) best = i;
+  }
+  if (best == none) {
+    for (std::size_t i = 0; i < bufPool_.size(); ++i) {
+      if (best == none || bufPool_[i].capacity() > bufPool_[best].capacity()) best = i;
+    }
+  }
+  std::vector<std::uint8_t> b;
+  if (best != none) {
+    b = std::move(bufPool_[best]);
+    bufPool_[best] = std::move(bufPool_.back());
+    bufPool_.pop_back();
+  }
+  if (b.capacity() < bytes) ++scratchGrowEvents_;
+  b.resize(bytes);
+  return b;
+}
+
+void SyncEngine::releaseBuf(std::vector<std::uint8_t>&& b) {
+  if (bufPool_.size() == bufPool_.capacity()) ++scratchGrowEvents_;
+  bufPool_.push_back(std::move(b));
+}
+
+// PullModel control exchange: tell each master which of its nodes this host
+// will access next round; parse the symmetric lists into pullWants_.
+void SyncEngine::exchangeWillAccess(const util::BitVector* willAccess) {
+  const unsigned numHosts = ctx_.numHosts();
+  const sim::HostId me = ctx_.id();
+  ensureSize(pullWants_, numHosts);
+  for (auto& v : pullWants_) v.clear();
+  if (numHosts <= 1) return;
+
+  runtime::PhaseStats& phases = ctx_.syncPhases();
+  double packW = 0.0, parseW = 0.0;
+  util::WallTimer total;
+  const auto pack = [&](unsigned /*chunk*/) {
+    util::WallTimer t;
+    for (unsigned peer = 0; peer < numHosts; ++peer) {
+      if (peer == me) continue;
+      const auto [lo, hi] = partition_.masterRange(peer);
+      const std::uint32_t count =
+          willAccess != nullptr ? static_cast<std::uint32_t>(willAccess->countInRange(lo, hi))
+                                : hi - lo;
+      auto buf = acquireBuf(4 + static_cast<std::size_t>(count) * 4);
+      std::uint8_t* p = buf.data();
+      putU32(p, count);
+      p += 4;
+      if (willAccess != nullptr) {
+        willAccess->forEachSetInRange(lo, hi, [&](std::size_t n) {
+          putU32(p, static_cast<std::uint32_t>(n));
+          p += 4;
+        });
+      } else {
+        for (std::uint32_t n = lo; n < hi; ++n) {
+          putU32(p, n);
+          p += 4;
+        }
+      }
+      sendBufs_[peer] = std::move(buf);
+    }
+    packW += t.seconds();
+  };
+  const auto consume = [&](unsigned /*chunk*/) {
+    util::WallTimer t;
+    for (unsigned src = 0; src < numHosts; ++src) {
+      if (src == me) continue;
+      auto& buf = recvBufs_[src];
+      const std::uint32_t count = getU32(buf.data());
+      auto& wants = pullWants_[src];
+      if (wants.capacity() < count) ++scratchGrowEvents_;
+      wants.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        wants.push_back(getU32(buf.data() + 4 + static_cast<std::size_t>(i) * 4));
+      }
+      releaseBuf(std::move(buf));
+    }
+    parseW += t.seconds();
+  };
+  coll_.allToAllvPipelined(1, sendBufs_, recvBufs_, pack, consume, sim::CommPhase::kControl);
+  phases.add(0, runtime::SyncPhase::kPack, packW);
+  phases.add(0, runtime::SyncPhase::kFold, parseW);
+  phases.add(0, runtime::SyncPhase::kExchange, std::max(0.0, total.seconds() - packW - parseW));
+}
+
+// Simulated makespan of one pipelined exchange: the host pays pack(0) up
+// front, then per chunk the larger of its transfer and the CPU work the
+// pipeline hides behind it (pack of the next chunk + fold of the previous
+// one), and finally the last fold — max(compute, transfer) per chunk.
+double SyncEngine::chargePipelineSeconds() const noexcept {
+  const std::size_t k = chunkPack_.size();
+  if (k == 0) return 0.0;
+  double t = chunkPack_[0];
+  for (std::size_t c = 0; c < k; ++c) {
+    const double cpuOverlap =
+        (c + 1 < k ? chunkPack_[c + 1] : 0.0) + (c > 0 ? chunkConsume_[c - 1] : 0.0);
+    t += std::max(chunkTransfer_[c], cpuOverlap);
+  }
+  t += chunkConsume_[k - 1];
+  return t;
+}
+
+// The parallel/pipelined path. Byte- and bit-identical to doSyncSerial at
+// any thread count when pipelineChunks == 1 (the default); with K > 1, model
+// bits stay identical while byte counts grow by the extra chunk headers and
+// message framing. Determinism argument in DESIGN.md §5f.
+void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
+  const unsigned numHosts = ctx_.numHosts();
+  const sim::HostId me = ctx_.id();
+  const std::uint32_t dim = model_.dim();
+  const std::uint32_t numNodes = model_.numNodes();
+  const bool naive = strategy_ == SyncStrategy::kRepModelNaive;
+  const bool pull = strategy_ == SyncStrategy::kPullModel;
+  runtime::ThreadPool& pool = ctx_.pool();
+  const unsigned numThreads = pool.numThreads();
+  runtime::PhaseStats& phases = ctx_.syncPhases();
+  const std::size_t entryBytes = 4 + static_cast<std::size_t>(dim) * 4;
+  const unsigned chunks = std::max(1u, std::min(syncOpts_.pipelineChunks, numNodes));
+
+  const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
+
+  // ---- Per-round scratch (reused across rounds; see scratchGrowEvents). ----
+  if (bufPool_.capacity() < 2 * numHosts + 2) bufPool_.reserve(2 * numHosts + 2);
+  ensureSize(sendBufs_, numHosts);
+  ensureSize(recvBufs_, numHosts);
+  ensureSize(threadScratch_, numThreads);
+  for (auto& s : threadScratch_) ensureSize(s, dim);
+  ensureSize(segDirs_, static_cast<std::size_t>(numHosts) * graph::kNumLabels);
+  ensureSize(chunkPack_, chunks);
+  ensureSize(chunkConsume_, chunks);
+  ensureSize(chunkTransfer_, chunks);
+  ensureSize(chunkBytes_, chunks);
+
+  const auto [ownLo, ownHi] = partition_.masterRange(me);
+  const std::uint32_t ownCount = ownHi - ownLo;
+  ensureSize(acc_, static_cast<std::size_t>(ownCount) * dim * graph::kNumLabels);
+  ensureSize(contrib_, static_cast<std::size_t>(ownCount) * graph::kNumLabels);
+  std::fill(contrib_.begin(), contrib_.end(), 0u);
+
+  const auto accRow = [&](int l, std::uint32_t n) -> std::span<float> {
+    const std::size_t idx = (static_cast<std::size_t>(l) * ownCount + (n - ownLo)) * dim;
+    return {acc_.data() + idx, dim};
+  };
+  const auto contribAt = [&](int l, std::uint32_t n) -> std::uint32_t& {
+    return contrib_[static_cast<std::size_t>(l) * ownCount + (n - ownLo)];
+  };
+  // Row-disjoint across threads by construction, so plain writes are safe.
+  const auto foldContribution = [&](int l, std::uint32_t n, std::span<const float> delta) {
+    if (isZero(delta)) return;  // untouched mirror in a Naive round, or a no-op update
+    auto a = accRow(l, n);
+    if (contribAt(l, n) == 0) {
+      util::copyInto(delta, a);
+    } else {
+      reducer_.accumulate(a, delta);
+    }
+    ++contribAt(l, n);
+  };
+  const auto pushTask = [&](const PackTask& t) {
+    if (tasks_.size() == tasks_.capacity()) ++scratchGrowEvents_;
+    tasks_.push_back(t);
+  };
+  const auto segAt = [&](unsigned src, int l) -> SegDir& {
+    return segDirs_[static_cast<std::size_t>(src) * graph::kNumLabels + l];
+  };
+  const auto rowAt = [&](const SegDir& s, std::uint32_t j) {
+    return getU32(s.base + static_cast<std::size_t>(j) * entryBytes);
+  };
+  const auto deltaAt = [&](const SegDir& s, std::uint32_t j) {
+    const std::uint8_t* p = s.base + static_cast<std::size_t>(j) * entryBytes + 4;
+    assert(reinterpret_cast<std::uintptr_t>(p) % alignof(float) == 0);
+    return std::span<const float>(reinterpret_cast<const float*>(p), dim);
+  };
+  // First entry in segment s with row >= `row` (entries ascend by row).
+  const auto lowerBoundRow = [&](const SegDir& s, std::uint32_t row) {
+    std::uint32_t lo = 0, hi = s.count;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (rowAt(s, mid) < row) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  // Parse one payload into its per-label segment directory; returns bytes
+  // charged (payload + fabric framing).
+  const auto parseSegments = [&](unsigned src) -> std::uint64_t {
+    const auto& buf = recvBufs_[src];
+    const std::uint8_t* p = buf.data();
+    [[maybe_unused]] const std::uint8_t* endp = p + buf.size();
+    for (int l = 0; l < graph::kNumLabels; ++l) {
+      const std::uint32_t count = getU32(p);
+      p += 4;
+      segAt(src, l) = {p, count};
+      p += static_cast<std::size_t>(count) * entryBytes;
+      assert(p <= endp);
+    }
+    assert(p == endp);
+    return buf.size() + sim::Network::kHeaderBytes;
+  };
+
+  // ---- PullModel inspection exchange. ----
+  const sim::CommSnapshot beforeData = [&] {
+    if (pull) exchangeWillAccess(willAccess);
+    return sim::snapshot(ctx_.commStats());
+  }();
+  const double ctrlCharge =
+      netModel_.exchangeSeconds(sim::delta(before, beforeData));
+
+  // ---- Reduce phase: ship touched (or all, for Naive) mirror deltas to
+  // masters; fold + apply row-parallel as chunks drain. ----
+  double packW = 0.0, foldW = 0.0, applyW = 0.0;
+  util::WallTimer reduceWall;
+  const auto packReduce = [&](unsigned c) {
+    util::WallTimer t;
+    const auto [cLo64, cHi64] = runtime::blockRange(numNodes, chunks, c);
+    const auto cLo = static_cast<std::uint32_t>(cLo64);
+    const auto cHi = static_cast<std::uint32_t>(cHi64);
+    std::uint64_t sentBytes = 0;
+    tasks_.clear();
+    for (unsigned peer = 0; peer < numHosts; ++peer) {
+      if (peer == me) continue;
+      const auto [mLo, mHi] = partition_.masterRange(peer);
+      const std::uint32_t lo = std::max(mLo, cLo);
+      const std::uint32_t hi = std::min(mHi, cHi);
+      const std::uint32_t len = hi > lo ? hi - lo : 0;
+      std::array<std::uint32_t, graph::kNumLabels> counts;
+      std::size_t size = 0;
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        const auto& table = model_.table(static_cast<graph::Label>(l));
+        counts[l] = naive ? len
+                          : (len > 0 ? static_cast<std::uint32_t>(
+                                           table.dirty().countInRange(lo, hi))
+                                     : 0);
+        size += 4 + static_cast<std::size_t>(counts[l]) * entryBytes;
+      }
+      auto buf = acquireBuf(size);
+      std::size_t off = 0;
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        putU32(buf.data() + off, counts[l]);
+        off += 4;
+        if (counts[l] == 0) continue;
+        // Static split of the row range over workers; each block's byte
+        // offset is the entry count before it, so workers write disjoint
+        // pre-computed slices and bytes match the sequential writer.
+        const auto& dirty = model_.table(static_cast<graph::Label>(l)).dirty();
+        std::uint32_t prefix = 0;
+        for (unsigned b = 0; b < numThreads; ++b) {
+          const auto [bl, bh] = runtime::blockRange(len, numThreads, b);
+          const std::uint32_t rl = lo + static_cast<std::uint32_t>(bl);
+          const std::uint32_t rh = lo + static_cast<std::uint32_t>(bh);
+          const std::uint32_t cnt =
+              naive ? rh - rl
+                    : static_cast<std::uint32_t>(dirty.countInRange(rl, rh));
+          if (cnt > 0) {
+            pushTask({peer, l, rl, rh, off + static_cast<std::size_t>(prefix) * entryBytes});
+          }
+          prefix += cnt;
+        }
+        assert(prefix == counts[l]);
+        off += static_cast<std::size_t>(counts[l]) * entryBytes;
+      }
+      assert(off == size);
+      sentBytes += size + sim::Network::kHeaderBytes;
+      sendBufs_[peer] = std::move(buf);
+    }
+    runtime::doAllTid(
+        pool, 0, tasks_.size(),
+        [&](unsigned tid, std::uint64_t i) {
+          const PackTask& task = tasks_[i];
+          const auto& table = model_.table(static_cast<graph::Label>(task.label));
+          std::uint8_t* out = sendBufs_[task.peer].data() + task.byteOff;
+          auto& scratch = threadScratch_[tid];
+          const auto emitDelta = [&](std::uint32_t n, std::span<const float> oldRow,
+                                     std::span<const float> cur) {
+            util::sub(cur, oldRow, scratch);
+            putU32(out, n);
+            std::memcpy(out + 4, scratch.data(), entryBytes - 4);
+            out += entryBytes;
+          };
+          if (naive) {
+            for (std::uint32_t n = task.lo; n < task.hi; ++n) {
+              emitDelta(n, table.baselineRow(n), table.row(n));
+            }
+          } else {
+            table.forEachDeltaInRange(task.lo, task.hi, emitDelta);
+          }
+        },
+        {.chunkSize = 1});
+    chunkBytes_[c] = sentBytes;
+    chunkPack_[c] = t.seconds();
+    packW += chunkPack_[c];
+  };
+  const auto consumeReduce = [&](unsigned c) {
+    util::WallTimer t;
+    const auto [cLo64, cHi64] = runtime::blockRange(numNodes, chunks, c);
+    const std::uint32_t rLo = std::max(ownLo, static_cast<std::uint32_t>(cLo64));
+    const std::uint32_t rHi = std::min(ownHi, static_cast<std::uint32_t>(cHi64));
+    std::uint64_t recvBytes = 0;
+    for (unsigned src = 0; src < numHosts; ++src) {
+      if (src != me) recvBytes += parseSegments(src);
+    }
+    // Fold: rows partitioned over threads, sources walked in host-id order
+    // per row — the per-row contribution order matches the serial engine.
+    if (rHi > rLo) {
+      runtime::doAllBlocked(pool, rLo, rHi, [&](unsigned tid, std::uint64_t lo64,
+                                                std::uint64_t hi64) {
+        const auto bLo = static_cast<std::uint32_t>(lo64);
+        const auto bHi = static_cast<std::uint32_t>(hi64);
+        if (bHi <= bLo) return;
+        auto& scratch = threadScratch_[tid];
+        for (unsigned src = 0; src < numHosts; ++src) {
+          if (src == me) {
+            for (int l = 0; l < graph::kNumLabels; ++l) {
+              const auto& table = model_.table(static_cast<graph::Label>(l));
+              if (naive) {
+                for (std::uint32_t n = bLo; n < bHi; ++n) {
+                  util::sub(table.row(n), table.baselineRow(n), scratch);
+                  foldContribution(l, n, scratch);
+                }
+              } else {
+                table.forEachDeltaInRange(
+                    bLo, bHi,
+                    [&](std::uint32_t n, std::span<const float> oldRow,
+                        std::span<const float> cur) {
+                      util::sub(cur, oldRow, scratch);
+                      foldContribution(l, n, scratch);
+                    });
+              }
+            }
+            continue;
+          }
+          for (int l = 0; l < graph::kNumLabels; ++l) {
+            const SegDir& s = segAt(src, l);
+            for (std::uint32_t j = lowerBoundRow(s, bLo); j < s.count; ++j) {
+              const std::uint32_t n = rowAt(s, j);
+              if (n >= bHi) break;
+              foldContribution(l, n, deltaAt(s, j));
+            }
+          }
+        }
+      });
+    }
+    const double foldSecs = t.seconds();
+    foldW += foldSecs;
+    // Apply combined steps to canonical values, row-parallel. The baseline
+    // must be copied out before the overwrite: for rows no thread captured,
+    // it aliases the row itself.
+    util::WallTimer ta;
+    if (rHi > rLo) {
+      runtime::doAllBlocked(pool, rLo, rHi, [&](unsigned tid, std::uint64_t lo64,
+                                                std::uint64_t hi64) {
+        auto& scratch = threadScratch_[tid];
+        for (int l = 0; l < graph::kNumLabels; ++l) {
+          auto& table = model_.table(static_cast<graph::Label>(l));
+          for (auto n = static_cast<std::uint32_t>(lo64); n < hi64; ++n) {
+            const std::uint32_t cnt = contribAt(l, n);
+            if (cnt == 0) continue;
+            auto a = accRow(l, n);
+            reducer_.finalize(a, cnt);
+            util::copyInto(table.baselineRow(n), scratch);
+            util::add(a, scratch);
+            util::copyInto(scratch, table.overwriteRow(n));
+          }
+        }
+      });
+    }
+    applyW += ta.seconds();
+    for (unsigned src = 0; src < numHosts; ++src) {
+      if (src != me) releaseBuf(std::move(recvBufs_[src]));
+    }
+    chunkConsume_[c] = foldSecs + ta.seconds();
+    chunkTransfer_[c] =
+        netModel_.transferSeconds(chunkBytes_[c] + recvBytes, numHosts > 0 ? numHosts - 1 : 0);
+  };
+  coll_.allToAllvPipelined(chunks, sendBufs_, recvBufs_, packReduce, consumeReduce,
+                           sim::CommPhase::kReduce);
+  const double reducePipelineCharge = chargePipelineSeconds();
+  phases.add(0, runtime::SyncPhase::kPack, packW);
+  phases.add(0, runtime::SyncPhase::kFold, foldW);
+  phases.add(0, runtime::SyncPhase::kApply, applyW);
+  phases.add(0, runtime::SyncPhase::kExchange,
+             std::max(0.0, reduceWall.seconds() - packW - foldW - applyW));
+
+  // ---- Broadcast phase: ship canonical values to mirrors, apply
+  // row-parallel as chunks drain. ----
+  double bPackW = 0.0, bApplyW = 0.0;
+  util::WallTimer bcastWall;
+  const auto packBcast = [&](unsigned c) {
+    util::WallTimer t;
+    const auto [cLo64, cHi64] = runtime::blockRange(numNodes, chunks, c);
+    const std::uint32_t rLo = std::max(ownLo, static_cast<std::uint32_t>(cLo64));
+    const std::uint32_t rHi = std::min(ownHi, static_cast<std::uint32_t>(cHi64));
+    const std::uint32_t len = rHi > rLo ? rHi - rLo : 0;
+    std::uint64_t sentBytes = 0;
+    tasks_.clear();
+    if (!naive && !pull) {
+      // Opt ships rows any host updated: materialize the per-label emit
+      // lists once per chunk (ascending, disjoint across chunks).
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        auto& list = emit_[l];
+        list.clear();
+        for (std::uint32_t n = rLo; n < rHi; ++n) {
+          if (contribAt(l, n) == 0) continue;
+          if (list.size() == list.capacity()) ++scratchGrowEvents_;
+          list.push_back(n);
+        }
+      }
+    }
+    for (unsigned peer = 0; peer < numHosts; ++peer) {
+      if (peer == me) continue;
+      // Index domain per label: offsets into the implicit row range (Naive),
+      // this peer's pull list (Pull), or the emit list (Opt).
+      std::uint32_t domLo[graph::kNumLabels], domHi[graph::kNumLabels];
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        if (naive) {
+          domLo[l] = 0;
+          domHi[l] = len;
+        } else if (pull) {
+          const auto& wants = pullWants_[peer];
+          domLo[l] = static_cast<std::uint32_t>(
+              std::lower_bound(wants.begin(), wants.end(), rLo) - wants.begin());
+          domHi[l] = static_cast<std::uint32_t>(
+              std::lower_bound(wants.begin(), wants.end(), rHi) - wants.begin());
+        } else {
+          domLo[l] = 0;
+          domHi[l] = static_cast<std::uint32_t>(emit_[l].size());
+        }
+      }
+      std::size_t size = 0;
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        size += 4 + static_cast<std::size_t>(domHi[l] - domLo[l]) * entryBytes;
+      }
+      auto buf = acquireBuf(size);
+      std::size_t off = 0;
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        const std::uint32_t count = domHi[l] - domLo[l];
+        putU32(buf.data() + off, count);
+        off += 4;
+        for (unsigned b = 0; b < numThreads && count > 0; ++b) {
+          const auto [bl, bh] = runtime::blockRange(count, numThreads, b);
+          if (bh > bl) {
+            pushTask({peer, l, domLo[l] + static_cast<std::uint32_t>(bl),
+                      domLo[l] + static_cast<std::uint32_t>(bh),
+                      off + static_cast<std::size_t>(bl) * entryBytes});
+          }
+        }
+        off += static_cast<std::size_t>(count) * entryBytes;
+      }
+      assert(off == size);
+      sentBytes += size + sim::Network::kHeaderBytes;
+      sendBufs_[peer] = std::move(buf);
+    }
+    runtime::doAllTid(
+        pool, 0, tasks_.size(),
+        [&](unsigned /*tid*/, std::uint64_t i) {
+          const PackTask& task = tasks_[i];
+          const auto label = static_cast<graph::Label>(task.label);
+          std::uint8_t* out = sendBufs_[task.peer].data() + task.byteOff;
+          const auto emitRow = [&](std::uint32_t n) {
+            putU32(out, n);
+            std::memcpy(out + 4, model_.row(label, n).data(), entryBytes - 4);
+            out += entryBytes;
+          };
+          if (naive) {
+            for (std::uint32_t idx = task.lo; idx < task.hi; ++idx) emitRow(rLo + idx);
+          } else if (pull) {
+            const auto& wants = pullWants_[task.peer];
+            for (std::uint32_t idx = task.lo; idx < task.hi; ++idx) emitRow(wants[idx]);
+          } else {
+            const auto& list = emit_[task.label];
+            for (std::uint32_t idx = task.lo; idx < task.hi; ++idx) emitRow(list[idx]);
+          }
+        },
+        {.chunkSize = 1});
+    chunkBytes_[c] = sentBytes;
+    chunkPack_[c] = t.seconds();
+    bPackW += chunkPack_[c];
+  };
+  const auto consumeBcast = [&](unsigned c) {
+    util::WallTimer t;
+    std::uint64_t recvBytes = 0;
+    tasks_.clear();
+    for (unsigned src = 0; src < numHosts; ++src) {
+      if (src == me) continue;
+      recvBytes += parseSegments(src);
+      for (int l = 0; l < graph::kNumLabels; ++l) {
+        const std::uint32_t count = segAt(src, l).count;
+        for (unsigned b = 0; b < numThreads && count > 0; ++b) {
+          const auto [bl, bh] = runtime::blockRange(count, numThreads, b);
+          if (bh > bl) {
+            pushTask({src, l, static_cast<std::uint32_t>(bl),
+                      static_cast<std::uint32_t>(bh), 0});
+          }
+        }
+      }
+    }
+    // Masters own disjoint row ranges, so applying all sources' entries in
+    // parallel writes disjoint rows.
+    runtime::doAllTid(
+        pool, 0, tasks_.size(),
+        [&](unsigned /*tid*/, std::uint64_t i) {
+          const PackTask& task = tasks_[i];
+          const auto label = static_cast<graph::Label>(task.label);
+          const SegDir& s = segAt(task.peer, task.label);
+          for (std::uint32_t j = task.lo; j < task.hi; ++j) {
+            util::copyInto(deltaAt(s, j), model_.overwriteRow(label, rowAt(s, j)));
+          }
+        },
+        {.chunkSize = 1});
+    for (unsigned src = 0; src < numHosts; ++src) {
+      if (src != me) releaseBuf(std::move(recvBufs_[src]));
+    }
+    chunkConsume_[c] = t.seconds();
+    bApplyW += chunkConsume_[c];
+    chunkTransfer_[c] =
+        netModel_.transferSeconds(chunkBytes_[c] + recvBytes, numHosts > 0 ? numHosts - 1 : 0);
+  };
+  coll_.allToAllvPipelined(chunks, sendBufs_, recvBufs_, packBcast, consumeBcast,
+                           sim::CommPhase::kBroadcast);
+  const double bcastPipelineCharge = chargePipelineSeconds();
+  phases.add(0, runtime::SyncPhase::kPack, bPackW);
+  phases.add(0, runtime::SyncPhase::kApply, bApplyW);
+  phases.add(0, runtime::SyncPhase::kExchange,
+             std::max(0.0, bcastWall.seconds() - bPackW - bApplyW));
+
+  // No explicit rebasing anywhere: clearTouched() declares the post-round
+  // model the baseline, which covers broadcast-overwritten mirrors, masters,
+  // and the locally-touched mirrors a PullModel round never refreshes alike.
+  model_.clearTouched();
+  ++round_;
+
+  // Modelled communication time. With one chunk this is the historical
+  // whole-exchange alpha-beta charge; a pipelined round instead pays
+  // max(compute, transfer) per chunk, so overlap shows up in ClusterReport.
+  if (chunks == 1) {
+    const sim::CommSnapshot after = sim::snapshot(ctx_.commStats());
+    ctx_.addModelledCommSeconds(netModel_.exchangeSeconds(sim::delta(before, after)));
+  } else {
+    ctx_.addModelledCommSeconds(ctrlCharge + reducePipelineCharge + bcastPipelineCharge);
+  }
+
+  // BSP rounds end at a barrier: nobody computes ahead of stragglers.
+  coll_.barrier();
+}
+
+// Single-threaded reference implementation: the historical one-shot
+// protocol, kept verbatim (fresh buffers each round) as the oracle the fuzz
+// tests cross-check the parallel path against bit-for-bit.
+void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
   const unsigned numHosts = ctx_.numHosts();
   const sim::HostId me = ctx_.id();
   const std::uint32_t dim = model_.dim();
   const bool naive = strategy_ == SyncStrategy::kRepModelNaive;
   const bool pull = strategy_ == SyncStrategy::kPullModel;
+  runtime::PhaseStats& phases = ctx_.syncPhases();
 
   const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
+  double packW = 0.0, exchangeW = 0.0, foldW = 0.0, applyW = 0.0;
+  util::WallTimer timer;
+  const auto lap = [&](double& bucket) {
+    bucket += timer.seconds();
+    timer.reset();
+  };
 
   // ---- PullModel inspection exchange: tell each master which of its nodes
   // this host will access next round. -----------------------------------
@@ -88,7 +674,9 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
       }
       ctrlOut[peer] = w.take();
     }
+    lap(packW);
     ctrlIn = coll_.allToAllv(std::move(ctrlOut), sim::CommPhase::kControl);
+    lap(exchangeW);
   }
 
   // ---- Reduce phase: ship touched (or all, for Naive) mirror deltas to
@@ -124,8 +712,10 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
     }
     reduceOut[peer] = w.take();
   }
+  lap(packW);
   const std::vector<std::vector<std::uint8_t>> reduceIn =
       coll_.allToAllv(std::move(reduceOut), sim::CommPhase::kReduce);
+  lap(exchangeW);
 
   // ---- Master-side accumulation over contributions in host-id order. ----
   const std::uint32_t ownCount = ownHi - ownLo;
@@ -183,6 +773,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
       }
     }
   }
+  lap(foldW);
 
   // Apply combined steps to canonical values. The baseline must be copied
   // out before the overwrite: for rows no thread captured, it aliases the
@@ -199,6 +790,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
       util::copyInto(scratch, table.overwriteRow(n));
     }
   }
+  lap(applyW);
 
   // ---- Parse PullModel recipient lists gathered during the control
   // exchange. --------------------------------------------------------------
@@ -245,6 +837,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
     }
     bcastOut[peer] = w.take();
   }
+  lap(packW);
 
   // ---- Exchange broadcasts and overwrite mirrors. ------------------------
   // No explicit rebasing anywhere: clearTouched() below declares the
@@ -253,6 +846,7 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
   // never refreshes (their baseline becomes what they hold) alike.
   const std::vector<std::vector<std::uint8_t>> bcastIn =
       coll_.allToAllv(std::move(bcastOut), sim::CommPhase::kBroadcast);
+  lap(exchangeW);
   for (unsigned src = 0; src < numHosts; ++src) {
     if (src == me) continue;
     ByteReader r(bcastIn[src]);
@@ -265,9 +859,14 @@ void SyncEngine::doSync(const util::BitVector* willAccess) {
       }
     }
   }
+  lap(applyW);
 
   model_.clearTouched();
   ++round_;
+  phases.add(0, runtime::SyncPhase::kPack, packW);
+  phases.add(0, runtime::SyncPhase::kExchange, exchangeW);
+  phases.add(0, runtime::SyncPhase::kFold, foldW);
+  phases.add(0, runtime::SyncPhase::kApply, applyW);
 
   // Modelled communication time for this host's share of the exchange.
   const sim::CommSnapshot after = sim::snapshot(ctx_.commStats());

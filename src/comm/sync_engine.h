@@ -29,7 +29,19 @@
 // All three produce bit-identical models for the same inputs (verified by
 // tests); they differ only in bytes moved — which is the paper's Fig 8/9
 // story.
+//
+// The whole critical path (pack → exchange → fold → apply) runs on the
+// host's worker pool: packing partitions each destination's row range over
+// threads and serializes into pre-computed offsets, folding partitions the
+// owned rows over threads while walking sources in host-id order per row,
+// and both applies are row-parallel — so results stay bit-identical to the
+// single-threaded reference (SyncOptions::serial) at any thread count.
+// SyncOptions::pipelineChunks > 1 additionally slices both exchanges into
+// row-range chunks double-buffered through Collectives::allToAllvPipelined
+// (chunk c+1 packs while chunk c is in flight and folding). DESIGN.md §5f
+// has the determinism argument.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -48,11 +60,23 @@ enum class SyncStrategy : int { kRepModelNaive = 0, kRepModelOpt = 1, kPullModel
 
 const char* syncStrategyName(SyncStrategy s) noexcept;
 
+struct SyncOptions {
+  /// Row-range chunks each exchange (reduce and broadcast) is split into.
+  /// 1 = one-shot exchange, byte-identical to the historical protocol (the
+  /// golden files lock this). K > 1 pipelines chunks through the fabric;
+  /// extra per-chunk count headers and message framing change byte counts,
+  /// never model bits.
+  unsigned pipelineChunks = 1;
+  /// Run the single-threaded reference path regardless of pool size. The
+  /// fuzz tests cross-check the parallel path against it bit-for-bit.
+  bool serial = false;
+};
+
 class SyncEngine {
  public:
   SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
              const graph::BlockedPartition& partition, const Reducer& reducer,
-             SyncStrategy strategy, sim::NetworkModel netModel = {});
+             SyncStrategy strategy, sim::NetworkModel netModel = {}, SyncOptions opts = {});
 
   /// One BSP sync round (Naive/Opt). For PullModel this overload treats
   /// "will access" as "everything" — prefer the BitVector overload there.
@@ -72,8 +96,40 @@ class SyncEngine {
   /// Forgets pending captures in O(dirty set) — no model copies.
   void rebaseline();
 
+  const SyncOptions& syncOptions() const noexcept { return syncOpts_; }
+
+  /// Times any engine-owned scratch (send buffers, fold accumulators, task
+  /// lists) had to grow its capacity. Steady-state rounds with a stable
+  /// dirty-set shape must not move this counter — asserted by tests.
+  std::uint64_t scratchGrowEvents() const noexcept { return scratchGrowEvents_; }
+
  private:
+  struct PackTask {
+    unsigned peer = 0;
+    int label = 0;
+    std::uint32_t lo = 0;        // row range (reduce) or list/entry index range
+    std::uint32_t hi = 0;
+    std::size_t byteOff = 0;     // absolute offset of this block's first entry
+  };
+  struct SegDir {                // one (source, label) segment of a payload
+    const std::uint8_t* base = nullptr;
+    std::uint32_t count = 0;
+  };
+
   void doSync(const util::BitVector* willAccess);
+  void doSyncSerial(const util::BitVector* willAccess);
+  void doSyncParallel(const util::BitVector* willAccess);
+
+  std::vector<std::uint8_t> acquireBuf(std::size_t bytes);
+  void releaseBuf(std::vector<std::uint8_t>&& b);
+  template <typename V>
+  void ensureSize(V& v, std::size_t n) {
+    if (v.capacity() < n) ++scratchGrowEvents_;
+    v.resize(n);
+  }
+
+  void exchangeWillAccess(const util::BitVector* willAccess);
+  double chargePipelineSeconds() const noexcept;
 
   sim::HostContext& ctx_;
   SimTransport transport_;
@@ -83,8 +139,27 @@ class SyncEngine {
   const Reducer& reducer_;
   SyncStrategy strategy_;
   sim::NetworkModel netModel_;
+  SyncOptions syncOpts_;
 
   std::uint64_t round_ = 0;
+
+  // ---- Per-round scratch, reused across rounds (satellite: no per-round
+  // allocations in steady state). Buffers cycle through bufPool_: sends move
+  // payloads into the fabric, receives bring peer-allocated vectors back, so
+  // the pool stays balanced at ~H buffers. ----
+  std::uint64_t scratchGrowEvents_ = 0;
+  std::vector<std::vector<std::uint8_t>> bufPool_;
+  std::vector<std::vector<std::uint8_t>> sendBufs_;  // one slot per peer
+  std::vector<std::vector<std::uint8_t>> recvBufs_;  // one slot per source
+  std::vector<float> acc_;                   // ownCount × dim × kNumLabels
+  std::vector<std::uint32_t> contrib_;       // ownCount × kNumLabels
+  std::vector<std::vector<float>> threadScratch_;    // per worker, dim floats
+  std::vector<PackTask> tasks_;
+  std::vector<SegDir> segDirs_;              // numHosts × kNumLabels
+  std::vector<std::vector<std::uint32_t>> pullWants_;
+  std::array<std::vector<std::uint32_t>, graph::kNumLabels> emit_;  // bcast rows per label
+  std::vector<double> chunkPack_, chunkConsume_, chunkTransfer_;    // per-chunk pipeline costs
+  std::vector<std::uint64_t> chunkBytes_;    // bytes this host sent for the chunk (w/ framing)
 };
 
 }  // namespace gw2v::comm

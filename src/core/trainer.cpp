@@ -122,7 +122,8 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
   const auto body = [&](sim::HostContext& ctx) {
     const unsigned host = ctx.id();
     graph::ModelGraph& model = *replicas[host];
-    comm::SyncEngine sync(ctx, model, partition, *reducer, opts_.strategy, opts_.netModel);
+    comm::SyncEngine sync(ctx, model, partition, *reducer, opts_.strategy, opts_.netModel,
+                          opts_.sync);
     comm::SimTransport transport(ctx.network());
     comm::Collectives coll(transport, host, comm::TagSpace::kTrainer);
     // With shuffling on, the host re-permutes a private copy each epoch.

@@ -48,6 +48,9 @@ struct TrainOptions {
   /// Learning-rate floor as a fraction of the initial rate (word2vec.c: 1e-4).
   float minAlphaFraction = 1e-4f;
   sim::NetworkModel netModel{};
+  /// Sync-round execution knobs (pipelined chunking, serial reference path);
+  /// the parallel path always matches the serial one bit-for-bit.
+  comm::SyncOptions sync{};
   /// Resume from this model instead of random initialization (e.g. a
   /// graph::loadCheckpoint result). Must match vocabulary size and sgns.dim;
   /// not owned, must outlive train().

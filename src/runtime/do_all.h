@@ -42,6 +42,30 @@ void doAll(ThreadPool& pool, std::uint64_t begin, std::uint64_t end, Fn&& fn,
   });
 }
 
+/// doAll variant whose body also receives the worker id: fn(tid, i). For
+/// loop bodies that need per-thread scratch (serialization staging buffers,
+/// gradient temporaries) without threading it through captures.
+template <typename Fn>
+void doAllTid(ThreadPool& pool, std::uint64_t begin, std::uint64_t end, Fn&& fn,
+              DoAllOptions opts = {}) {
+  if (begin >= end) return;
+  const std::uint64_t n = end - begin;
+  if (pool.numThreads() == 1 || n <= opts.chunkSize) {
+    for (std::uint64_t i = begin; i < end; ++i) fn(0u, i);
+    return;
+  }
+  std::atomic<std::uint64_t> next{begin};
+  const std::size_t chunk = opts.chunkSize;
+  pool.onEach([&](unsigned tid) {
+    for (;;) {
+      const std::uint64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::uint64_t hi = lo + chunk < end ? lo + chunk : end;
+      for (std::uint64_t i = lo; i < hi; ++i) fn(tid, i);
+    }
+  });
+}
+
 /// Static blocked partition of [begin, end) over threads; fn(tid, lo, hi).
 /// Used where each thread needs its own contiguous range (e.g. streaming a
 /// corpus chunk in order).

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/loop_stats.h"
 #include "runtime/thread_pool.h"
 #include "sim/comm_stats.h"
 #include "sim/network.h"
@@ -43,12 +44,18 @@ class HostContext {
   void addModelledCommSeconds(double s) noexcept { simComm_ += s; }
   double modelledCommSeconds() const noexcept { return simComm_; }
 
+  /// Wall-clock breakdown of the sync critical path (pack / exchange-wait /
+  /// fold / apply), recorded by comm::SyncEngine every round.
+  runtime::PhaseStats& syncPhases() noexcept { return syncPhases_; }
+  runtime::SyncPhaseSeconds syncPhaseSeconds() const { return syncPhases_.totals(); }
+
  private:
   HostId id_;
   Network& net_;
   runtime::ThreadPool pool_;
   util::CpuStopwatch compute_;
   double simComm_ = 0.0;
+  runtime::PhaseStats syncPhases_{1};
 };
 
 struct ClusterOptions {
@@ -62,6 +69,7 @@ struct HostReport {
   double computeSeconds = 0.0;
   double modelledCommSeconds = 0.0;
   CommSnapshot comm{};
+  runtime::SyncPhaseSeconds sync{};
 };
 
 struct ClusterReport {
@@ -92,6 +100,18 @@ struct ClusterReport {
     std::uint64_t total = 0;
     for (const auto& h : hosts) total += h.comm.bytesSent;
     return total;
+  }
+  /// Per-phase maxima across hosts — the straggler view of where sync wall
+  /// time goes (pack/exchange/fold/apply).
+  runtime::SyncPhaseSeconds maxSyncPhaseSeconds() const noexcept {
+    runtime::SyncPhaseSeconds worst{};
+    for (const auto& h : hosts) {
+      worst.pack = h.sync.pack > worst.pack ? h.sync.pack : worst.pack;
+      worst.exchange = h.sync.exchange > worst.exchange ? h.sync.exchange : worst.exchange;
+      worst.fold = h.sync.fold > worst.fold ? h.sync.fold : worst.fold;
+      worst.apply = h.sync.apply > worst.apply ? h.sync.apply : worst.apply;
+    }
+    return worst;
   }
 };
 

@@ -3,6 +3,12 @@
 // run against random update patterns (random host counts, dimensions, dirty
 // sets, delta values, round counts) and all replicas must match the oracle
 // bit-for-bit for every reducer and every communication strategy.
+//
+// A second suite cross-checks the parallel/pipelined engine against the
+// single-threaded reference path (SyncOptions::serial) over the same random
+// dirty sets for threads ∈ {1, 2, 4} × H ∈ {1, 2, 4, 8}: replicas must match
+// bit-for-bit, and with one pipeline chunk the byte counts must be equal
+// too (chunked runs pay extra headers/framing, never different bits).
 
 #include <gtest/gtest.h>
 
@@ -29,6 +35,8 @@ struct FuzzConfig {
   int reducerKind;  // 0 SUM, 1 AVG, 2 MC
   SyncStrategy strategy;
   std::uint64_t seed;
+  unsigned threads = 1;        // workerThreadsPerHost for the parallel suite
+  unsigned pipelineChunks = 1;
 };
 
 std::unique_ptr<Reducer> makeReducer(int kind) {
@@ -106,6 +114,44 @@ std::vector<float> runOracle(const FuzzConfig& cfg, const Reducer& reducer) {
   return canonical;
 }
 
+/// Run the engine over the config's update plan; updates are issued from the
+/// host thread (deterministic), so any thread-count dependence can only come
+/// from the sync path itself.
+struct EngineRun {
+  std::vector<std::unique_ptr<ModelGraph>> replicas;
+  std::uint64_t totalBytes = 0;
+};
+
+EngineRun runEngine(const FuzzConfig& cfg, const Reducer& reducer, unsigned threads,
+                    SyncOptions sopts) {
+  const UpdatePlan plan(cfg);
+  EngineRun run;
+  run.replicas.resize(cfg.hosts);
+  for (auto& r : run.replicas) r = std::make_unique<ModelGraph>(cfg.nodes, cfg.dim);
+  const graph::BlockedPartition partition(cfg.nodes, cfg.hosts);
+  sim::ClusterOptions copts;
+  copts.numHosts = cfg.hosts;
+  copts.workerThreadsPerHost = threads;
+  const auto report = sim::runCluster(copts, [&](sim::HostContext& ctx) {
+    ModelGraph& model = *run.replicas[ctx.id()];
+    SyncEngine engine(ctx, model, partition, reducer, cfg.strategy, {}, sopts);
+    std::vector<float> d;
+    for (unsigned round = 0; round < cfg.rounds; ++round) {
+      for (int label = 0; label < graph::kNumLabels; ++label) {
+        for (std::uint32_t node = 0; node < cfg.nodes; ++node) {
+          if (!plan.touches(round, ctx.id(), node, label)) continue;
+          plan.delta(round, ctx.id(), node, label, d);
+          util::add(d, model.mutableRow(static_cast<Label>(label), node));
+          model.markTouched(static_cast<Label>(label), node);
+        }
+      }
+      engine.sync();
+    }
+  });
+  run.totalBytes = report.totalBytes();
+  return run;
+}
+
 class SyncFuzz : public ::testing::TestWithParam<FuzzConfig> {};
 
 TEST_P(SyncFuzz, ReplicasMatchOracle) {
@@ -173,6 +219,66 @@ std::vector<FuzzConfig> fuzzConfigs() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Patterns, SyncFuzz, ::testing::ValuesIn(fuzzConfigs()));
+
+class SyncFuzzParallel : public ::testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(SyncFuzzParallel, ParallelMatchesSerialReference) {
+  const FuzzConfig cfg = GetParam();
+  const auto reducer = makeReducer(cfg.reducerKind);
+
+  SyncOptions serialOpts;
+  serialOpts.serial = true;
+  const EngineRun serial = runEngine(cfg, *reducer, 1, serialOpts);
+
+  SyncOptions parallelOpts;
+  parallelOpts.pipelineChunks = cfg.pipelineChunks;
+  const EngineRun parallel = runEngine(cfg, *reducer, cfg.threads, parallelOpts);
+
+  if (cfg.pipelineChunks <= 1) {
+    EXPECT_EQ(serial.totalBytes, parallel.totalBytes);
+  } else {
+    // Chunking re-sends the per-label count headers and message framing.
+    EXPECT_GE(parallel.totalBytes, serial.totalBytes);
+  }
+  for (unsigned host = 0; host < cfg.hosts; ++host) {
+    for (int label = 0; label < graph::kNumLabels; ++label) {
+      for (std::uint32_t node = 0; node < cfg.nodes; ++node) {
+        const auto got = parallel.replicas[host]->row(static_cast<Label>(label), node);
+        const auto want = serial.replicas[host]->row(static_cast<Label>(label), node);
+        for (std::uint32_t k = 0; k < cfg.dim; ++k) {
+          ASSERT_EQ(got[k], want[k])
+              << "host " << host << " label " << label << " node " << node << " dim " << k
+              << " threads " << cfg.threads << " chunks " << cfg.pipelineChunks;
+        }
+      }
+    }
+  }
+}
+
+std::vector<FuzzConfig> parallelConfigs() {
+  std::vector<FuzzConfig> out;
+  std::uint64_t seed = 9000;
+  for (const unsigned hosts : {1u, 2u, 4u, 8u}) {
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      for (const auto strategy :
+           {SyncStrategy::kRepModelNaive, SyncStrategy::kRepModelOpt,
+            SyncStrategy::kPullModel}) {
+        out.push_back(FuzzConfig{hosts, 33, 5, 3, 2, strategy, seed++, threads, 1});
+      }
+    }
+  }
+  // Pipelined shapes: chunk counts that do and don't divide the node count,
+  // including more chunks than some hosts own rows.
+  for (const auto strategy :
+       {SyncStrategy::kRepModelNaive, SyncStrategy::kRepModelOpt, SyncStrategy::kPullModel}) {
+    out.push_back(FuzzConfig{2, 33, 5, 3, 2, strategy, seed++, 4, 5});
+    out.push_back(FuzzConfig{4, 33, 5, 3, 0, strategy, seed++, 2, 3});
+    out.push_back(FuzzConfig{8, 33, 5, 3, 2, strategy, seed++, 4, 7});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SyncFuzzParallel, ::testing::ValuesIn(parallelConfigs()));
 
 }  // namespace
 }  // namespace gw2v::comm

@@ -93,6 +93,27 @@ TEST(DoAllBlocked, RangesPartition) {
   }
 }
 
+TEST(DoAllTid, VisitsEveryIndexOnceWithValidTid) {
+  constexpr std::uint64_t kN = 5000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<bool> badTid{false};
+  doAllTid(pool, 0, kN, [&](unsigned tid, std::uint64_t i) {
+    if (tid >= pool.numThreads()) badTid.store(true);
+    hits[i].fetch_add(1);
+  });
+  EXPECT_FALSE(badTid.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DoAllTid, SmallRangeRunsInlineAsTidZero) {
+  ThreadPool pool(4);
+  std::vector<unsigned> tids(10, 99);
+  doAllTid(pool, 0, 10, [&](unsigned tid, std::uint64_t i) { tids[i] = tid; },
+           DoAllOptions{.chunkSize = 64});
+  for (const unsigned t : tids) EXPECT_EQ(t, 0u);
+}
+
 class BlockRangeSweep
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>> {};
 
@@ -186,6 +207,22 @@ TEST(LoopStats, AggregatesAcrossThreads) {
   const auto total = stats.total();
   EXPECT_EQ(total.iterations, 15u);
   EXPECT_EQ(total.pushes, 7u);
+}
+
+TEST(PhaseStats, SumsPerPhaseAcrossThreads) {
+  PhaseStats stats(3);
+  stats.add(0, SyncPhase::kPack, 1.0);
+  stats.add(1, SyncPhase::kPack, 0.5);
+  stats.add(2, SyncPhase::kExchange, 2.0);
+  stats.add(0, SyncPhase::kFold, 0.25);
+  stats.add(1, SyncPhase::kApply, 0.125);
+  const SyncPhaseSeconds t = stats.totals();
+  EXPECT_DOUBLE_EQ(t.pack, 1.5);
+  EXPECT_DOUBLE_EQ(t.exchange, 2.0);
+  EXPECT_DOUBLE_EQ(t.fold, 0.25);
+  EXPECT_DOUBLE_EQ(t.apply, 0.125);
+  EXPECT_DOUBLE_EQ(t.total(), 3.875);
+  EXPECT_STREQ(syncPhaseName(SyncPhase::kFold), "fold");
 }
 
 }  // namespace
