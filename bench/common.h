@@ -9,6 +9,8 @@
 //   GW2V_EPOCHS  — overrides training epochs
 //   GW2V_THREADS — Hogwild worker threads per host (default 1)
 //   GW2V_BATCH   — shared-negative minibatch size B (default 1 = per-pair)
+//   GW2V_SYNC_CODEC — comma-separated wire codecs to sweep (fp32,fp16,int8;
+//                     default fp32 only)
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +36,34 @@ inline double envDouble(const char* name, double fallback) {
 inline unsigned envUnsigned(const char* name, unsigned fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? static_cast<unsigned>(std::atoi(v)) : fallback;
+}
+
+/// Wire codecs to sweep, from GW2V_SYNC_CODEC ("fp32,fp16,int8"); defaults
+/// to fp32 only so plain bench runs stay on the historical protocol.
+/// Unknown names are reported on stderr and skipped.
+inline std::vector<comm::SyncCodec> envCodecs() {
+  std::vector<comm::SyncCodec> out;
+  const char* v = std::getenv("GW2V_SYNC_CODEC");
+  if (v == nullptr) return {comm::SyncCodec::kFp32};
+  std::string spec(v);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string name =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!name.empty()) {
+      comm::SyncCodec c;
+      if (comm::parseSyncCodec(name, c)) {
+        out.push_back(c);
+      } else {
+        std::fprintf(stderr, "GW2V_SYNC_CODEC: unknown codec '%s' skipped\n", name.c_str());
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(comm::SyncCodec::kFp32);
+  return out;
 }
 
 /// A dataset prepared for training: vocabulary, encoded corpus, analogy task.

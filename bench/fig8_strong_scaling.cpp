@@ -25,13 +25,14 @@ int main() {
   const comm::SyncStrategy variants[] = {comm::SyncStrategy::kRepModelNaive,
                                          comm::SyncStrategy::kRepModelOpt,
                                          comm::SyncStrategy::kPullModel};
+  const std::vector<comm::SyncCodec> codecs = bench::envCodecs();
   bench::JsonRows json("GW2V_FIG8_JSON");
 
   for (const auto& info : synth::datasetCatalog(scale)) {
     const auto data = bench::prepare(info);
     std::printf("--- %s (vocab=%u tokens=%zu) ---\n", info.paperName.c_str(),
                 data.vocab.size(), data.corpus.size());
-    std::printf("%-16s", "hosts(sync)");
+    std::printf("%-23s", "hosts(sync)");
     for (unsigned h = 1; h <= maxHosts; h *= 2) {
       char head[16];
       std::snprintf(head, sizeof(head), "%u(%u)", h, core::defaultSyncRounds(h));
@@ -39,30 +40,39 @@ int main() {
     }
     std::printf("\n");
 
-    for (const auto strategy : variants) {
-      std::printf("%-16s", comm::syncStrategyName(strategy));
-      for (unsigned h = 1; h <= maxHosts; h *= 2) {
-        core::TrainOptions o;
-        o.sgns = bench::benchSgns();
-        o.epochs = epochs;
-        o.numHosts = h;
-        o.strategy = strategy;
-        o.trackLoss = false;
-        const auto result = core::GraphWord2Vec(data.vocab, o).train(data.corpus);
-        std::printf(" %9.3f", result.cluster.simulatedSeconds());
-        std::fflush(stdout);
-        if (json.enabled()) {
-          char row[256];
-          std::snprintf(row, sizeof(row),
-                        "{\"dataset\": \"%s\", \"variant\": \"%s\", \"hosts\": %u, "
-                        "\"sync_rounds\": %u, \"sim_seconds\": %.6f, \"bytes\": %llu}",
-                        info.paperName.c_str(), comm::syncStrategyName(strategy), h,
-                        core::defaultSyncRounds(h), result.cluster.simulatedSeconds(),
-                        static_cast<unsigned long long>(result.cluster.totalBytes()));
-          json.add(row);
+    for (const auto codec : codecs) {
+      for (const auto strategy : variants) {
+        char rowHead[32];
+        std::snprintf(rowHead, sizeof(rowHead), "%s/%s", comm::syncStrategyName(strategy),
+                      comm::syncCodecName(codec));
+        std::printf("%-23s", rowHead);
+        for (unsigned h = 1; h <= maxHosts; h *= 2) {
+          core::TrainOptions o;
+          o.sgns = bench::benchSgns();
+          o.epochs = epochs;
+          o.numHosts = h;
+          o.strategy = strategy;
+          o.trackLoss = false;
+          o.sync.codec = codec;
+          const auto result = core::GraphWord2Vec(data.vocab, o).train(data.corpus);
+          std::printf(" %9.3f", result.cluster.simulatedSeconds());
+          std::fflush(stdout);
+          if (json.enabled()) {
+            char row[256];
+            std::snprintf(
+                row, sizeof(row),
+                "{\"dataset\": \"%s\", \"variant\": \"%s\", \"codec\": \"%s\", "
+                "\"hosts\": %u, \"sync_rounds\": %u, \"sim_seconds\": %.6f, "
+                "\"bytes\": %llu}",
+                info.paperName.c_str(), comm::syncStrategyName(strategy),
+                comm::syncCodecName(codec), h, core::defaultSyncRounds(h),
+                result.cluster.simulatedSeconds(),
+                static_cast<unsigned long long>(result.cluster.totalBytes()));
+            json.add(row);
+          }
         }
+        std::printf("\n");
       }
-      std::printf("\n");
     }
     std::printf("\n");
   }

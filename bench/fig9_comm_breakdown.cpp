@@ -8,6 +8,8 @@
 // less volume than Naive; Pull sits between (it re-sends unchanged masters
 // to readers but skips non-readers).
 
+#include <array>
+
 #include "bench/common.h"
 
 using namespace gw2v;
@@ -23,6 +25,7 @@ int main() {
                                          comm::SyncStrategy::kRepModelOpt,
                                          comm::SyncStrategy::kPullModel};
   const unsigned hostCounts[] = {2u, 8u, 32u};
+  const std::vector<comm::SyncCodec> codecs = bench::envCodecs();
   bool volumeCheckFailed = false;
   bench::JsonRows json("GW2V_FIG9_JSON");
 
@@ -30,59 +33,98 @@ int main() {
     const auto data = bench::prepare(info);
     std::printf("--- %s (vocab=%u tokens=%zu) ---\n", info.paperName.c_str(),
                 data.vocab.size(), data.corpus.size());
-    // comp/comm/total are simulated seconds; the last four columns split the
+    // comp/comm/total are simulated seconds; the four phase columns split the
     // worst host's *measured* sync wall into pack/exchange/fold/apply
     // (satellite of the parallel-sync work; see DESIGN.md section 5f).
-    std::printf("%-16s %-12s %10s %10s %10s %12s %9s %9s %9s %9s\n", "variant",
-                "hosts(sync)", "comp(s)", "comm(s)", "total(s)", "volume", "pack(s)",
-                "xchg(s)", "fold(s)", "apply(s)");
+    std::printf("%-16s %-6s %-12s %10s %10s %10s %12s %9s %9s %9s %9s\n", "variant",
+                "codec", "hosts(sync)", "comp(s)", "comm(s)", "total(s)", "volume",
+                "pack(s)", "xchg(s)", "fold(s)", "apply(s)");
 
-    double naiveMB[3] = {0, 0, 0};
-    double optMB[3] = {0, 0, 0};
-    for (const auto strategy : variants) {
-      for (int hi = 0; hi < 3; ++hi) {
-        const unsigned h = hostCounts[hi];
-        core::TrainOptions o;
-        o.sgns = bench::benchSgns();
-        o.epochs = epochs;
-        o.numHosts = h;
-        o.strategy = strategy;
-        o.trackLoss = false;
-        const auto result = core::GraphWord2Vec(data.vocab, o).train(data.corpus);
-        const double comp = result.cluster.maxComputeSeconds();
-        const double comm = result.cluster.maxModelledCommSeconds();
-        const double volumeMB = static_cast<double>(result.cluster.totalBytes()) / 1e6;
-        if (strategy == comm::SyncStrategy::kRepModelNaive) naiveMB[hi] = volumeMB;
-        if (strategy == comm::SyncStrategy::kRepModelOpt) optMB[hi] = volumeMB;
-        const runtime::SyncPhaseSeconds phases = result.cluster.maxSyncPhaseSeconds();
-        char cfg[16];
-        std::snprintf(cfg, sizeof(cfg), "%u(%u)", h, core::defaultSyncRounds(h));
-        std::printf("%-16s %-12s %10.3f %10.4f %10.3f %9.1fMB %9.4f %9.4f %9.4f %9.4f\n",
-                    comm::syncStrategyName(strategy), cfg, comp, comm, comp + comm, volumeMB,
-                    phases.pack, phases.exchange, phases.fold, phases.apply);
-        std::fflush(stdout);
-        if (json.enabled()) {
-          char row[384];
-          std::snprintf(
-              row, sizeof(row),
-              "{\"dataset\": \"%s\", \"variant\": \"%s\", \"hosts\": %u, "
-              "\"comp_seconds\": %.6f, \"comm_seconds\": %.6f, \"volume_mb\": %.3f, "
-              "\"sync_pack_s\": %.6f, \"sync_exchange_s\": %.6f, \"sync_fold_s\": %.6f, "
-              "\"sync_apply_s\": %.6f}",
-              info.paperName.c_str(), comm::syncStrategyName(strategy), h, comp, comm,
-              volumeMB, phases.pack, phases.exchange, phases.fold, phases.apply);
-          json.add(row);
+    // volumeMB[codec][variant][hostIdx] feeds both gates below.
+    std::vector<std::array<std::array<double, 3>, 3>> volumeMB(codecs.size());
+    for (std::size_t ci = 0; ci < codecs.size(); ++ci) {
+      for (int vi = 0; vi < 3; ++vi) {
+        const auto strategy = variants[vi];
+        for (int hi = 0; hi < 3; ++hi) {
+          const unsigned h = hostCounts[hi];
+          core::TrainOptions o;
+          o.sgns = bench::benchSgns();
+          o.epochs = epochs;
+          o.numHosts = h;
+          o.strategy = strategy;
+          o.trackLoss = false;
+          o.sync.codec = codecs[ci];
+          const auto result = core::GraphWord2Vec(data.vocab, o).train(data.corpus);
+          const double comp = result.cluster.maxComputeSeconds();
+          const double comm = result.cluster.maxModelledCommSeconds();
+          const double mb = static_cast<double>(result.cluster.totalBytes()) / 1e6;
+          volumeMB[ci][static_cast<std::size_t>(vi)][static_cast<std::size_t>(hi)] = mb;
+          const runtime::SyncPhaseSeconds phases = result.cluster.maxSyncPhaseSeconds();
+          char cfg[16];
+          std::snprintf(cfg, sizeof(cfg), "%u(%u)", h, core::defaultSyncRounds(h));
+          std::printf(
+              "%-16s %-6s %-12s %10.3f %10.4f %10.3f %9.1fMB %9.4f %9.4f %9.4f %9.4f\n",
+              comm::syncStrategyName(strategy), comm::syncCodecName(codecs[ci]), cfg, comp,
+              comm, comp + comm, mb, phases.pack, phases.exchange, phases.fold,
+              phases.apply);
+          std::fflush(stdout);
+          if (json.enabled()) {
+            char row[384];
+            std::snprintf(
+                row, sizeof(row),
+                "{\"dataset\": \"%s\", \"variant\": \"%s\", \"codec\": \"%s\", "
+                "\"hosts\": %u, \"comp_seconds\": %.6f, \"comm_seconds\": %.6f, "
+                "\"volume_mb\": %.3f, \"sync_pack_s\": %.6f, \"sync_exchange_s\": %.6f, "
+                "\"sync_fold_s\": %.6f, \"sync_apply_s\": %.6f}",
+                info.paperName.c_str(), comm::syncStrategyName(strategy),
+                comm::syncCodecName(codecs[ci]), h, comp, comm, mb, phases.pack,
+                phases.exchange, phases.fold, phases.apply);
+            json.add(row);
+          }
         }
       }
+      // The paper's headline claim (Fig 9): touched-only sync moves ~half the
+      // naive volume at scale. The ratio only opens up once per-host corpus
+      // shards stop touching most of the vocabulary, so gate at the largest
+      // host count; a regression that re-ships untouched rows fails the run.
+      // The claim is codec-independent (codecs shrink entries, not entry
+      // counts), so it is enforced for every codec swept.
+      const double naive32 = volumeMB[ci][0][2];
+      const double opt32 = volumeMB[ci][1][2];
+      if (opt32 > 0.7 * naive32) {
+        std::printf("FAIL: Opt volume %.1fMB > 0.7x Naive %.1fMB at %u hosts (%s)\n", opt32,
+                    naive32, hostCounts[2], comm::syncCodecName(codecs[ci]));
+        volumeCheckFailed = true;
+      }
     }
-    // The paper's headline claim (Fig 9): touched-only sync moves ~half the
-    // naive volume at scale. The ratio only opens up once per-host corpus
-    // shards stop touching most of the vocabulary, so gate at the largest
-    // host count; a regression that re-ships untouched rows fails the run.
-    if (optMB[2] > 0.7 * naiveMB[2]) {
-      std::printf("FAIL: Opt volume %.1fMB > 0.7x Naive %.1fMB at %u hosts\n", optMB[2],
-                  naiveMB[2], hostCounts[2]);
-      volumeCheckFailed = true;
+    // Codec gates: on-wire volume must drop in proportion to the codec
+    // width. At dim 32 the entry widths are 132B/68B/40B, so fp16 must land
+    // under 0.55x fp32 and int8 under 0.35x, for every variant at the two
+    // larger host counts. Only enforced when the sweep ran the codecs.
+    std::size_t fp32Idx = codecs.size(), fp16Idx = codecs.size(), int8Idx = codecs.size();
+    for (std::size_t ci = 0; ci < codecs.size(); ++ci) {
+      if (codecs[ci] == comm::SyncCodec::kFp32) fp32Idx = ci;
+      if (codecs[ci] == comm::SyncCodec::kFp16) fp16Idx = ci;
+      if (codecs[ci] == comm::SyncCodec::kInt8) int8Idx = ci;
+    }
+    if (fp32Idx < codecs.size()) {
+      for (int vi = 0; vi < 3; ++vi) {
+        for (int hi = 1; hi < 3; ++hi) {
+          const double fp32MB = volumeMB[fp32Idx][vi][hi];
+          const auto gate = [&](std::size_t idx, double maxRatio, const char* name) {
+            if (idx >= codecs.size()) return;
+            const double mb = volumeMB[idx][vi][hi];
+            if (mb > maxRatio * fp32MB) {
+              std::printf("FAIL: %s volume %.1fMB > %.2fx fp32 %.1fMB (%s, %u hosts)\n",
+                          name, mb, maxRatio, fp32MB,
+                          comm::syncStrategyName(variants[vi]), hostCounts[hi]);
+              volumeCheckFailed = true;
+            }
+          };
+          gate(fp16Idx, 0.55, "fp16");
+          gate(int8Idx, 0.35, "int8");
+        }
+      }
     }
     std::printf("\n");
   }

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -26,6 +27,7 @@
 #include "graph/partition.h"
 #include "sim/cluster.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -67,12 +69,14 @@ void BM_SyncRound(benchmark::State& state) {
   const auto dirtyPct = static_cast<std::uint32_t>(state.range(0));
   const auto threads = static_cast<unsigned>(state.range(1));
   const bool serial = state.range(2) != 0;
+  const auto codec = static_cast<comm::SyncCodec>(state.range(3));
   const std::uint32_t numDirty = kVocab / 100 * dirtyPct;
 
   SyncFixture& fix = SyncFixture::instance();
   const comm::SumReducer sum;
   comm::SyncOptions sopts;
   sopts.serial = serial;
+  sopts.codec = codec;
 
   std::uint64_t shippedBytes = 0;
   for (auto _ : state) {
@@ -104,26 +108,91 @@ void BM_SyncRound(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(shippedBytes / kRoundsPerIter));
   state.SetLabel(std::to_string(dirtyPct) + "% dirty, " + std::to_string(threads) +
                  (threads == 1 ? " thread, " : " threads, ") +
-                 (serial ? "serial" : "parallel"));
+                 (serial ? "serial, " : "parallel, ") + comm::syncCodecName(codec));
 }
 
-// Args: dirty percent, worker threads per host, serial engine flag. The
-// serial reference only makes sense single-threaded; the parallel path runs
-// at 1 and 4 threads so the same-thread-count delta isolates pack/fold
-// restructuring overhead from actual parallel speedup.
+// Args: dirty percent, worker threads per host, serial engine flag, wire
+// codec (comm::SyncCodec value). The serial reference only makes sense
+// single-threaded; the parallel path runs at 1 and 4 threads so the
+// same-thread-count delta isolates pack/fold restructuring overhead from
+// actual parallel speedup. The lossy-codec rows quantify the encode/decode
+// (+ error feedback) cost the smaller wire volume buys.
 BENCHMARK(BM_SyncRound)
-    ->Args({1, 1, 1})
-    ->Args({10, 1, 1})
-    ->Args({100, 1, 1})
-    ->Args({1, 1, 0})
-    ->Args({10, 1, 0})
-    ->Args({100, 1, 0})
-    ->Args({1, 4, 0})
-    ->Args({10, 4, 0})
-    ->Args({100, 4, 0})
+    ->Args({1, 1, 1, 0})
+    ->Args({10, 1, 1, 0})
+    ->Args({100, 1, 1, 0})
+    ->Args({1, 1, 0, 0})
+    ->Args({10, 1, 0, 0})
+    ->Args({100, 1, 0, 0})
+    ->Args({1, 4, 0, 0})
+    ->Args({10, 4, 0, 0})
+    ->Args({100, 4, 0, 0})
+    ->Args({10, 4, 0, 1})
+    ->Args({100, 4, 0, 1})
+    ->Args({10, 4, 0, 2})
+    ->Args({100, 4, 0, 2})
     ->UseManualTime()
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
+
+/// Raw codec kernel throughput on the active SIMD tier: fp32<->fp16 and
+/// fp32<->int8 (the encode direction includes the maxAbs scan that computes
+/// the row scale, mirroring what the pack path pays per row).
+void BM_Convert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto mode = state.range(1);
+  const auto& kernels = util::simd::activeKernels();
+
+  std::vector<float> src(n), dst(n);
+  std::vector<std::uint16_t> half(n);
+  std::vector<std::int8_t> bytes(n);
+  util::Rng rng(99);
+  for (auto& v : src) v = rng.uniformFloat(-1.0f, 1.0f);
+  kernels.fp32ToFp16(src.data(), half.data(), n);
+  kernels.fp32ToInt8(src.data(), 127.0f, bytes.data(), n);
+
+  const char* label = "f32->f16";
+  for (auto _ : state) {
+    switch (mode) {
+      case 0:
+        kernels.fp32ToFp16(src.data(), half.data(), n);
+        benchmark::DoNotOptimize(half.data());
+        break;
+      case 1:
+        label = "f16->f32";
+        kernels.fp16ToFp32(half.data(), dst.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+        break;
+      case 2: {
+        label = "f32->i8 (incl maxAbs)";
+        const float m = kernels.maxAbs(src.data(), n);
+        kernels.fp32ToInt8(src.data(), m > 0.0f ? 127.0f / m : 0.0f, bytes.data(), n);
+        benchmark::DoNotOptimize(bytes.data());
+        break;
+      }
+      default:
+        label = "i8->f32";
+        kernels.int8ToFp32(bytes.data(), 1.0f / 127.0f, dst.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+        break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+  state.SetLabel(std::string(label) + ", n=" + std::to_string(n));
+}
+
+// Args: element count (one dim-200 row and a 100k-row sweep), kernel mode.
+BENCHMARK(BM_Convert)
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({200, 2})
+    ->Args({200, 3})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 3})
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -26,10 +26,20 @@ for b in /root/repo/build/bench/*; do
            --benchmark_out_format=json
       ;;
     fig8_strong_scaling)
+      # Codec sweep: one row set per wire codec (fp32 = historical numbers).
+      GW2V_SYNC_CODEC=fp32,fp16,int8 \
       GW2V_FIG8_JSON=/root/repo/bench_results/BENCH_fig8.json "$b"
       ;;
     fig9_comm_breakdown)
+      # Codec sweep; the binary gates fp16 <= 0.55x and int8 <= 0.35x of the
+      # fp32 volume per variant at 8/32 hosts (nonzero exit on failure).
+      GW2V_SYNC_CODEC=fp32,fp16,int8 \
       GW2V_FIG9_JSON=/root/repo/bench_results/BENCH_fig9.json "$b"
+      ;;
+    ablation_codec)
+      # Quality ablation: fp32 vs fp16+ef vs int8+ef vs int8 without error
+      # feedback, analogy accuracy next to wire volume.
+      GW2V_CODEC_JSON=/root/repo/bench_results/BENCH_codec.json "$b"
       ;;
     serve_loadgen)
       # Serving bench: QPS, p50/p99 latency, batch occupancy, bytes/query,

@@ -1,15 +1,18 @@
 #include "comm/scalar_sync.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "comm/serialize.h"
+#include "util/simd.h"
 
 namespace gw2v::comm {
 
 ScalarSyncEngine::ScalarSyncEngine(sim::HostContext& ctx, std::span<float> values,
                                    util::BitVector& touched,
                                    const graph::BlockedPartition& partition,
-                                   ScalarReduceOp op, sim::NetworkModel netModel)
+                                   ScalarReduceOp op, sim::NetworkModel netModel,
+                                   SyncCodec codec)
     : ctx_(ctx),
       transport_(ctx.network()),
       coll_(transport_, ctx.id(), TagSpace::kScalarSync),
@@ -17,9 +20,14 @@ ScalarSyncEngine::ScalarSyncEngine(sim::HostContext& ctx, std::span<float> value
       touched_(touched),
       partition_(partition),
       op_(op),
-      netModel_(netModel) {
+      netModel_(netModel),
+      codec_(codec) {
   assert(values_.size() == partition_.numNodes());
   assert(touched_.size() >= partition_.numNodes());
+  if (codec_ == SyncCodec::kInt8) {
+    throw std::invalid_argument(
+        "ScalarSyncEngine: int8 needs a per-row scale and scalar labels have no row");
+  }
 }
 
 std::uint64_t ScalarSyncEngine::sync() {
@@ -27,6 +35,25 @@ std::uint64_t ScalarSyncEngine::sync() {
   const sim::HostId me = ctx_.id();
   const auto better = [this](float candidate, float current) {
     return op_ == ScalarReduceOp::kMin ? candidate < current : candidate > current;
+  };
+  // fp16 wire encode/decode for one scalar (exact for BFS/CC-style small
+  // integers; a lossy-but-idempotent fold otherwise).
+  const auto& kernels = util::simd::activeKernels();
+  const auto putValue = [&](ByteWriter& w, float v) {
+    if (codec_ == SyncCodec::kFp32) {
+      w.put(v);
+    } else {
+      std::uint16_t h;
+      kernels.fp32ToFp16(&v, &h, 1);
+      w.put(h);
+    }
+  };
+  const auto getValue = [&](ByteReader& r) -> float {
+    if (codec_ == SyncCodec::kFp32) return r.get<float>();
+    const std::uint16_t h = r.get<std::uint16_t>();
+    float v;
+    kernels.fp16ToFp32(&h, &v, 1);
+    return v;
   };
 
   const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
@@ -40,7 +67,7 @@ std::uint64_t ScalarSyncEngine::sync() {
     w.put(static_cast<std::uint32_t>(touched_.countInRange(lo, hi)));
     touched_.forEachSetInRange(lo, hi, [&](std::size_t n) {
       w.put(static_cast<std::uint32_t>(n));
-      w.put(values_[n]);
+      putValue(w, values_[n]);
     });
     reduceOut[peer] = w.take();
   }
@@ -59,7 +86,7 @@ std::uint64_t ScalarSyncEngine::sync() {
     const std::uint32_t count = r.get<std::uint32_t>();
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t n = r.get<std::uint32_t>();
-      const float v = r.get<float>();
+      const float v = getValue(r);
       if (better(v, values_[n])) {
         values_[n] = v;
         improved.set(n - ownLo);
@@ -75,7 +102,7 @@ std::uint64_t ScalarSyncEngine::sync() {
   improved.forEachSet([&](std::size_t off) {
     const auto n = static_cast<std::uint32_t>(ownLo + off);
     w.put(n);
-    w.put(values_[n]);
+    putValue(w, values_[n]);
   });
   const std::vector<std::vector<std::uint8_t>> bcastIn =
       coll_.allGatherv(w.take(), sim::CommPhase::kBroadcast);
@@ -85,7 +112,7 @@ std::uint64_t ScalarSyncEngine::sync() {
     const std::uint32_t count = r.get<std::uint32_t>();
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t n = r.get<std::uint32_t>();
-      const float v = r.get<float>();
+      const float v = getValue(r);
       // Masters are authoritative: their folded value overwrites mirrors
       // (it can only be better-or-equal under an idempotent reduction).
       if (values_[n] != v) {

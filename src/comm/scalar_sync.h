@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/codec.h"
 #include "comm/collectives.h"
 #include "comm/transport.h"
 #include "graph/partition.h"
@@ -37,9 +38,16 @@ class ScalarSyncEngine {
  public:
   /// `values` and `touched` are the host's label array and dirty bits; both
   /// must outlive the engine and have one slot per node.
+  ///
+  /// `codec` compresses the per-label values on the wire. fp32 (default) is
+  /// the historical byte-exact protocol; fp16 halves value bytes and is
+  /// exact for the small-integer labels BFS/CC produce (and safely lossy
+  /// under an idempotent min/max fold otherwise). int8 needs a row's worth
+  /// of values to scale against — scalar labels have none — and throws
+  /// std::invalid_argument.
   ScalarSyncEngine(sim::HostContext& ctx, std::span<float> values, util::BitVector& touched,
                    const graph::BlockedPartition& partition, ScalarReduceOp op,
-                   sim::NetworkModel netModel = {});
+                   sim::NetworkModel netModel = {}, SyncCodec codec = SyncCodec::kFp32);
 
   /// One BSP sync round; clears the touched bits. Returns how many of this
   /// host's labels changed (master folds + received broadcasts).
@@ -56,6 +64,7 @@ class ScalarSyncEngine {
   const graph::BlockedPartition& partition_;
   ScalarReduceOp op_;
   sim::NetworkModel netModel_;
+  SyncCodec codec_;
   std::uint64_t round_ = 0;
 };
 

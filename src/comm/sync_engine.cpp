@@ -54,12 +54,39 @@ SyncEngine::SyncEngine(sim::HostContext& ctx, graph::ModelGraph& model,
       syncOpts_(opts) {
   assert(partition_.numNodes() == model_.numNodes());
   assert(partition_.numHosts() == ctx_.numHosts());
+  ensureResiduals(false);
   rebaseline();
 }
 
 void SyncEngine::rebaseline() {
   // The model is the baseline; dropping pending captures makes it official.
+  // Residuals survive: a rebaseline redefines the delta origin, but
+  // quantization error that never made it onto the wire stays owed.
   model_.clearTouched();
+}
+
+void SyncEngine::ensureResiduals(bool reset) {
+  if (syncOpts_.codec == SyncCodec::kFp32 && !reset) return;
+  for (auto& table : residual_) {
+    if (table.numRows() != model_.numNodes() || table.dim() != model_.dim()) {
+      table.init(model_.numNodes(), model_.dim());  // init zero-fills
+    } else if (reset) {
+      for (std::uint32_t n = 0; n < table.numRows(); ++n) {
+        auto row = table.untrackedRow(n);
+        std::fill(row.begin(), row.end(), 0.0f);
+      }
+    }
+  }
+}
+
+void SyncEngine::setCodec(SyncCodec codec, bool errorFeedback) {
+  const bool changed = codec != syncOpts_.codec;
+  syncOpts_.codec = codec;
+  syncOpts_.errorFeedback = errorFeedback;
+  // Stale error from another codec's quantization grid is meaningless —
+  // re-adding it would inject noise, not correct it.
+  if (changed) ensureResiduals(true);
+  ensureResiduals(false);
 }
 
 void SyncEngine::sync() { doSync(nullptr); }
@@ -199,7 +226,10 @@ void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
   runtime::ThreadPool& pool = ctx_.pool();
   const unsigned numThreads = pool.numThreads();
   runtime::PhaseStats& phases = ctx_.syncPhases();
-  const std::size_t entryBytes = 4 + static_cast<std::size_t>(dim) * 4;
+  const SyncCodec codec = syncOpts_.codec;
+  const bool lossy = codec != SyncCodec::kFp32;
+  const bool ef = lossy && syncOpts_.errorFeedback;
+  const std::size_t entryBytes = codecEntryBytes(codec, dim);
   const unsigned chunks = std::max(1u, std::min(syncOpts_.pipelineChunks, numNodes));
 
   const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
@@ -210,6 +240,10 @@ void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
   ensureSize(recvBufs_, numHosts);
   ensureSize(threadScratch_, numThreads);
   for (auto& s : threadScratch_) ensureSize(s, dim);
+  if (lossy) {
+    ensureSize(threadDecode_, numThreads);
+    for (auto& s : threadDecode_) ensureSize(s, dim);
+  }
   ensureSize(segDirs_, static_cast<std::size_t>(numHosts) * graph::kNumLabels);
   ensureSize(chunkPack_, chunks);
   ensureSize(chunkConsume_, chunks);
@@ -250,10 +284,20 @@ void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
   const auto rowAt = [&](const SegDir& s, std::uint32_t j) {
     return getU32(s.base + static_cast<std::size_t>(j) * entryBytes);
   };
-  const auto deltaAt = [&](const SegDir& s, std::uint32_t j) {
-    const std::uint8_t* p = s.base + static_cast<std::size_t>(j) * entryBytes + 4;
-    assert(reinterpret_cast<std::uintptr_t>(p) % alignof(float) == 0);
-    return std::span<const float>(reinterpret_cast<const float*>(p), dim);
+  const auto valuesPtr = [&](const SegDir& s, std::uint32_t j) {
+    return s.base + static_cast<std::size_t>(j) * entryBytes + 4;
+  };
+  // Entry values, decoded. fp32 reads the wire bytes in place (they ARE the
+  // floats); lossy codecs decode into the caller's scratch.
+  const auto entryValues = [&](const SegDir& s, std::uint32_t j,
+                               std::span<float> dec) -> std::span<const float> {
+    const std::uint8_t* p = valuesPtr(s, j);
+    if (!lossy) {
+      assert(reinterpret_cast<std::uintptr_t>(p) % alignof(float) == 0);
+      return std::span<const float>(reinterpret_cast<const float*>(p), dim);
+    }
+    decodeRowValues(codec, p, dec);
+    return dec;
   };
   // First entry in segment s with row >= `row` (entries ascend by row).
   const auto lowerBoundRow = [&](const SegDir& s, std::uint32_t row) {
@@ -355,13 +399,27 @@ void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
         [&](unsigned tid, std::uint64_t i) {
           const PackTask& task = tasks_[i];
           const auto& table = model_.table(static_cast<graph::Label>(task.label));
+          auto& residual = residual_[task.label];
           std::uint8_t* out = sendBufs_[task.peer].data() + task.byteOff;
           auto& scratch = threadScratch_[tid];
           const auto emitDelta = [&](std::uint32_t n, std::span<const float> oldRow,
                                      std::span<const float> cur) {
             util::sub(cur, oldRow, scratch);
             putU32(out, n);
-            std::memcpy(out + 4, scratch.data(), entryBytes - 4);
+            if (!lossy) {
+              std::memcpy(out + 4, scratch.data(), entryBytes - 4);
+            } else {
+              // Error feedback: owe = delta + residual; ship Q(owe); remember
+              // owe - decode(Q(owe)). Rows are disjoint across pack tasks
+              // (each row has one master), so residual writes don't race.
+              if (ef) util::add(residual.row(n), scratch);
+              encodeRowValues(codec, scratch, out + 4);
+              if (ef) {
+                auto& dec = threadDecode_[tid];
+                decodeRowValues(codec, out + 4, dec);
+                util::sub(scratch, dec, residual.untrackedRow(n));
+              }
+            }
             out += entryBytes;
           };
           if (naive) {
@@ -421,7 +479,9 @@ void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
             for (std::uint32_t j = lowerBoundRow(s, bLo); j < s.count; ++j) {
               const std::uint32_t n = rowAt(s, j);
               if (n >= bHi) break;
-              foldContribution(l, n, deltaAt(s, j));
+              // scratch is free in the remote branch; lossy codecs decode
+              // into it, fp32 folds the wire bytes in place.
+              foldContribution(l, n, entryValues(s, j, scratch));
             }
           }
         }
@@ -545,7 +605,14 @@ void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
           std::uint8_t* out = sendBufs_[task.peer].data() + task.byteOff;
           const auto emitRow = [&](std::uint32_t n) {
             putU32(out, n);
-            std::memcpy(out + 4, model_.row(label, n).data(), entryBytes - 4);
+            if (!lossy) {
+              std::memcpy(out + 4, model_.row(label, n).data(), entryBytes - 4);
+            } else {
+              // Canonical values are re-encoded fresh every round, so
+              // broadcast error is bounded (one quantization step), never
+              // accumulated — no residual on this path.
+              encodeRowValues(codec, model_.row(label, n), out + 4);
+            }
             out += entryBytes;
           };
           if (naive) {
@@ -590,7 +657,11 @@ void SyncEngine::doSyncParallel(const util::BitVector* willAccess) {
           const auto label = static_cast<graph::Label>(task.label);
           const SegDir& s = segAt(task.peer, task.label);
           for (std::uint32_t j = task.lo; j < task.hi; ++j) {
-            util::copyInto(deltaAt(s, j), model_.overwriteRow(label, rowAt(s, j)));
+            if (!lossy) {
+              util::copyInto(entryValues(s, j, {}), model_.overwriteRow(label, rowAt(s, j)));
+            } else {
+              decodeRowValues(codec, valuesPtr(s, j), model_.overwriteRow(label, rowAt(s, j)));
+            }
           }
         },
         {.chunkSize = 1});
@@ -640,6 +711,12 @@ void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
   const bool naive = strategy_ == SyncStrategy::kRepModelNaive;
   const bool pull = strategy_ == SyncStrategy::kPullModel;
   runtime::PhaseStats& phases = ctx_.syncPhases();
+  const SyncCodec codec = syncOpts_.codec;
+  const bool lossy = codec != SyncCodec::kFp32;
+  const bool ef = lossy && syncOpts_.errorFeedback;
+  const std::size_t valueBytes = codecValueBytes(codec, dim);
+  std::vector<std::uint8_t> enc(valueBytes);  // one encoded row
+  std::vector<float> dec(dim);                // one decoded row
 
   const sim::CommSnapshot before = sim::snapshot(ctx_.commStats());
   double packW = 0.0, exchangeW = 0.0, foldW = 0.0, applyW = 0.0;
@@ -688,6 +765,22 @@ void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
     if (peer == me) continue;
     const auto [lo, hi] = partition_.masterRange(peer);
     ByteWriter w;
+    // Same per-entry codec + error-feedback arithmetic as the parallel pack
+    // workers, so serial wire bytes stay the oracle at every codec.
+    const auto putDelta = [&](int l, std::uint32_t n) {
+      w.put(n);
+      if (!lossy) {
+        w.putSpan(std::span<const float>(delta));
+        return;
+      }
+      if (ef) util::add(residual_[l].row(n), delta);
+      encodeRowValues(codec, delta, enc.data());
+      if (ef) {
+        decodeRowValues(codec, enc.data(), dec);
+        util::sub(delta, dec, residual_[l].untrackedRow(n));
+      }
+      w.putSpan(std::span<const std::uint8_t>(enc));
+    };
     for (int l = 0; l < graph::kNumLabels; ++l) {
       const auto& table = model_.table(static_cast<graph::Label>(l));
       if (naive) {
@@ -696,8 +789,7 @@ void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
           // Clean rows subtract against themselves and ship exact zeros —
           // the Naive strategy's pay-for-everything byte count.
           util::sub(table.row(n), table.baselineRow(n), delta);
-          w.put(n);
-          w.putSpan(std::span<const float>(delta));
+          putDelta(l, n);
         }
       } else {
         w.put(static_cast<std::uint32_t>(table.dirty().countInRange(lo, hi)));
@@ -705,8 +797,7 @@ void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
             lo, hi,
             [&](std::uint32_t n, std::span<const float> oldRow, std::span<const float> cur) {
               util::sub(cur, oldRow, delta);
-              w.put(n);
-              w.putSpan(std::span<const float>(delta));
+              putDelta(l, n);
             });
       }
     }
@@ -769,7 +860,12 @@ void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
       const std::uint32_t count = r.get<std::uint32_t>();
       for (std::uint32_t i = 0; i < count; ++i) {
         const std::uint32_t n = r.get<std::uint32_t>();
-        foldContribution(l, n, r.view<float>(dim));
+        if (!lossy) {
+          foldContribution(l, n, r.view<float>(dim));
+        } else {
+          decodeRowValues(codec, r.view<std::uint8_t>(valueBytes).data(), dec);
+          foldContribution(l, n, dec);
+        }
       }
     }
   }
@@ -813,7 +909,13 @@ void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
     ByteWriter w;
     const auto emit = [&](int l, std::uint32_t n) {
       w.put(n);
-      w.putSpan(std::span<const float>(model_.row(static_cast<graph::Label>(l), n)));
+      const auto row = model_.row(static_cast<graph::Label>(l), n);
+      if (!lossy) {
+        w.putSpan(std::span<const float>(row));
+      } else {
+        encodeRowValues(codec, row, enc.data());
+        w.putSpan(std::span<const std::uint8_t>(enc));
+      }
     };
     for (int l = 0; l < graph::kNumLabels; ++l) {
       std::uint32_t count = 0;
@@ -855,7 +957,12 @@ void SyncEngine::doSyncSerial(const util::BitVector* willAccess) {
       const std::uint32_t count = r.get<std::uint32_t>();
       for (std::uint32_t i = 0; i < count; ++i) {
         const std::uint32_t n = r.get<std::uint32_t>();
-        util::copyInto(r.view<float>(dim), model_.overwriteRow(label, n));
+        if (!lossy) {
+          util::copyInto(r.view<float>(dim), model_.overwriteRow(label, n));
+        } else {
+          decodeRowValues(codec, r.view<std::uint8_t>(valueBytes).data(),
+                          model_.overwriteRow(label, n));
+        }
       }
     }
   }

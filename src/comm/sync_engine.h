@@ -43,14 +43,18 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "comm/codec.h"
 #include "comm/collectives.h"
 #include "comm/reducer.h"
 #include "comm/transport.h"
 #include "graph/model_graph.h"
 #include "graph/partition.h"
+#include "model/embedding_table.h"
 #include "sim/cluster.h"
+#include "sim/network.h"
 #include "sim/network_model.h"
 #include "util/bitvector.h"
 
@@ -70,6 +74,16 @@ struct SyncOptions {
   /// Run the single-threaded reference path regardless of pool size. The
   /// fuzz tests cross-check the parallel path against it bit-for-bit.
   bool serial = false;
+  /// Wire codec for reduce deltas and broadcast values (comm/codec.h).
+  /// kFp32 is byte-identical to the historical protocol (goldens lock it);
+  /// fp16/int8 shrink every value entry ∝ the codec width and are folded
+  /// from the *decoded* bytes on every host, so replicas stay in lockstep.
+  SyncCodec codec = SyncCodec::kFp32;
+  /// Per-row residual error feedback for lossy codecs: quantization error of
+  /// each shipped delta is remembered and re-added to the next round's delta
+  /// before encoding, so compression noise flushes out instead of biasing
+  /// convergence. Ignored under kFp32. Off = the ablation arm.
+  bool errorFeedback = true;
 };
 
 class SyncEngine {
@@ -97,6 +111,37 @@ class SyncEngine {
   void rebaseline();
 
   const SyncOptions& syncOptions() const noexcept { return syncOpts_; }
+
+  SyncCodec codec() const noexcept { return syncOpts_.codec; }
+
+  /// Switch the wire codec (and error-feedback arm) mid-stream. Residuals
+  /// are zeroed when the codec actually changes — stale fp16 error is
+  /// meaningless to int8 — and kept when it doesn't. All hosts must switch
+  /// at the same round boundary (SPMD).
+  void setCodec(SyncCodec codec, bool errorFeedback = true);
+
+  /// Pending quantization error for a mirror row (zeros under fp32, with
+  /// error feedback off, or for rows this host masters; empty before any
+  /// lossy round allocated the residuals). Test hook.
+  std::span<const float> residualRow(graph::Label label, std::uint32_t n) const noexcept {
+    const auto& t = residual_[static_cast<int>(label)];
+    return n < t.numRows() ? t.row(n) : std::span<const float>{};
+  }
+
+  /// Extra bytes ONE host pays per exchange phase for each pipeline chunk
+  /// past the first: the per-label count headers re-shipped in every chunk
+  /// plus fabric framing, on each of its numHosts-1 messages. Entry bytes are
+  /// invariant across chunkings (chunks partition row ranges), so
+  /// totalBytes(K) - totalBytes(1) over a run is exactly
+  /// rounds × phases × hosts × (K-1) × perChunkOverheadBytes(hosts) — the
+  /// regression tests hold the accounting to that identity.
+  static constexpr std::uint64_t perChunkOverheadBytes(unsigned numHosts) noexcept {
+    return numHosts <= 1
+               ? 0
+               : static_cast<std::uint64_t>(numHosts - 1) *
+                     (static_cast<std::uint64_t>(graph::kNumLabels) * 4 +
+                      sim::Network::kHeaderBytes);
+  }
 
   /// Times any engine-owned scratch (send buffers, fold accumulators, task
   /// lists) had to grow its capacity. Steady-state rounds with a stable
@@ -131,6 +176,10 @@ class SyncEngine {
   void exchangeWillAccess(const util::BitVector* willAccess);
   double chargePipelineSeconds() const noexcept;
 
+  /// Allocate (or zero, if `reset`) the per-label residual tables for lossy
+  /// codecs. No-op under fp32 unless resetting already-allocated tables.
+  void ensureResiduals(bool reset);
+
   sim::HostContext& ctx_;
   SimTransport transport_;
   Collectives coll_;
@@ -154,6 +203,16 @@ class SyncEngine {
   std::vector<float> acc_;                   // ownCount × dim × kNumLabels
   std::vector<std::uint32_t> contrib_;       // ownCount × kNumLabels
   std::vector<std::vector<float>> threadScratch_;    // per worker, dim floats
+  std::vector<std::vector<float>> threadDecode_;     // per worker, dim floats (lossy codecs)
+
+  // Error-feedback state: per-label residual tables holding the quantization
+  // error still owed for each mirror row. Written only through untrackedRow
+  // (no dirty tracking — residuals are sync-engine state, not model state)
+  // and deliberately NOT touched by rebaseline(): a rebaseline redefines the
+  // delta origin, but unshipped error stays owed. Zeroed only when the codec
+  // switches. Rows this host masters stay zero (their contributions fold
+  // locally at full precision).
+  std::array<model::EmbeddingTable, graph::kNumLabels> residual_;
   std::vector<PackTask> tasks_;
   std::vector<SegDir> segDirs_;              // numHosts × kNumLabels
   std::vector<std::vector<std::uint32_t>> pullWants_;

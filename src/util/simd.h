@@ -18,6 +18,7 @@
 // every tier is deterministic for a fixed input.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace gw2v::util::simd {
 
@@ -47,6 +48,23 @@ struct KernelTable {
   /// The model combiner's projection needs exactly these two reductions.
   void (*dotNormAccum)(const float* acc, const float* next, std::size_t n, float* dotOut,
                        float* norm2Out);
+
+  // Sync-codec converts. Unlike the reductions above, these are per-element
+  // and therefore bitwise-identical across tiers: the scalar tier is the
+  // oracle and the vector tiers must reproduce it exactly (the wire bytes of
+  // a quantized sync payload must not depend on the host's ISA).
+
+  /// dst[i] = IEEE binary16 of src[i], round-to-nearest-even (matches F16C).
+  void (*fp32ToFp16)(const float* src, std::uint16_t* dst, std::size_t n);
+  /// dst[i] = float of the binary16 src[i] (exact).
+  void (*fp16ToFp32)(const std::uint16_t* src, float* dst, std::size_t n);
+  /// max_i |x[i]| (0 for n == 0).
+  float (*maxAbs)(const float* x, std::size_t n);
+  /// dst[i] = clamp(rne(src[i] * invScale), -127, 127); rne is round-to-
+  /// nearest-even (matches CVTPS2DQ under the default MXCSR rounding mode).
+  void (*fp32ToInt8)(const float* src, float invScale, std::int8_t* dst, std::size_t n);
+  /// dst[i] = float(src[i]) * scale (the int8->float widen is exact).
+  void (*int8ToFp32)(const std::int8_t* src, float scale, float* dst, std::size_t n);
 };
 
 /// Kernels for the tier resolved at first use (env override, then CPUID).

@@ -9,7 +9,9 @@
 // dispatch refactor does not change the reference semantics.
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include <immintrin.h>
 
@@ -74,6 +76,108 @@ void dotNormAccumScalar(const float* __restrict__ acc, const float* __restrict__
   }
   *dotOut = d;
   *norm2Out = g2;
+}
+
+// --------------------------------------------------- codec converts, scalar
+
+// One-element helpers shared by every tier's tail loop, so tails are bitwise
+// identical to the scalar tier by construction.
+
+/// float -> IEEE binary16, round-to-nearest-even. Bit-compatible with
+/// VCVTPS2PH under the default rounding mode, including subnormal halves,
+/// overflow to infinity, and NaN quieting.
+inline std::uint16_t f32ToF16One(float f) noexcept {
+  std::uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t abs = x & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {  // inf / NaN: keep top payload bits, force quiet
+    const std::uint16_t payload = static_cast<std::uint16_t>((abs & 0x7fffffu) >> 13);
+    return abs > 0x7f800000u ? static_cast<std::uint16_t>(sign | 0x7e00u | payload)
+                             : static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  const int exp = static_cast<int>(abs >> 23) - 127 + 15;  // rebias to binary16
+  std::uint32_t mant = abs & 0x7fffffu;
+  if (exp >= 31) return sign | 0x7c00u;  // >= 2^16: infinity
+  if (exp <= 0) {
+    // Subnormal half (or zero): shift the 24-bit significand down and round.
+    if (exp < -10) return sign;  // < 2^-25: underflows to zero even after RNE
+    mant |= 0x800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exp);  // 14..24
+    std::uint32_t q = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (q & 1u))) ++q;
+    return static_cast<std::uint16_t>(sign | q);
+  }
+  std::uint32_t q = mant >> 13;
+  const std::uint32_t rem = mant & 0x1fffu;
+  std::uint16_t h = static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10) | q);
+  // RNE increment; a mantissa carry rolls into the exponent (and, at the very
+  // top, correctly produces infinity).
+  if (rem > 0x1000u || (rem == 0x1000u && (q & 1u))) ++h;
+  return h;
+}
+
+/// IEEE binary16 -> float (every half is exactly representable).
+inline float f16ToF32One(std::uint16_t h) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;
+    } else {
+      // Subnormal half: renormalize into a normal float.
+      const int k = 31 - __builtin_clz(mant);  // 0..9
+      out = sign | ((static_cast<std::uint32_t>(k) + 103u) << 23) |
+            ((mant << (23 - k)) & 0x7fffffu);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7f800000u | (mant << 13);
+  } else {
+    out = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &out, 4);
+  return f;
+}
+
+inline std::int8_t f32ToI8One(float v, float invScale) noexcept {
+  float p = v * invScale;
+  if (p > 127.0f) p = 127.0f;
+  if (p < -127.0f) p = -127.0f;
+  return static_cast<std::int8_t>(std::lrintf(p));  // RNE under default FE_TONEAREST
+}
+
+void fp32ToFp16Scalar(const float* __restrict__ src, std::uint16_t* __restrict__ dst,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f32ToF16One(src[i]);
+}
+
+void fp16ToFp32Scalar(const std::uint16_t* __restrict__ src, float* __restrict__ dst,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f16ToF32One(src[i]);
+}
+
+float maxAbsScalar(const float* __restrict__ x, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+void fp32ToInt8Scalar(const float* __restrict__ src, float invScale,
+                      std::int8_t* __restrict__ dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f32ToI8One(src[i], invScale);
+}
+
+void int8ToFp32Scalar(const std::int8_t* __restrict__ src, float scale,
+                      float* __restrict__ dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]) * scale;
 }
 
 // ------------------------------------------------------------- AVX2+FMA --
@@ -220,6 +324,83 @@ __attribute__((target("avx2,fma"))) void dotNormAccumAvx2(const float* acc, cons
   }
   *dotOut = d;
   *norm2Out = g2;
+}
+
+// ----------------------------------------------- codec converts, AVX2+F16C
+
+// The fp16 pair needs F16C on top of AVX2; cpuTier() requires all three
+// before selecting the AVX2 tier (every AVX2 part since Haswell has F16C).
+
+__attribute__((target("avx2,fma,f16c"))) void fp32ToFp16Avx2(const float* src,
+                                                             std::uint16_t* dst,
+                                                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(src + i),
+                                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i] = f32ToF16One(src[i]);
+}
+
+__attribute__((target("avx2,fma,f16c"))) void fp16ToFp32Avx2(const std::uint16_t* src,
+                                                             float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  for (; i < n; ++i) dst[i] = f16ToF32One(src[i]);
+}
+
+__attribute__((target("avx2,fma"))) float maxAbsAvx2(const float* x, std::size_t n) {
+  const __m256 absMask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 vm = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vm = _mm256_max_ps(vm, _mm256_and_ps(absMask, _mm256_loadu_ps(x + i)));
+  }
+  const __m128 lo = _mm256_castps256_ps128(vm);
+  const __m128 hi = _mm256_extractf128_ps(vm, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_movehdup_ps(s));
+  float m = _mm_cvtss_f32(s);
+  for (; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+__attribute__((target("avx2,fma"))) void fp32ToInt8Avx2(const float* src, float invScale,
+                                                        std::int8_t* dst, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(invScale);
+  const __m256 hi = _mm256_set1_ps(127.0f);
+  const __m256 lo = _mm256_set1_ps(-127.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 p = _mm256_mul_ps(_mm256_loadu_ps(src + i), vs);
+    p = _mm256_min_ps(hi, _mm256_max_ps(lo, p));
+    const __m256i q = _mm256_cvtps_epi32(p);  // RNE under default MXCSR
+    const __m128i q16 =
+        _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256(q, 1));
+    const __m128i q8 = _mm_packs_epi16(q16, q16);  // clamp made saturation a no-op
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i), q8);
+  }
+  for (; i < n; ++i) dst[i] = f32ToI8One(src[i], invScale);
+}
+
+__attribute__((target("avx2,fma"))) void int8ToFp32Avx2(const std::int8_t* src, float scale,
+                                                        float* dst, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i w = _mm256_cvtepi8_epi32(b);
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_cvtepi32_ps(w), vs));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]) * scale;
 }
 
 // ------------------------------------------------------------- AVX-512F --
@@ -381,14 +562,89 @@ __attribute__((target("avx512f"))) void dotNormAccumAvx512(const float* acc, con
   *norm2Out = _mm512_reduce_add_ps(vn);
 }
 
+// --------------------------------------------- codec converts, AVX-512F --
+
+__attribute__((target("avx512f"))) void fp32ToFp16Avx512(const float* src,
+                                                         std::uint16_t* dst,
+                                                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h = _mm512_cvtps_ph(_mm512_loadu_ps(src + i),
+                                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i] = f32ToF16One(src[i]);
+}
+
+__attribute__((target("avx512f"))) void fp16ToFp32Avx512(const std::uint16_t* src, float* dst,
+                                                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm512_storeu_ps(dst + i, _mm512_cvtph_ps(h));
+  }
+  for (; i < n; ++i) dst[i] = f16ToF32One(src[i]);
+}
+
+__attribute__((target("avx512f"))) float maxAbsAvx512(const float* x, std::size_t n) {
+  const __m512 absMask = _mm512_castsi512_ps(_mm512_set1_epi32(0x7fffffff));
+  __m512 vm = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vm = _mm512_max_ps(vm, _mm512_and_ps(absMask, _mm512_loadu_ps(x + i)));
+  }
+  float m = _mm512_reduce_max_ps(vm);
+  for (; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+__attribute__((target("avx512f"))) void fp32ToInt8Avx512(const float* src, float invScale,
+                                                         std::int8_t* dst, std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(invScale);
+  const __m512 hi = _mm512_set1_ps(127.0f);
+  const __m512 lo = _mm512_set1_ps(-127.0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 p = _mm512_mul_ps(_mm512_loadu_ps(src + i), vs);
+    p = _mm512_min_ps(hi, _mm512_max_ps(lo, p));
+    const __m512i q = _mm512_cvtps_epi32(p);  // RNE under default MXCSR
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm512_cvtsepi32_epi8(q));
+  }
+  for (; i < n; ++i) dst[i] = f32ToI8One(src[i], invScale);
+}
+
+__attribute__((target("avx512f"))) void int8ToFp32Avx512(const std::int8_t* src, float scale,
+                                                         float* dst, std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m512i w = _mm512_cvtepi8_epi32(b);
+    _mm512_storeu_ps(dst + i, _mm512_mul_ps(_mm512_cvtepi32_ps(w), vs));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]) * scale;
+}
+
 // ------------------------------------------------------------- dispatch --
 
-constexpr KernelTable kScalarTable{dotScalar, dot4Scalar,  axpyScalar,        axpy4Scalar,
-                                   axpbyScalar, scaleScalar, dotNormAccumScalar};
-constexpr KernelTable kAvx2Table{dotAvx2, dot4Avx2,  axpyAvx2,        axpy4Avx2,
-                                 axpbyAvx2, scaleAvx2, dotNormAccumAvx2};
-constexpr KernelTable kAvx512Table{dotAvx512, dot4Avx512,  axpyAvx512,        axpy4Avx512,
-                                   axpbyAvx512, scaleAvx512, dotNormAccumAvx512};
+constexpr KernelTable kScalarTable{dotScalar,      dot4Scalar,     axpyScalar,
+                                   axpy4Scalar,    axpbyScalar,    scaleScalar,
+                                   dotNormAccumScalar,
+                                   fp32ToFp16Scalar, fp16ToFp32Scalar, maxAbsScalar,
+                                   fp32ToInt8Scalar, int8ToFp32Scalar};
+constexpr KernelTable kAvx2Table{dotAvx2,        dot4Avx2,       axpyAvx2,
+                                 axpy4Avx2,      axpbyAvx2,      scaleAvx2,
+                                 dotNormAccumAvx2,
+                                 fp32ToFp16Avx2, fp16ToFp32Avx2, maxAbsAvx2,
+                                 fp32ToInt8Avx2, int8ToFp32Avx2};
+constexpr KernelTable kAvx512Table{dotAvx512,        dot4Avx512,       axpyAvx512,
+                                   axpy4Avx512,      axpbyAvx512,      scaleAvx512,
+                                   dotNormAccumAvx512,
+                                   fp32ToFp16Avx512, fp16ToFp32Avx512, maxAbsAvx512,
+                                   fp32ToInt8Avx512, int8ToFp32Avx512};
 
 std::atomic<const KernelTable*> gActive{nullptr};
 
@@ -410,7 +666,12 @@ const char* tierName(Tier t) noexcept {
 
 Tier cpuTier() noexcept {
   if (__builtin_cpu_supports("avx512f")) return Tier::kAvx512;
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return Tier::kAvx2;
+  // The AVX2 tier's fp16 converts use F16C; ubiquitous alongside AVX2+FMA,
+  // but check anyway so the tier never faults.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+      __builtin_cpu_supports("f16c")) {
+    return Tier::kAvx2;
+  }
   return Tier::kScalar;
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/cluster.h"
@@ -130,6 +132,59 @@ TEST(ScalarSync, WorseValuesDoNotOverwrite) {
   // idempotent-reduction contract: stale-but-worse mirrors are harmless
   // because any *use* of the label re-touches and re-syncs it.
   EXPECT_FLOAT_EQ(replicas[1][0], 3.0f);
+}
+
+TEST(ScalarSync, Fp16CodecExactForSmallIntegerLabels) {
+  // BFS/CC-style labels are small integers, all exactly representable in
+  // fp16 — the compressed sync must converge to the same values as fp32
+  // while moving fewer bytes.
+  constexpr unsigned kHosts = 4;
+  constexpr std::uint32_t kNodes = 16;
+  const auto runWith = [&](SyncCodec codec) {
+    std::vector<std::vector<float>> replicas(kHosts, std::vector<float>(kNodes, kInf));
+    graph::BlockedPartition partition(kNodes, kHosts);
+    sim::ClusterOptions copts;
+    copts.numHosts = kHosts;
+    const auto report = sim::runCluster(copts, [&](sim::HostContext& ctx) {
+      util::BitVector touched(kNodes);
+      ScalarSyncEngine engine(ctx, replicas[ctx.id()], touched, partition,
+                              ScalarReduceOp::kMin, {}, codec);
+      for (std::uint32_t n = 0; n < kNodes; ++n) {
+        if (n % kHosts != ctx.id()) continue;
+        replicas[ctx.id()][n] = static_cast<float>((n * 7 + ctx.id()) % 1000);
+        touched.set(n);
+      }
+      engine.sync();
+    });
+    return std::pair{replicas, report.totalBytes()};
+  };
+  const auto [fp32Replicas, fp32Bytes] = runWith(SyncCodec::kFp32);
+  const auto [fp16Replicas, fp16Bytes] = runWith(SyncCodec::kFp16);
+  for (unsigned h = 0; h < kHosts; ++h) {
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      EXPECT_EQ(fp16Replicas[h][n], fp32Replicas[h][n]) << "host " << h << " node " << n;
+    }
+  }
+  EXPECT_LT(fp16Bytes, fp32Bytes);
+}
+
+TEST(ScalarSync, Int8CodecRejected) {
+  // int8 is per-row scaled; a scalar label has no row to scale against.
+  std::vector<float> values(4, 0.0f);
+  graph::BlockedPartition partition(4, 1);
+  sim::ClusterOptions copts;
+  copts.numHosts = 1;
+  bool threw = false;
+  sim::runCluster(copts, [&](sim::HostContext& ctx) {
+    util::BitVector touched(4);
+    try {
+      ScalarSyncEngine engine(ctx, values, touched, partition, ScalarReduceOp::kMin, {},
+                              SyncCodec::kInt8);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+  });
+  EXPECT_TRUE(threw);
 }
 
 TEST(ScalarSync, MultipleRoundsConverge) {

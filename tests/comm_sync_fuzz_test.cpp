@@ -6,9 +6,11 @@
 //
 // A second suite cross-checks the parallel/pipelined engine against the
 // single-threaded reference path (SyncOptions::serial) over the same random
-// dirty sets for threads ∈ {1, 2, 4} × H ∈ {1, 2, 4, 8}: replicas must match
-// bit-for-bit, and with one pipeline chunk the byte counts must be equal
-// too (chunked runs pay extra headers/framing, never different bits).
+// dirty sets for codec ∈ {fp32, fp16, int8} × threads ∈ {1, 2, 4} ×
+// H ∈ {1, 2, 4, 8} × chunks ∈ {1, 4}: replicas must match bit-for-bit
+// (lossy codecs quantize identically on both paths, so the serial engine
+// stays the oracle), and with one pipeline chunk the byte counts must be
+// equal too (chunked runs pay extra headers/framing, never different bits).
 
 #include <gtest/gtest.h>
 
@@ -37,6 +39,7 @@ struct FuzzConfig {
   std::uint64_t seed;
   unsigned threads = 1;        // workerThreadsPerHost for the parallel suite
   unsigned pipelineChunks = 1;
+  SyncCodec codec = SyncCodec::kFp32;  // wire codec for the parallel suite
 };
 
 std::unique_ptr<Reducer> makeReducer(int kind) {
@@ -228,10 +231,12 @@ TEST_P(SyncFuzzParallel, ParallelMatchesSerialReference) {
 
   SyncOptions serialOpts;
   serialOpts.serial = true;
+  serialOpts.codec = cfg.codec;
   const EngineRun serial = runEngine(cfg, *reducer, 1, serialOpts);
 
   SyncOptions parallelOpts;
   parallelOpts.pipelineChunks = cfg.pipelineChunks;
+  parallelOpts.codec = cfg.codec;
   const EngineRun parallel = runEngine(cfg, *reducer, cfg.threads, parallelOpts);
 
   if (cfg.pipelineChunks <= 1) {
@@ -248,7 +253,8 @@ TEST_P(SyncFuzzParallel, ParallelMatchesSerialReference) {
         for (std::uint32_t k = 0; k < cfg.dim; ++k) {
           ASSERT_EQ(got[k], want[k])
               << "host " << host << " label " << label << " node " << node << " dim " << k
-              << " threads " << cfg.threads << " chunks " << cfg.pipelineChunks;
+              << " threads " << cfg.threads << " chunks " << cfg.pipelineChunks << " codec "
+              << syncCodecName(cfg.codec);
         }
       }
     }
@@ -258,22 +264,33 @@ TEST_P(SyncFuzzParallel, ParallelMatchesSerialReference) {
 std::vector<FuzzConfig> parallelConfigs() {
   std::vector<FuzzConfig> out;
   std::uint64_t seed = 9000;
-  for (const unsigned hosts : {1u, 2u, 4u, 8u}) {
-    for (const unsigned threads : {1u, 2u, 4u}) {
-      for (const auto strategy :
-           {SyncStrategy::kRepModelNaive, SyncStrategy::kRepModelOpt,
-            SyncStrategy::kPullModel}) {
-        out.push_back(FuzzConfig{hosts, 33, 5, 3, 2, strategy, seed++, threads, 1});
+  // Full codec grid: every codec (fp32 exact, fp16/int8 lossy + error
+  // feedback) must make the parallel engine bit-identical to the serial
+  // reference at every host/thread/strategy/chunking shape. With one chunk
+  // the byte counts must match exactly too (same entries, same codec widths).
+  for (const auto codec : {SyncCodec::kFp32, SyncCodec::kFp16, SyncCodec::kInt8}) {
+    for (const unsigned hosts : {1u, 2u, 4u, 8u}) {
+      for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const auto strategy :
+             {SyncStrategy::kRepModelNaive, SyncStrategy::kRepModelOpt,
+              SyncStrategy::kPullModel}) {
+          for (const unsigned chunks : {1u, 4u}) {
+            out.push_back(
+                FuzzConfig{hosts, 33, 5, 3, 2, strategy, seed++, threads, chunks, codec});
+          }
+        }
       }
     }
   }
   // Pipelined shapes: chunk counts that do and don't divide the node count,
   // including more chunks than some hosts own rows.
-  for (const auto strategy :
-       {SyncStrategy::kRepModelNaive, SyncStrategy::kRepModelOpt, SyncStrategy::kPullModel}) {
-    out.push_back(FuzzConfig{2, 33, 5, 3, 2, strategy, seed++, 4, 5});
-    out.push_back(FuzzConfig{4, 33, 5, 3, 0, strategy, seed++, 2, 3});
-    out.push_back(FuzzConfig{8, 33, 5, 3, 2, strategy, seed++, 4, 7});
+  for (const auto codec : {SyncCodec::kFp32, SyncCodec::kFp16, SyncCodec::kInt8}) {
+    for (const auto strategy :
+         {SyncStrategy::kRepModelNaive, SyncStrategy::kRepModelOpt, SyncStrategy::kPullModel}) {
+      out.push_back(FuzzConfig{2, 33, 5, 3, 2, strategy, seed++, 4, 5, codec});
+      out.push_back(FuzzConfig{4, 33, 5, 3, 0, strategy, seed++, 2, 3, codec});
+      out.push_back(FuzzConfig{8, 33, 5, 3, 2, strategy, seed++, 4, 7, codec});
+    }
   }
   return out;
 }

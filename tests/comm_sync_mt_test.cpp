@@ -150,6 +150,36 @@ TEST(SyncMt, PipelinedChunksBitIdentical) {
   }
 }
 
+TEST(SyncMt, PipelinedOverheadMatchesHeaderMath) {
+  // The K>1 byte premium is pure framing: every extra chunk re-ships the
+  // per-label count headers plus the transport header to each of the H-1
+  // peers, in both the reduce and broadcast phases, every round. Pull's
+  // control exchange always runs unchunked, so the same identity holds for
+  // all three strategies. This locks volume accounting to the header math —
+  // a codec change that leaked into framing would break it.
+  constexpr unsigned kRounds = 3;
+  for (const unsigned hosts : {2u, 4u}) {
+    for (const comm::SyncStrategy strategy : kStrategies) {
+      for (const auto codec : {comm::SyncCodec::kFp32, comm::SyncCodec::kFp16}) {
+        comm::SyncOptions base;
+        base.codec = codec;
+        const MtRun ref = runScripted(hosts, 2, strategy, base, kRounds);
+        for (const unsigned chunks : {2u, 4u}) {
+          comm::SyncOptions sopts = base;
+          sopts.pipelineChunks = chunks;
+          const MtRun got = runScripted(hosts, 2, strategy, sopts, kRounds);
+          const std::uint64_t expected =
+              std::uint64_t{kRounds} * 2 * hosts * (chunks - 1) *
+              comm::SyncEngine::perChunkOverheadBytes(hosts);
+          EXPECT_EQ(got.totalBytes - ref.totalBytes, expected)
+              << comm::syncStrategyName(strategy) << " H" << hosts << " chunks " << chunks
+              << " codec " << comm::syncCodecName(codec);
+        }
+      }
+    }
+  }
+}
+
 TEST(SyncMt, PhaseBreakdownSurfacedInClusterReport) {
   const MtRun run = runScripted(4, 2, comm::SyncStrategy::kRepModelOpt, {});
   const runtime::SyncPhaseSeconds worst = run.report.maxSyncPhaseSeconds();

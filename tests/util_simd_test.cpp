@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -122,6 +126,146 @@ TEST_P(SimdParityTest, DotNormAccum) {
     // The fused kernel must agree with its two unfused halves.
     EXPECT_NEAR(dGot, tiered().dot(acc.data(), next.data(), n), tol(n));
     EXPECT_NEAR(nGot, tiered().dot(acc.data(), acc.data(), n), tol(n));
+  }
+}
+
+// ---- Sync-codec converts. Per-element kernels, so unlike the reductions
+// above the contract is *bitwise* equality with the scalar tier: quantized
+// wire bytes must not depend on the host's ISA. ----
+
+std::vector<float> convertInputs(std::size_t n, Rng& rng) {
+  // Random magnitudes spanning normals, half-subnormals, and half-overflow,
+  // plus exact edge values in the leading slots.
+  static const float kEdges[] = {0.0f,     -0.0f,    1.0f,     -1.0f,    65504.0f,
+                                 -65504.0f, 65519.9f, 65520.0f, 70000.0f, 1e-8f,
+                                 -1e-8f,    5.96e-8f, 2.98e-8f, 2.97e-8f, 1e-30f,
+                                 0.5f,      -127.0f,  127.49f,  127.51f,  -128.6f};
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < sizeof(kEdges) / sizeof(kEdges[0])) {
+      v[i] = kEdges[i];
+    } else {
+      const float mag = std::exp(rng.uniformFloat(-25.0f, 12.0f));
+      v[i] = rng.uniformFloat(-1.0f, 1.0f) * mag;
+    }
+  }
+  return v;
+}
+
+TEST_P(SimdParityTest, Fp16ConvertBitwiseParity) {
+  Rng rng(8);
+  for (const std::size_t n : kLengths) {
+    const auto x = convertInputs(n, rng);
+    std::vector<std::uint16_t> ref(n), got(n);
+    scalar().fp32ToFp16(x.data(), ref.data(), n);
+    tiered().fp32ToFp16(x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(got[i], ref[i]) << "n=" << n << " i=" << i << " x=" << x[i];
+    std::vector<float> dref(n), dgot(n);
+    scalar().fp16ToFp32(ref.data(), dref.data(), n);
+    tiered().fp16ToFp32(ref.data(), dgot.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(dgot[i]), std::bit_cast<std::uint32_t>(dref[i]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SimdParityTest, Fp16SpecialsParity) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float specials[] = {inf, -inf, std::numeric_limits<float>::quiet_NaN(), 65520.0f};
+  std::uint16_t ref[4], got[4];
+  scalar().fp32ToFp16(specials, ref, 4);
+  tiered().fp32ToFp16(specials, got, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], ref[i]) << "i=" << i;
+  EXPECT_EQ(ref[0], 0x7c00u);  // +inf
+  EXPECT_EQ(ref[1], 0xfc00u);  // -inf
+  EXPECT_EQ(ref[2] & 0x7c00u, 0x7c00u);  // NaN keeps the all-ones exponent...
+  EXPECT_NE(ref[2] & 0x03ffu, 0u);       // ...and a nonzero (quieted) payload
+  EXPECT_EQ(ref[3], 0x7c00u);  // 65520 rounds up to +inf under RNE
+}
+
+TEST_P(SimdParityTest, Fp16RoundTripBounds) {
+  Rng rng(9);
+  for (const std::size_t n : kLengths) {
+    const auto x = randomVec(n, rng);
+    std::vector<std::uint16_t> h(n);
+    std::vector<float> rt(n);
+    tiered().fp32ToFp16(x.data(), h.data(), n);
+    tiered().fp16ToFp32(h.data(), rt.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Half has 11 significand bits: normals round-trip within 2^-11
+      // relative; values below the subnormal threshold within 2^-25 absolute.
+      const float bound = std::max(std::fabs(x[i]) * 0x1.0p-11f, 0x1.0p-25f);
+      EXPECT_NEAR(rt[i], x[i], bound) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SimdParityTest, MaxAbsParity) {
+  Rng rng(10);
+  for (const std::size_t n : kLengths) {
+    const auto x = convertInputs(n, rng);
+    EXPECT_EQ(tiered().maxAbs(x.data(), n), scalar().maxAbs(x.data(), n)) << "n=" << n;
+  }
+  EXPECT_EQ(tiered().maxAbs(nullptr, 0), 0.0f);
+}
+
+TEST_P(SimdParityTest, Int8ConvertBitwiseParity) {
+  Rng rng(11);
+  for (const std::size_t n : kLengths) {
+    const auto x = randomVec(n, rng);
+    const float m = scalar().maxAbs(x.data(), n);
+    const float invScale = m > 0.0f ? 127.0f / m : 0.0f;
+    const float scale = m > 0.0f ? m / 127.0f : 0.0f;
+    std::vector<std::int8_t> qref(n), qgot(n);
+    scalar().fp32ToInt8(x.data(), invScale, qref.data(), n);
+    tiered().fp32ToInt8(x.data(), invScale, qgot.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(qgot[i], qref[i]) << "n=" << n << " i=" << i << " x=" << x[i];
+    std::vector<float> dref(n), dgot(n);
+    scalar().int8ToFp32(qref.data(), scale, dref.data(), n);
+    tiered().int8ToFp32(qref.data(), scale, dgot.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(dgot[i]), std::bit_cast<std::uint32_t>(dref[i]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SimdParityTest, Int8RoundTripBounds) {
+  Rng rng(12);
+  for (const std::size_t n : kLengths) {
+    auto x = randomVec(n, rng);
+    x[n / 2] = 1.0f;  // pin the scale
+    const float m = tiered().maxAbs(x.data(), n);
+    ASSERT_GT(m, 0.0f);
+    const float scale = m / 127.0f;
+    std::vector<std::int8_t> q(n);
+    std::vector<float> rt(n);
+    tiered().fp32ToInt8(x.data(), 127.0f / m, q.data(), n);
+    tiered().int8ToFp32(q.data(), scale, rt.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(q[i], 127);
+      EXPECT_GE(q[i], -127);
+      // Quantization step is `scale`; RNE lands within half a step (small
+      // slack for the inexact float scale itself).
+      EXPECT_NEAR(rt[i], x[i], 0.5f * scale * (1.0f + 1e-5f)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SimdParityTest, Int8RneTiesToEven) {
+  // Products landing exactly on .5 must round to even in every tier — the
+  // scalar lrintf and the vector cvtps_epi32 agree under FE_TONEAREST.
+  const float x[] = {0.5f, 1.5f, 2.5f, -0.5f, -1.5f, -2.5f, 3.5f, -3.5f};
+  std::int8_t ref[8], got[8];
+  scalar().fp32ToInt8(x, 1.0f, ref, 8);
+  tiered().fp32ToInt8(x, 1.0f, got, 8);
+  const std::int8_t expect[] = {0, 2, 2, 0, -2, -2, 4, -4};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ref[i], expect[i]) << "i=" << i;
+    EXPECT_EQ(got[i], expect[i]) << "i=" << i;
   }
 }
 
