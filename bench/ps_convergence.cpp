@@ -1,0 +1,203 @@
+// Async parameter server vs BSP: final analogy accuracy next to modelled
+// wallclock on the 1-billion stand-in.
+//
+// Sweeps worker counts H (GW2V_PS_HOSTS, default 8,32) across
+//   naive/opt/pull — BSP GraphWord2Vec at each replication strategy,
+//   ssp s=0/2/8   — trainAsyncPs (H workers + dedicated server ranks, model-
+//                   combiner folds, row-sparse gets + version cache).
+//
+// Both sides run the same SGNS parameters, sync cadence (defaultSyncRounds)
+// and NetworkModel. Two time columns, because the two sides can compute
+// metrics of different strictness (DESIGN.md §5h):
+//   modelled  — BSP: ClusterReport::simulatedSeconds(), i.e. the slowest
+//               host's (own compute + own exchangeSeconds charge); the PS
+//               reports the same formula over each rank's traffic. This is
+//               the apples-to-apples column and what the gate compares.
+//   causal    — PS only: the VirtualTimeBoard makespan over the async
+//               message flow. Strictly harsher: it chains per-round
+//               stragglers, server fold CPU and NIC serialization, which
+//               the BSP metric cannot see. Reported for honesty; a gate
+//               against BSP's straggler-blind number would be comparing
+//               different metrics.
+//
+// What the gate asserts — and what it deliberately does not. The paper's
+// headline comparison (its Table 4) is that the BSP graph-analytics
+// formulation *beats* parameter-server training on wall time, and this bench
+// reproduces that: all-reduce BSP stays faster on modelled time at every H
+// we run. What the async PS wins is traffic and quality — row-sparse gets,
+// the version cache and codec'd pushes move a small fraction of naive's
+// bytes, and bounded staleness at s in {0, 2} lands above naive's final
+// accuracy. So the gate checks the claims that are true:
+//
+//   at the largest H, some SSP staleness reaches naive's final accuracy
+//   (1 point slack) while sending <= 0.5x naive's bytes.
+//
+// GW2V_PS_JSON=<path>   machine-readable rows (run_benches.sh -> BENCH_ps.json)
+// GW2V_PS_GATE=volume   nonzero exit when the accuracy-at-volume gate fails
+// GW2V_PS_SERVERS / GW2V_PS_ROUNDS / GW2V_PS_CODEC override the SSP side's
+// server count, rounds per epoch, and wire codec for tuning sweeps (defaults:
+// workers/4 servers, defaultSyncRounds, int8 — the measured sweet spot).
+// GW2V_PS_DEBUG_HOSTS=1 prints the per-rank compute/comm/traffic breakdown.
+
+#include "bench/common.h"
+
+#include <string>
+#include <vector>
+
+#include "ps/trainer.h"
+
+using namespace gw2v;
+
+namespace {
+
+struct Row {
+  std::string variant;
+  unsigned workers = 0;
+  unsigned staleness = 0;
+  double accuracy = 0.0;
+  double modelledSeconds = 0.0;  // straggler-blind formula, same on both sides
+  double causalSeconds = 0.0;    // PS only: VirtualTimeBoard makespan
+  std::uint64_t bytes = 0;
+  std::uint64_t examples = 0;
+};
+
+void report(bench::JsonRows& json, const Row& r) {
+  std::printf("  %-10s H=%-3u s=%u  accuracy %5.1f%%  modelled %8.3fs", r.variant.c_str(),
+              r.workers, r.staleness, r.accuracy, r.modelledSeconds);
+  if (r.causalSeconds > 0.0)
+    std::printf("  causal %8.3fs", r.causalSeconds);
+  else
+    std::printf("  %16s", "");
+  std::printf("  %8.2f MB\n", static_cast<double>(r.bytes) / 1e6);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\": \"ps_convergence\", \"variant\": \"%s\", \"workers\": %u, "
+                "\"staleness\": %u, \"accuracy\": %.2f, \"modelled_seconds\": %.4f, "
+                "\"causal_seconds\": %.4f, \"bytes\": %llu, \"examples\": %llu}",
+                r.variant.c_str(), r.workers, r.staleness, r.accuracy, r.modelledSeconds,
+                r.causalSeconds, static_cast<unsigned long long>(r.bytes),
+                static_cast<unsigned long long>(r.examples));
+  json.add(buf);
+}
+
+Row runBsp(const bench::PreparedDataset& data, comm::SyncStrategy strategy, const char* name,
+           unsigned workers, unsigned epochs) {
+  core::TrainOptions opts;
+  opts.sgns = bench::benchSgns();
+  opts.epochs = epochs;
+  opts.numHosts = workers;
+  opts.strategy = strategy;
+  opts.reduction = core::Reduction::kModelCombiner;
+  opts.trackLoss = false;
+  const core::GraphWord2Vec trainer(data.vocab, opts);
+  const auto r = trainer.train(data.corpus);
+  Row row;
+  row.variant = name;
+  row.workers = workers;
+  row.accuracy = bench::accuracyOf(data.task(), r.model, data.vocab);
+  row.modelledSeconds = r.cluster.simulatedSeconds();
+  row.bytes = r.cluster.totalBytes();
+  row.examples = r.totalExamples;
+  return row;
+}
+
+Row runSsp(const bench::PreparedDataset& data, unsigned workers, unsigned staleness,
+           unsigned epochs) {
+  ps::PsTrainOptions opts;
+  opts.sgns = bench::benchSgns();
+  opts.epochs = epochs;
+  opts.roundsPerEpoch = bench::envUnsigned("GW2V_PS_ROUNDS", core::defaultSyncRounds(workers));
+  opts.numServers = bench::envUnsigned("GW2V_PS_SERVERS", std::max(1u, workers / 4));
+  opts.numHosts = workers + opts.numServers;
+  opts.staleness = staleness;
+  opts.reduction = core::Reduction::kModelCombiner;
+  opts.trackLoss = false;
+  opts.codec = comm::SyncCodec::kInt8;
+  if (const char* c = std::getenv("GW2V_PS_CODEC")) comm::parseSyncCodec(c, opts.codec);
+  const auto r = ps::trainAsyncPs(data.vocab, data.corpus, opts);
+  if (std::getenv("GW2V_PS_DEBUG_HOSTS") != nullptr) {
+    for (unsigned h = 0; h < r.cluster.hosts.size(); ++h) {
+      const auto& host = r.cluster.hosts[h];
+      std::printf("    host %2u (%s): compute %.3fs comm %.3fs sent %.1f MB recv %.1f MB\n", h,
+                  h < opts.numServers ? "server" : "worker", host.computeSeconds,
+                  host.modelledCommSeconds, static_cast<double>(host.comm.bytesSent) / 1e6,
+                  static_cast<double>(host.comm.bytesReceived) / 1e6);
+    }
+  }
+  Row row;
+  row.variant = "ssp";
+  row.workers = workers;
+  row.staleness = staleness;
+  row.accuracy = bench::accuracyOf(data.task(), r.model, data.vocab);
+  row.modelledSeconds = r.cluster.simulatedSeconds();
+  row.causalSeconds = r.modelledSeconds;
+  std::uint64_t bytes = 0;
+  for (const auto& h : r.cluster.hosts) bytes += h.comm.bytesSent;
+  row.bytes = bytes;
+  row.examples = r.totalExamples;
+  return row;
+}
+
+std::vector<unsigned> envHosts() {
+  std::vector<unsigned> out;
+  const char* v = std::getenv("GW2V_PS_HOSTS");
+  std::string spec(v != nullptr ? v : "8,32");
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::atoi(tok.c_str())));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(8);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::envDouble("GW2V_SCALE", 0.2);
+  const unsigned epochs = bench::envUnsigned("GW2V_EPOCHS", 6);
+  const auto hostCounts = envHosts();
+  const char* gateEnv = std::getenv("GW2V_PS_GATE");
+  const bool gateOn = gateEnv != nullptr && std::string(gateEnv) == "volume";
+
+  bench::printHeader("Async PS (SSP) vs BSP — accuracy vs modelled wallclock",
+                     "Section 5h extension (parameter-server comparison)");
+  const bench::PreparedDataset data =
+      bench::prepare(synth::datasetByName("1-billion", scale));
+  std::printf("dataset=%s vocab=%u tokens=%zu epochs=%u\n\n", data.info.spec.name.c_str(),
+              data.vocab.size(), data.corpus.size(), epochs);
+
+  bench::JsonRows json("GW2V_PS_JSON");
+  bool gateOk = true;
+  for (const unsigned workers : hostCounts) {
+    std::printf("H = %u workers (%u sync rounds/epoch)\n", workers,
+                core::defaultSyncRounds(workers));
+    const Row naive =
+        runBsp(data, comm::SyncStrategy::kRepModelNaive, "naive", workers, epochs);
+    report(json, naive);
+    report(json, runBsp(data, comm::SyncStrategy::kRepModelOpt, "opt", workers, epochs));
+    report(json, runBsp(data, comm::SyncStrategy::kPullModel, "pull", workers, epochs));
+    bool reached = false;
+    for (const unsigned s : {0u, 2u, 8u}) {
+      const Row ssp = runSsp(data, workers, s, epochs);
+      report(json, ssp);
+      if (ssp.accuracy >= naive.accuracy - 1.0 &&
+          static_cast<double>(ssp.bytes) <= 0.5 * static_cast<double>(naive.bytes))
+        reached = true;
+    }
+    std::printf("  -> ssp reaches naive accuracy at <= 0.5x naive bytes: %s\n\n",
+                reached ? "yes" : "NO");
+    if (workers == hostCounts.back()) gateOk = reached;
+  }
+  json.write();
+
+  if (gateOn && !gateOk) {
+    std::fprintf(stderr, "GATE FAILED: no SSP config matched naive accuracy at 0.5x bytes\n");
+    return 1;
+  }
+  return 0;
+}

@@ -41,6 +41,14 @@ for b in /root/repo/build/bench/*; do
       # feedback, analogy accuracy next to wire volume.
       GW2V_CODEC_JSON=/root/repo/bench_results/BENCH_codec.json "$b"
       ;;
+    ps_convergence)
+      # Async PS vs BSP: accuracy next to modelled wallclock at 8/32 workers,
+      # SSP staleness 0/2/8. Gates "naive accuracy at <= 0.5x naive bytes" at
+      # the largest host count (nonzero exit on failure); time columns are
+      # reported, not gated — BSP stays faster, as in the paper's Table 4.
+      GW2V_PS_GATE=volume \
+      GW2V_PS_JSON=/root/repo/bench_results/BENCH_ps.json "$b"
+      ;;
     serve_loadgen)
       # Serving bench: QPS, p50/p99 latency, batch occupancy, bytes/query,
       # plus the recall@10 == 1.0 determinism gate (nonzero exit on failure).

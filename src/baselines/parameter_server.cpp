@@ -1,190 +1,43 @@
 #include "baselines/parameter_server.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <utility>
 
-#include "comm/serialize.h"
-#include "comm/transport.h"
-#include "runtime/do_all.h"
-#include "text/corpus.h"
-#include "text/sampling.h"
-#include "util/bitvector.h"
-#include "util/sigmoid_table.h"
-#include "util/vecmath.h"
+#include "ps/trainer.h"
 
 namespace gw2v::baselines {
-
-namespace {
-constexpr int kTagRequest = 100;  // worker -> server (pull request or push)
-constexpr int kTagReply = 101;    // server -> worker (pulled rows)
-constexpr std::uint8_t kMsgPull = 0;
-constexpr std::uint8_t kMsgPush = 1;
-}  // namespace
 
 ParameterServerResult trainParameterServer(const text::Vocabulary& vocab,
                                            std::span<const text::WordId> corpus,
                                            const ParameterServerOptions& opts) {
   if (opts.numHosts < 2)
     throw std::invalid_argument("trainParameterServer: needs >= 2 hosts (1 server + workers)");
-  const unsigned numWorkers = opts.numHosts - 1;
-  const std::uint32_t vocabSize = vocab.size();
-  const std::uint32_t dim = opts.sgns.dim;
 
-  const text::SubsampleFilter subsampler(vocab.counts(), opts.sgns.subsample);
-  const text::NegativeSampler negSampler(vocab.counts());
-  const util::SigmoidTable sigmoid;
-  const auto parts = text::partitionCorpus(corpus, numWorkers);
+  // The historical strawman, expressed as a configuration of the ps::
+  // subsystem: one server, zero staleness (every round a window), raw-SUM
+  // folds, fp32 wire, no row cache. What the rewrite deliberately drops is
+  // the old arrival-order racy apply — folds are now deterministic, which
+  // the baseline gains for free.
+  ps::PsTrainOptions po;
+  po.sgns = opts.sgns;
+  po.epochs = opts.epochs;
+  po.roundsPerEpoch = opts.roundsPerEpoch;
+  po.numHosts = opts.numHosts;
+  po.numServers = 1;
+  po.staleness = 0;
+  po.reduction = core::Reduction::kSum;
+  po.codec = comm::SyncCodec::kFp32;
+  po.cacheRows = 0;
+  po.trackLoss = false;
+  po.seed = opts.seed;
+  po.minAlphaFraction = opts.minAlphaFraction;
+  po.netModel = opts.netModel;
 
+  auto r = ps::trainAsyncPs(vocab, corpus, po);
   ParameterServerResult result;
-  result.model.init(vocabSize, dim);
-  result.model.randomizeEmbeddings(opts.seed);
-  graph::ModelGraph& serverModel = result.model;
-
-  std::vector<std::uint64_t> perWorkerExamples(numWorkers, 0);
-  const std::uint64_t totalRounds = static_cast<std::uint64_t>(opts.epochs) * opts.roundsPerEpoch;
-
-  const auto body = [&](sim::HostContext& ctx) {
-    // Point-to-point only: the PS pattern is asynchronous request/reply, so it
-    // sits directly on the Transport seam rather than on Collectives.
-    comm::SimTransport net(ctx.network());
-    if (ctx.id() == 0) {
-      // ---- Server: handle pulls and pushes in arrival order. ----
-      std::uint64_t pending = totalRounds * numWorkers * 2;  // each round: 1 pull + 1 push
-      while (pending > 0) {
-        auto [src, payload] = net.recvAny(0, kTagRequest, sim::CommPhase::kControl);
-        comm::ByteReader r(payload);
-        const auto kind = r.get<std::uint8_t>();
-        if (kind == kMsgPull) {
-          const std::uint32_t count = r.get<std::uint32_t>();
-          comm::ByteWriter w;
-          ctx.computeTimer().start();
-          for (std::uint32_t i = 0; i < count; ++i) {
-            const std::uint32_t n = r.get<std::uint32_t>();
-            w.put(n);
-            w.putSpan(std::span<const float>(serverModel.row(graph::Label::kEmbedding, n)));
-            w.putSpan(std::span<const float>(serverModel.row(graph::Label::kTraining, n)));
-          }
-          ctx.computeTimer().stop();
-          net.send(0, src, kTagReply, w.take(), sim::CommPhase::kBroadcast);
-        } else {
-          // Push: apply the raw delta immediately — no reconciliation. The
-          // server's copy is the authority, so the write bumps row versions
-          // without entering any dirty set.
-          ctx.computeTimer().start();
-          const std::uint32_t count = r.get<std::uint32_t>();
-          for (std::uint32_t i = 0; i < count; ++i) {
-            const std::uint32_t n = r.get<std::uint32_t>();
-            util::add(r.view<float>(dim), serverModel.overwriteRow(graph::Label::kEmbedding, n));
-            util::add(r.view<float>(dim), serverModel.overwriteRow(graph::Label::kTraining, n));
-          }
-          ctx.computeTimer().stop();
-        }
-        --pending;
-      }
-      return;
-    }
-
-    // ---- Worker. ----
-    const unsigned worker = ctx.id() - 1;
-    const std::span<const text::WordId> tokens = parts[worker];
-    graph::ModelGraph local(vocabSize, dim);
-    local.randomizeEmbeddings(opts.seed);
-    core::SgnsScratch scratch(dim);
-    util::BitVector access(vocabSize);
-    std::vector<std::uint32_t> accessList;
-
-    for (unsigned epoch = 0; epoch < opts.epochs; ++epoch) {
-      for (unsigned s = 0; s < opts.roundsPerEpoch; ++s) {
-        const std::uint64_t round = static_cast<std::uint64_t>(epoch) * opts.roundsPerEpoch + s;
-        const float frac = 1.0f - static_cast<float>(round) / static_cast<float>(totalRounds);
-        const float alpha = opts.sgns.alpha * std::max(frac, opts.minAlphaFraction);
-        const auto [lo, hi] = runtime::blockRange(tokens.size(), opts.roundsPerEpoch, s);
-        const auto chunk = tokens.subspan(lo, hi - lo);
-        const std::uint64_t rngSeed = util::hash64(
-            opts.seed ^ (0x4242ULL + worker) ^ (round << 8));
-
-        // Inspect to build the pull set (same trick as PullModel).
-        ctx.computeTimer().start();
-        access.reset();
-        {
-          util::Rng rng(rngSeed);
-          core::forEachTrainingStep(chunk, opts.sgns, subsampler, negSampler, rng,
-                                    [&](text::WordId center, text::WordId context,
-                                        std::span<const text::WordId> negs) {
-                                      access.set(center);
-                                      access.set(context);
-                                      for (const auto n : negs) access.set(n);
-                                    });
-        }
-        accessList.clear();
-        access.forEachSet([&](std::size_t n) { accessList.push_back(static_cast<std::uint32_t>(n)); });
-        ctx.computeTimer().stop();
-
-        // Pull.
-        {
-          comm::ByteWriter w;
-          w.put(kMsgPull);
-          w.put(static_cast<std::uint32_t>(accessList.size()));
-          for (const auto n : accessList) w.put(n);
-          net.send(ctx.id(), 0, kTagRequest, w.take(), sim::CommPhase::kControl);
-        }
-        // Pulled values are the server's canonical bits; the round's dirty
-        // set was cleared after the last push, so the DeltaLog's first-touch
-        // captures during training snapshot exactly these values — no
-        // separate pulledBase array needed.
-        {
-          const auto payload = net.recv(ctx.id(), 0, kTagReply, sim::CommPhase::kBroadcast);
-          comm::ByteReader r(payload);
-          for (std::size_t i = 0; i < accessList.size(); ++i) {
-            const std::uint32_t n = r.get<std::uint32_t>();
-            util::copyInto(r.view<float>(dim), local.overwriteRow(graph::Label::kEmbedding, n));
-            util::copyInto(r.view<float>(dim), local.overwriteRow(graph::Label::kTraining, n));
-          }
-        }
-
-        // Compute on (stale) pulled parameters.
-        ctx.computeTimer().start();
-        {
-          util::Rng rng(rngSeed);
-          core::forEachTrainingStep(chunk, opts.sgns, subsampler, negSampler, rng,
-                                    [&](text::WordId center, text::WordId context,
-                                        std::span<const text::WordId> negs) {
-                                      core::sgnsStep(local, center, context, negs, alpha,
-                                                     sigmoid, scratch, false);
-                                      ++perWorkerExamples[worker];
-                                    });
-        }
-        // Push deltas relative to the pulled snapshot: the tables' baselines
-        // serve dirty rows from the DeltaLog capture (= pulled bits) and
-        // clean access-list rows from the unchanged row itself (zero delta,
-        // exactly as the old dense snapshot produced).
-        comm::ByteWriter w;
-        w.put(kMsgPush);
-        w.put(static_cast<std::uint32_t>(accessList.size()));
-        std::vector<float> delta(dim);
-        const auto& embTable = local.table(graph::Label::kEmbedding);
-        const auto& trnTable = local.table(graph::Label::kTraining);
-        for (const std::uint32_t n : accessList) {
-          w.put(n);
-          util::sub(local.row(graph::Label::kEmbedding, n), embTable.baselineRow(n), delta);
-          w.putSpan(std::span<const float>(delta));
-          util::sub(local.row(graph::Label::kTraining, n), trnTable.baselineRow(n), delta);
-          w.putSpan(std::span<const float>(delta));
-        }
-        ctx.computeTimer().stop();
-        net.send(ctx.id(), 0, kTagRequest, w.take(), sim::CommPhase::kReduce);
-        local.clearTouched();
-      }
-    }
-  };
-
-  sim::ClusterOptions copts;
-  copts.numHosts = opts.numHosts;
-  copts.workerThreadsPerHost = 1;
-  copts.networkModel = opts.netModel;
-  result.cluster = sim::runCluster(copts, body);
-  for (const auto e : perWorkerExamples) result.totalExamples += e;
+  result.model = std::move(r.model);
+  result.cluster = std::move(r.cluster);
+  result.totalExamples = r.totalExamples;
   return result;
 }
 

@@ -4,10 +4,13 @@
 //
 // Host 0 is the server holding the canonical model; hosts 1..H-1 are
 // workers. Each worker round: pull the touched slice of the model, compute
-// a mini-round on its corpus shard, push the raw delta. The server applies
-// pushes in arrival order with no coordination — the "racy updates to a
-// global parameter server" of Section 1: workers compute from stale
-// parameters, and all traffic funnels through one host.
+// a mini-round on its corpus shard, push the raw delta — Section 1's "global
+// parameter server" bottleneck: all traffic funnels through one host.
+//
+// Since the async PS rebuild this is a thin configuration of src/ps/ (one
+// server, staleness 0, SUM folds, fp32, no row cache) rather than its own
+// protocol; src/ps/trainer.h exposes the full knob set (multiple servers,
+// bounded staleness, codecs, caching).
 
 #include <cstdint>
 #include <span>

@@ -12,6 +12,22 @@ const char* collectiveAlgoName(CollectiveAlgo a) noexcept {
   return "?";
 }
 
+const char* tagSpaceName(TagSpace s) noexcept {
+  switch (s) {
+    case TagSpace::kDefault: return "default";
+    case TagSpace::kModelSync: return "model-sync";
+    case TagSpace::kScalarSync: return "scalar-sync";
+    case TagSpace::kGraphAnalytics: return "graph-analytics";
+    case TagSpace::kTrainer: return "trainer";
+    case TagSpace::kBaseline: return "baseline";
+    case TagSpace::kTest: return "test";
+    case TagSpace::kBench: return "bench";
+    case TagSpace::kServe: return "serve";
+    case TagSpace::kPs: return "ps";
+  }
+  return "?";
+}
+
 std::vector<std::vector<std::uint8_t>> Collectives::gatherv(std::vector<std::uint8_t> mine,
                                                             RankId root,
                                                             sim::CommPhase phase) {

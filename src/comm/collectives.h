@@ -39,6 +39,7 @@
 #include <functional>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "comm/transport.h"
@@ -64,14 +65,28 @@ enum class TagSpace : int {
   kTest = 6,
   kBench = 7,
   kServe = 8,
+  kPs = 9,
 };
+
+const char* tagSpaceName(TagSpace s) noexcept;
+
+/// The half-open tag block [base, base + 2^20) a TagSpace owns. Collectives
+/// sequences its per-op tags inside this block; the parameter server frames
+/// its RPC tags inside tagSpaceRange(TagSpace::kPs). Registered with the
+/// transport so cross-subsystem overlaps fail fast (Transport::registerTagRange).
+constexpr std::pair<int, int> tagSpaceRange(TagSpace s) noexcept {
+  const int base = sim::kInternalTagBase + (static_cast<int>(s) << 20);
+  return {base, base + (1 << 20)};
+}
 
 class Collectives {
  public:
   Collectives(Transport& transport, RankId me, TagSpace space = TagSpace::kDefault)
       : t_(transport), me_(me), numRanks_(transport.numRanks()),
-        spaceBase_(sim::kInternalTagBase + (static_cast<int>(space) << 20)) {
+        spaceBase_(tagSpaceRange(space).first) {
     if (me_ >= numRanks_) throw std::invalid_argument("Collectives: rank out of range");
+    const auto [lo, hi] = tagSpaceRange(space);
+    t_.registerTagRange(lo, hi, tagSpaceName(space));
   }
 
   RankId id() const noexcept { return me_; }

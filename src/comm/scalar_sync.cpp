@@ -1,10 +1,9 @@
 #include "comm/scalar_sync.h"
 
 #include <cassert>
-#include <stdexcept>
 
+#include "comm/codec.h"
 #include "comm/serialize.h"
-#include "util/simd.h"
 
 namespace gw2v::comm {
 
@@ -12,7 +11,7 @@ ScalarSyncEngine::ScalarSyncEngine(sim::HostContext& ctx, std::span<float> value
                                    util::BitVector& touched,
                                    const graph::BlockedPartition& partition,
                                    ScalarReduceOp op, sim::NetworkModel netModel,
-                                   SyncCodec codec)
+                                   SyncCodec codec, bool errorFeedback)
     : ctx_(ctx),
       transport_(ctx.network()),
       coll_(transport_, ctx.id(), TagSpace::kScalarSync),
@@ -24,10 +23,8 @@ ScalarSyncEngine::ScalarSyncEngine(sim::HostContext& ctx, std::span<float> value
       codec_(codec) {
   assert(values_.size() == partition_.numNodes());
   assert(touched_.size() >= partition_.numNodes());
-  if (codec_ == SyncCodec::kInt8) {
-    throw std::invalid_argument(
-        "ScalarSyncEngine: int8 needs a per-row scale and scalar labels have no row");
-  }
+  if (codec_ != SyncCodec::kFp32 && errorFeedback)
+    residual_.assign(partition_.numNodes(), 0.0f);
 }
 
 std::uint64_t ScalarSyncEngine::sync() {
@@ -36,23 +33,41 @@ std::uint64_t ScalarSyncEngine::sync() {
   const auto better = [this](float candidate, float current) {
     return op_ == ScalarReduceOp::kMin ? candidate < current : candidate > current;
   };
-  // fp16 wire encode/decode for one scalar (exact for BFS/CC-style small
-  // integers; a lossy-but-idempotent fold otherwise).
-  const auto& kernels = util::simd::activeKernels();
-  const auto putValue = [&](ByteWriter& w, float v) {
+  // Lossy wire encode/decode for one scalar: the row codec helpers on a
+  // one-value "row" (exact for BFS/CC-style small integers under fp16 and
+  // near-exact under int8's one-value scale), with the node's banked
+  // residual folded in when error feedback is on.
+  const std::size_t valueBytes = codecValueBytes(codec_, 1);
+  alignas(4) std::uint8_t encScratch[16];
+  float decScratch;
+  assert(valueBytes <= sizeof(encScratch));
+  const auto putValue = [&](ByteWriter& w, std::uint32_t n) {
+    float v = values_[n];
     if (codec_ == SyncCodec::kFp32) {
       w.put(v);
-    } else {
-      std::uint16_t h;
-      kernels.fp32ToFp16(&v, &h, 1);
-      w.put(h);
+      return;
     }
+    if (!residual_.empty()) v += residual_[n];
+    encodeRowValues(codec_, std::span<const float>(&v, 1), encScratch);
+    if (!residual_.empty()) {
+      decodeRowValues(codec_, encScratch, std::span<float>(&decScratch, 1));
+      residual_[n] = v - decScratch;
+    }
+    w.putSpan(std::span<const std::uint8_t>(encScratch, valueBytes));
   };
   const auto getValue = [&](ByteReader& r) -> float {
     if (codec_ == SyncCodec::kFp32) return r.get<float>();
-    const std::uint16_t h = r.get<std::uint16_t>();
+    if (codec_ == SyncCodec::kFp16) {
+      // Via view<u16> so the decode kernel always sees aligned input.
+      const auto h = r.view<std::uint16_t>(1);
+      float v;
+      decodeRowValues(codec_, reinterpret_cast<const std::uint8_t*>(h.data()),
+                      std::span<float>(&v, 1));
+      return v;
+    }
+    const auto b = r.view<std::uint8_t>(valueBytes);
     float v;
-    kernels.fp16ToFp32(&h, &v, 1);
+    decodeRowValues(codec_, b.data(), std::span<float>(&v, 1));
     return v;
   };
 
@@ -67,7 +82,7 @@ std::uint64_t ScalarSyncEngine::sync() {
     w.put(static_cast<std::uint32_t>(touched_.countInRange(lo, hi)));
     touched_.forEachSetInRange(lo, hi, [&](std::size_t n) {
       w.put(static_cast<std::uint32_t>(n));
-      putValue(w, values_[n]);
+      putValue(w, static_cast<std::uint32_t>(n));
     });
     reduceOut[peer] = w.take();
   }
@@ -102,7 +117,7 @@ std::uint64_t ScalarSyncEngine::sync() {
   improved.forEachSet([&](std::size_t off) {
     const auto n = static_cast<std::uint32_t>(ownLo + off);
     w.put(n);
-    putValue(w, values_[n]);
+    putValue(w, n);
   });
   const std::vector<std::vector<std::uint8_t>> bcastIn =
       coll_.allGatherv(w.take(), sim::CommPhase::kBroadcast);

@@ -31,6 +31,8 @@ class ByteWriter {
     if (!v.empty()) std::memcpy(bytes_.data() + at, v.data(), v.size_bytes());
   }
 
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
   std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
   std::size_t size() const noexcept { return bytes_.size(); }
 

@@ -59,6 +59,12 @@ class Transport {
   /// rounds); Collectives records its round counts here.
   virtual sim::CommStats& statsFor(RankId rank) noexcept = 0;
 
+  /// Declare ownership of the half-open tag range [lo, hi). Backends that can
+  /// police tag discipline (the simulated network) throw std::logic_error on
+  /// a cross-subsystem overlap; backends that cannot may ignore it, so this
+  /// is a debugging contract, not a delivery guarantee.
+  virtual void registerTagRange(int /*lo*/, int /*hi*/, const char* /*owner*/) {}
+
   // ---- Typed conveniences (trivially-copyable elements). ----
 
   template <typename T>
@@ -112,6 +118,10 @@ class SimTransport final : public Transport {
   bool aborted() const noexcept override { return net_.aborted(); }
 
   sim::CommStats& statsFor(RankId rank) noexcept override { return net_.statsFor(rank); }
+
+  void registerTagRange(int lo, int hi, const char* owner) override {
+    net_.registerTagRange(lo, hi, owner);
+  }
 
  private:
   sim::Network& net_;

@@ -34,8 +34,6 @@ unsigned defaultSyncRounds(unsigned numHosts) noexcept {
   return s == 0 ? 1 : s;
 }
 
-namespace {
-
 std::unique_ptr<comm::Reducer> makeReducer(Reduction r) {
   switch (r) {
     case Reduction::kModelCombiner: return std::make_unique<ModelCombinerReducer>();
@@ -44,8 +42,6 @@ std::unique_ptr<comm::Reducer> makeReducer(Reduction r) {
   }
   throw std::invalid_argument("unknown reduction");
 }
-
-}  // namespace
 
 GraphWord2Vec::GraphWord2Vec(const text::Vocabulary& vocab, TrainOptions opts)
     : vocab_(vocab), opts_(opts) {

@@ -28,6 +28,10 @@ namespace gw2v::core {
 enum class Reduction : int { kModelCombiner = 0, kAverage = 1, kSum = 2 };
 const char* reductionName(Reduction r) noexcept;
 
+/// The streaming comm::Reducer implementing a Reduction (model combiner /
+/// AVG / SUM) — shared by the BSP sync engine and the ps:: server fold.
+std::unique_ptr<comm::Reducer> makeReducer(Reduction r);
+
 struct TrainOptions {
   SgnsParams sgns;
   unsigned epochs = 16;

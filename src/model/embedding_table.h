@@ -142,6 +142,13 @@ class EmbeddingTable {
   /// the log, advance the table version. O(dirty set + bitvector words).
   void clearDirty() noexcept;
 
+  /// Commit-clock hook for external protocols (the ps:: server): advance the
+  /// table version so subsequent writes stamp the new epoch, making
+  /// rowVersion(r) == 1 + the last commit clock that touched r. Equivalent to
+  /// clearDirty() on a table written only through overwriteRow (whose dirty
+  /// set stays empty), spelled so call sites read as what they mean.
+  void advanceVersion() noexcept { clearDirty(); }
+
  private:
   const float* rowPtr(std::uint32_t row) const noexcept {
     return data_.data() + static_cast<std::size_t>(row) * stride_;

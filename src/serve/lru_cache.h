@@ -29,20 +29,39 @@ class LruCache {
     return it->second->second;
   }
 
-  void put(const K& key, V value) {
-    if (cap_ == 0) return;
+  /// Removes the entry and returns its value by move — the copy-free
+  /// counterpart of get() for callers that will put() the value back (or a
+  /// replacement) shortly, e.g. claim-then-refresh round caches.
+  std::optional<V> take(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    std::optional<V> out(std::move(it->second->second));
+    order_.erase(it->second);
+    map_.erase(it);
+    return out;
+  }
+
+  /// Inserts (or overwrites) and returns whatever value this displaced — the
+  /// overwritten value, the evicted LRU victim, or `value` itself when
+  /// capacity is 0 — so callers can recycle heap-heavy value storage.
+  std::optional<V> put(const K& key, V value) {
+    if (cap_ == 0) return std::optional<V>(std::move(value));
     const auto it = map_.find(key);
     if (it != map_.end()) {
+      std::optional<V> old(std::move(it->second->second));
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
-      return;
+      return old;
     }
+    std::optional<V> victim;
     if (map_.size() >= cap_) {
+      victim.emplace(std::move(order_.back().second));
       map_.erase(order_.back().first);
       order_.pop_back();
     }
     order_.emplace_front(key, std::move(value));
     map_.emplace(key, order_.begin());
+    return victim;
   }
 
  private:

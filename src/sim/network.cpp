@@ -87,6 +87,27 @@ void Network::barrier(HostId /*host*/) {
   }
 }
 
+void Network::registerTagRange(int lo, int hi, const char* owner) {
+  if (lo >= hi) throw std::logic_error("registerTagRange: empty range");
+  std::lock_guard<std::mutex> lock(tagRangeMutex_);
+  for (const TagRange& r : tagRanges_) {
+    const bool overlaps = lo < r.hi && r.lo < hi;
+    if (r.owner == owner) {
+      if (r.lo == lo && r.hi == hi) return;  // same subsystem, same block: fine
+      if (overlaps)
+        throw std::logic_error(std::string("registerTagRange: owner '") + owner +
+                               "' re-registered with a different overlapping range");
+      continue;  // one owner may hold several disjoint blocks
+    }
+    if (overlaps)
+      throw std::logic_error(std::string("registerTagRange: [") + std::to_string(lo) + ", " +
+                             std::to_string(hi) + ") for '" + owner + "' collides with [" +
+                             std::to_string(r.lo) + ", " + std::to_string(r.hi) + ") owned by '" +
+                             r.owner + "'");
+  }
+  tagRanges_.push_back(TagRange{lo, hi, owner});
+}
+
 void Network::abort() noexcept {
   aborted_.store(true, std::memory_order_release);
   for (auto& mb : mailboxes_) {

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/comm_stats.h"
@@ -83,6 +84,15 @@ class Network {
   void abort() noexcept;
   bool aborted() const noexcept { return aborted_.load(std::memory_order_acquire); }
 
+  /// Register a half-open tag range [lo, hi) as owned by `owner`. Subsystems
+  /// that mint tags above kInternalTagBase (Collectives spaces, the parameter
+  /// server) declare their block here so a mis-assigned TagSpace fails fast
+  /// instead of silently cross-delivering messages. Re-registering the exact
+  /// same (owner, range) is a no-op (every rank constructs its own
+  /// Collectives); any overlap between different owners, or a different range
+  /// under the same owner, throws std::logic_error.
+  void registerTagRange(int lo, int hi, const char* owner);
+
   CommStats& statsFor(HostId host) noexcept { return stats_[host]; }
   const CommStats& statsFor(HostId host) const noexcept { return stats_[host]; }
 
@@ -104,10 +114,19 @@ class Network {
     std::deque<Message> messages;
   };
 
+  struct TagRange {
+    int lo;
+    int hi;  // half-open
+    std::string owner;
+  };
+
   unsigned numHosts_;
   std::atomic<bool> aborted_{false};
   std::vector<Mailbox> mailboxes_;
   std::vector<CommStats> stats_;
+
+  std::mutex tagRangeMutex_;
+  std::vector<TagRange> tagRanges_;
 
   std::mutex barrierMutex_;
   std::condition_variable barrierCv_;

@@ -1,0 +1,128 @@
+#include "serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Edge cases the ps:: client row cache leans on: version-keyed entries at
+// tiny capacities, re-insert after a version bump, and the get()-returns-a-
+// copy contract that makes "pinned reads" (claims that survive eviction)
+// sound.
+
+namespace gw2v::serve {
+namespace {
+
+/// The shape the ps client caches: per-label versions + values.
+struct VersionedRow {
+  std::uint64_t ver[2];
+  std::vector<float> values;
+};
+
+TEST(LruCache, CapacityOneEvictsOnSecondKey) {
+  LruCache<int, int> cache(1);
+  cache.put(1, 10);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.get(1).has_value());
+  cache.put(2, 20);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.get(1).has_value());
+  ASSERT_TRUE(cache.get(2).has_value());
+  EXPECT_EQ(*cache.get(2), 20);
+}
+
+TEST(LruCache, CapacityOneUpdateInPlaceDoesNotEvict) {
+  // A put() of the resident key must take the update path, not evict-then-
+  // insert (which at capacity 1 would pop the very entry being updated).
+  LruCache<int, std::string> cache(1);
+  cache.put(7, "a");
+  cache.put(7, "b");
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.get(7).has_value());
+  EXPECT_EQ(*cache.get(7), "b");
+}
+
+TEST(LruCache, ReinsertAfterVersionBumpReplacesValue) {
+  // The ps client re-puts a row every time a reply refreshes it; the entry
+  // must carry the new version, never a stale mix.
+  LruCache<std::uint32_t, VersionedRow> cache(4);
+  cache.put(3, {{1, 1}, {0.5f, 0.25f}});
+  cache.put(3, {{2, 1}, {0.75f, 0.125f}});
+  const auto hit = cache.get(3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ver[0], 2u);
+  EXPECT_EQ(hit->ver[1], 1u);
+  EXPECT_EQ(hit->values[0], 0.75f);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, GetReturnsCopyThatSurvivesEviction) {
+  // get() hands back a copy, so a claimed value stays valid even if the
+  // entry is evicted before the claim is consumed — the exact situation a
+  // capacity-1 ps row cache creates within a single round.
+  LruCache<std::uint32_t, VersionedRow> cache(1);
+  cache.put(3, {{5, 5}, {1.0f, 2.0f, 3.0f}});
+  const auto claim = cache.get(3);
+  ASSERT_TRUE(claim.has_value());
+  cache.put(9, {{1, 1}, {9.0f}});  // evicts row 3
+  EXPECT_FALSE(cache.get(3).has_value());
+  EXPECT_EQ(claim->ver[0], 5u);
+  ASSERT_EQ(claim->values.size(), 3u);
+  EXPECT_EQ(claim->values[2], 3.0f);
+}
+
+TEST(LruCache, GetPromotesSoPutEvictsTheColdKey) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  ASSERT_TRUE(cache.get(1).has_value());  // 1 is now most-recent
+  cache.put(3, 30);                       // evicts 2, the LRU
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+}
+
+TEST(LruCache, CapacityZeroDisables) {
+  LruCache<int, int> cache(0);
+  cache.put(1, 10);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(LruCache, TakeRemovesAndReturnsValue) {
+  // take() is the move-out claim path: the value comes back, the entry is
+  // gone, and the freed slot means the next put() needn't evict.
+  LruCache<std::uint32_t, VersionedRow> cache(1);
+  cache.put(3, {{5, 5}, {1.0f, 2.0f}});
+  const auto claim = cache.take(3);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->ver[0], 5u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(3).has_value());
+  EXPECT_FALSE(cache.take(3).has_value());  // second take misses
+  cache.put(9, {{1, 1}, {9.0f}});
+  EXPECT_TRUE(cache.get(9).has_value());
+}
+
+TEST(LruCache, PutReturnsDisplacedValue) {
+  // put() hands back whatever it displaced — the eviction victim, the
+  // overwritten value, or (capacity 0) the input itself — so callers can
+  // recycle heap-heavy entries instead of freeing them.
+  LruCache<int, std::string> cache(1);
+  EXPECT_FALSE(cache.put(1, "a").has_value());  // empty slot: nothing displaced
+  const auto overwritten = cache.put(1, "b");
+  ASSERT_TRUE(overwritten.has_value());
+  EXPECT_EQ(*overwritten, "a");
+  const auto victim = cache.put(2, "c");  // evicts key 1
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, "b");
+
+  LruCache<int, std::string> off(0);
+  const auto bounced = off.put(7, "x");
+  ASSERT_TRUE(bounced.has_value());
+  EXPECT_EQ(*bounced, "x");
+}
+
+}  // namespace
+}  // namespace gw2v::serve

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -161,6 +162,27 @@ TEST(Network, AbortWakesBarrierWaiters) {
   net.abort();
   w1.join();
   w2.join();
+}
+
+TEST(Network, TagRangeRegistryAcceptsDisjointAndIdempotent) {
+  Network net(2);
+  net.registerTagRange(100, 200, "sync");
+  net.registerTagRange(200, 300, "serve");  // half-open: touching is disjoint
+  net.registerTagRange(100, 200, "sync");   // same owner, same range: ok
+}
+
+TEST(Network, TagRangeCollisionAcrossOwnersFires) {
+  // A subsystem claiming tags inside another's block is exactly the silent
+  // cross-talk bug the registry exists to catch.
+  Network net(2);
+  net.registerTagRange(100, 200, "sync");
+  EXPECT_THROW(net.registerTagRange(150, 160, "ps"), std::logic_error);
+  EXPECT_THROW(net.registerTagRange(199, 300, "ps"), std::logic_error);
+  // The same owner re-registering a *different* overlapping range is also a
+  // bug (a drifted constant), not idempotence.
+  EXPECT_THROW(net.registerTagRange(100, 250, "sync"), std::logic_error);
+  // Empty ranges are malformed.
+  EXPECT_THROW(net.registerTagRange(300, 300, "empty"), std::logic_error);
 }
 
 }  // namespace
