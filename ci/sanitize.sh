@@ -39,3 +39,11 @@ fi
 # hazard-pointer reclamation surface as heap-use-after-free (ASan) or
 # races on the hazard slots (TSan).
 GW2V_HOTSWAP_ITERS=2000 ctest --test-dir "$BUILD_DIR" -R 'Serve' --output-on-failure
+
+# Out-of-core spill files (src/store/) are scratch state: the store tests
+# write *.blocks under the gtest temp dir and clean up after themselves, but
+# an aborted sanitizer run can leave them (plus .tmp staging files) behind.
+# Sweep any strays so repeated CI runs on a persistent runner don't
+# accumulate spill data.
+rm -rf "${TMPDIR:-/tmp}"/bf_*.blocks* "${TMPDIR:-/tmp}"/bc_*.blocks* \
+       "${TMPDIR:-/tmp}"/st_* "${TMPDIR:-/tmp}"/store_train_* 2>/dev/null || true

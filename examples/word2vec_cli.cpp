@@ -15,6 +15,10 @@
 //   -min-count N                              (default 5)
 //   -hosts N    simulated cluster size        (default 1)
 //   -cbow 1     CBOW instead of skip-gram     (default 0)
+//   -spill-dir D  out-of-core mode: spill each replica's model to block
+//                 files under D (src/store/), training bit-identical
+//   -cache-mb N   block-cache budget per replica in MB (default 64;
+//                 only meaningful with -spill-dir)
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include <string>
 
 #include "core/trainer.h"
+#include "store/stored_table.h"
 #include "eval/embedding_view.h"
 #include "eval/vectors_io.h"
 #include "text/corpus.h"
@@ -38,6 +43,7 @@ int usage() {
                "  word2vec_cli train <corpus.txt> <vectors.txt> [-size N] [-window N]\n"
                "                [-negative N] [-sample F] [-alpha F] [-iter N]\n"
                "                [-min-count N] [-hosts N] [-cbow 1]\n"
+               "                [-spill-dir D] [-cache-mb N]\n"
                "  word2vec_cli nn <vectors.txt> <word> [k]\n");
   return 2;
 }
@@ -52,6 +58,8 @@ int runTrain(int argc, char** argv) {
   opts.sgns.negatives = 5;
   opts.epochs = 5;
   std::uint64_t minCount = 5;
+  std::string spillDir;
+  std::uint64_t cacheMb = 64;
   for (int i = 4; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const char* val = argv[i + 1];
@@ -63,6 +71,8 @@ int runTrain(int argc, char** argv) {
     else if (flag == "-iter") opts.epochs = static_cast<unsigned>(std::atoi(val));
     else if (flag == "-min-count") minCount = static_cast<std::uint64_t>(std::atoll(val));
     else if (flag == "-hosts") opts.numHosts = static_cast<unsigned>(std::atoi(val));
+    else if (flag == "-spill-dir") spillDir = val;
+    else if (flag == "-cache-mb") cacheMb = static_cast<std::uint64_t>(std::atoll(val));
     else if (flag == "-cbow" && std::atoi(val) != 0)
       opts.sgns.architecture = core::Architecture::kCbow;
     else {
@@ -94,6 +104,21 @@ int runTrain(int argc, char** argv) {
   std::printf("vocab %u words, %zu/%llu tokens kept\n", vocab.size(), corpus.size(),
               static_cast<unsigned long long>(rawTokens));
 
+  // Out-of-core mode: every replica trains against a block-cached spill
+  // file instead of an in-RAM matrix — same model bits, bounded memory.
+  store::StoreMetrics storeMetrics;
+  if (!spillDir.empty()) {
+    opts.replicaHook = [&](unsigned host, graph::ModelGraph& model) {
+      store::StoreOptions so;
+      so.budgetBytes = cacheMb << 20;
+      so.policy = store::EvictionPolicy::kZipfPinned;
+      so.metrics = &storeMetrics;
+      store::spillModel(model, spillDir + "/host" + std::to_string(host), so);
+    };
+    std::printf("spilling replicas under %s (cache %llu MB/replica)\n", spillDir.c_str(),
+                static_cast<unsigned long long>(cacheMb));
+  }
+
   const core::GraphWord2Vec trainer(vocab, opts);
   const auto result =
       trainer.train(corpus, [](const core::EpochStats& st, const graph::ModelGraph&) {
@@ -103,6 +128,13 @@ int runTrain(int argc, char** argv) {
   std::printf("trained %llu examples on %u host(s); simulated time %.2fs\n",
               static_cast<unsigned long long>(result.totalExamples), opts.numHosts,
               result.cluster.simulatedSeconds());
+  if (!spillDir.empty()) {
+    std::printf("store: hit-rate %.4f (%llu hits, %llu misses, %llu write-backs)\n",
+                storeMetrics.hitRate(),
+                static_cast<unsigned long long>(storeMetrics.hits.load()),
+                static_cast<unsigned long long>(storeMetrics.misses.load()),
+                static_cast<unsigned long long>(storeMetrics.writeBacks.load()));
+  }
 
   eval::saveTextVectors(vectorsPath, result.model, vocab);
   std::printf("wrote %s\n", vectorsPath.c_str());

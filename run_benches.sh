@@ -54,6 +54,16 @@ for b in /root/repo/build/bench/*; do
       # plus the recall@10 == 1.0 determinism gate (nonzero exit on failure).
       GW2V_SERVE_JSON=/root/repo/bench_results/BENCH_serve.json "$b"
       ;;
+    store_hitrate)
+      # Out-of-core block cache: hit-rate sweep over eviction policy x cache
+      # budget x Zipf skew with full counter rows (hits/misses/evictions/
+      # write-backs/pinned residency). Gates monotonicity in skew and the
+      # zipf-pinned >= 0.9 hit rate at skew 1.0 with a 25% budget (nonzero
+      # exit on failure). The spill dir is scratch; always cleaned up.
+      GW2V_STORE_DIR=/root/repo/bench_results/store_spill \
+      GW2V_STORE_JSON=/root/repo/bench_results/BENCH_store.json "$b"
+      rm -rf /root/repo/bench_results/store_spill
+      ;;
     *)
       "$b"
       ;;

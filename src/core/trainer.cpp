@@ -110,6 +110,7 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
     } else {
       replicas[h]->randomizeEmbeddings(opts_.seed);
     }
+    if (opts_.replicaHook) opts_.replicaHook(h, *replicas[h]);
   }
 
   std::vector<EpochStats> epochStats(epochs);

@@ -62,6 +62,11 @@ struct TrainOptions {
   /// graph::loadCheckpoint result). Must match vocabulary size and sgns.dim;
   /// not owned, must outlive train().
   const graph::ModelGraph* initialModel = nullptr;
+  /// Called once per host replica after initialization, before any worker
+  /// runs — the seam the out-of-core tier uses to spill replicas to disk
+  /// (store::spillModel) without the trainer knowing about storage. The
+  /// replica reference stays valid for the whole train() call.
+  std::function<void(unsigned host, graph::ModelGraph&)> replicaHook;
 };
 
 /// Resolve the rule-of-thumb sync frequency for a host count.

@@ -1,16 +1,22 @@
 #include "graph/model_io.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "util/aligned.h"
+
 namespace gw2v::graph {
 
 namespace {
 constexpr char kMagic[8] = {'G', 'W', '2', 'V', 'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionBlocked = 3;
 /// Longest word the vocabulary section will accept; anything bigger is a
 /// corrupt length field, not a plausible token.
 constexpr std::uint32_t kMaxWordBytes = 1u << 16;
@@ -29,39 +35,96 @@ void readOrThrow(std::FILE* f, void* data, std::size_t bytes, const std::string&
   if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes)
     throw std::runtime_error("loadCheckpoint: truncated file " + path);
 }
-}  // namespace
 
-void saveCheckpoint(const std::string& path, const ModelGraph& model,
-                    const text::Vocabulary* vocab) {
-  if (vocab != nullptr && vocab->size() != model.numNodes()) {
-    throw std::invalid_argument("saveCheckpoint: vocabulary size " +
-                                std::to_string(vocab->size()) + " != model nodes " +
-                                std::to_string(model.numNodes()));
-  }
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("saveCheckpoint: cannot open " + path);
+/// Common prefix of v2 and v3: magic, version, shape, optional vocabulary.
+void writePrefix(std::FILE* f, std::uint32_t version, const ModelGraph& model,
+                 const text::Vocabulary* vocab) {
   const std::uint32_t header[2] = {model.numNodes(), model.dim()};
   const std::uint32_t hasVocab = vocab != nullptr ? 1 : 0;
-  writeOrThrow(f.get(), kMagic, sizeof(kMagic));
-  writeOrThrow(f.get(), &kVersion, sizeof(kVersion));
-  writeOrThrow(f.get(), header, sizeof(header));
-  writeOrThrow(f.get(), &hasVocab, sizeof(hasVocab));
+  writeOrThrow(f, kMagic, sizeof(kMagic));
+  writeOrThrow(f, &version, sizeof(version));
+  writeOrThrow(f, header, sizeof(header));
+  writeOrThrow(f, &hasVocab, sizeof(hasVocab));
   if (vocab != nullptr) {
     for (text::WordId w = 0; w < vocab->size(); ++w) {
       const std::string& word = vocab->wordOf(w);
       const std::uint32_t len = static_cast<std::uint32_t>(word.size());
       const std::uint64_t count = vocab->countOf(w);
-      writeOrThrow(f.get(), &len, sizeof(len));
-      writeOrThrow(f.get(), word.data(), word.size());
-      writeOrThrow(f.get(), &count, sizeof(count));
+      writeOrThrow(f, &len, sizeof(len));
+      writeOrThrow(f, word.data(), word.size());
+      writeOrThrow(f, &count, sizeof(count));
     }
   }
-  for (int l = 0; l < kNumLabels; ++l) {
-    for (std::uint32_t n = 0; n < model.numNodes(); ++n) {
-      const auto row = model.row(static_cast<Label>(l), n);
-      writeOrThrow(f.get(), row.data(), row.size_bytes());
-    }
+}
+
+/// Crash-safe writer shell: stage at path+".tmp", fsync, rename over path.
+template <typename Body>
+void saveAtomically(const std::string& path, const Body& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw std::runtime_error("saveCheckpoint: cannot open " + tmp);
+    body(f.get());
+    if (std::fflush(f.get()) != 0 || ::fsync(::fileno(f.get())) != 0)
+      throw std::runtime_error("saveCheckpoint: fsync failed for " + tmp);
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("saveCheckpoint: rename to " + path + " failed");
+}
+
+void checkVocabShape(const ModelGraph& model, const text::Vocabulary* vocab) {
+  if (vocab != nullptr && vocab->size() != model.numNodes()) {
+    throw std::invalid_argument("saveCheckpoint: vocabulary size " +
+                                std::to_string(vocab->size()) + " != model nodes " +
+                                std::to_string(model.numNodes()));
+  }
+}
+}  // namespace
+
+void saveCheckpoint(const std::string& path, const ModelGraph& model,
+                    const text::Vocabulary* vocab) {
+  checkVocabShape(model, vocab);
+  saveAtomically(path, [&](std::FILE* f) {
+    writePrefix(f, kVersion, model, vocab);
+    for (int l = 0; l < kNumLabels; ++l) {
+      for (std::uint32_t n = 0; n < model.numNodes(); ++n) {
+        const auto row = model.row(static_cast<Label>(l), n);
+        writeOrThrow(f, row.data(), row.size_bytes());
+      }
+    }
+  });
+}
+
+void saveCheckpointV3(const std::string& path, const ModelGraph& model,
+                      const text::Vocabulary* vocab, std::uint32_t rowsPerBlock) {
+  checkVocabShape(model, vocab);
+  if (rowsPerBlock == 0)
+    throw std::invalid_argument("saveCheckpointV3: rowsPerBlock must be >= 1");
+  const std::uint32_t numRows = model.numNodes();
+  const auto stride = static_cast<std::uint32_t>(util::rowStrideFloats(model.dim()));
+  const std::uint32_t blocks = numRows == 0 ? 0 : (numRows + rowsPerBlock - 1) / rowsPerBlock;
+
+  saveAtomically(path, [&](std::FILE* f) {
+    writePrefix(f, kVersionBlocked, model, vocab);
+    std::vector<float> block(static_cast<std::size_t>(rowsPerBlock) * stride);
+    for (int l = 0; l < kNumLabels; ++l) {
+      const std::uint32_t geometry[2] = {rowsPerBlock, stride};
+      writeOrThrow(f, geometry, sizeof(geometry));
+      // One block of working memory: rows faulted in order, so a spilled
+      // model with matching geometry streams each cache block exactly once.
+      for (std::uint32_t b = 0; b < blocks; ++b) {
+        std::fill(block.begin(), block.end(), 0.0f);
+        const std::uint32_t lo = b * rowsPerBlock;
+        const std::uint32_t hi = std::min(numRows, lo + rowsPerBlock);
+        for (std::uint32_t n = lo; n < hi; ++n) {
+          const auto row = model.row(static_cast<Label>(l), n);
+          std::memcpy(block.data() + static_cast<std::size_t>(n - lo) * stride, row.data(),
+                      row.size_bytes());
+        }
+        writeOrThrow(f, block.data(), block.size() * sizeof(float));
+      }
+    }
+  });
 }
 
 Checkpoint loadCheckpointFull(const std::string& path) {
@@ -75,7 +138,7 @@ Checkpoint loadCheckpointFull(const std::string& path) {
     throw std::runtime_error("loadCheckpoint: bad magic in " + path);
   }
   readOrThrow(f.get(), &version, sizeof(version), path);
-  if (version == 0 || version > kVersion)
+  if (version == 0 || version > kVersionBlocked)
     throw std::runtime_error("loadCheckpoint: unsupported version in " + path);
   readOrThrow(f.get(), header, sizeof(header), path);
   if (header[1] == 0) throw std::runtime_error("loadCheckpoint: bad header in " + path);
@@ -118,10 +181,37 @@ Checkpoint loadCheckpointFull(const std::string& path) {
   }
 
   // Bulk load into a fresh model: nothing to track, no deltas to capture.
-  for (int l = 0; l < kNumLabels; ++l) {
-    for (std::uint32_t n = 0; n < ck.model.numNodes(); ++n) {
-      auto row = ck.model.untrackedRow(static_cast<Label>(l), n);
-      readOrThrow(f.get(), row.data(), row.size_bytes(), path);
+  if (version >= kVersionBlocked) {
+    // v3 blocked payload: per label, explicit geometry then zero-padded
+    // blocks. One block of working memory, rows copied out stride-wise.
+    const std::uint32_t numRows = ck.model.numNodes();
+    const std::uint32_t dim = ck.model.dim();
+    for (int l = 0; l < kNumLabels; ++l) {
+      std::uint32_t geometry[2] = {0, 0};
+      readOrThrow(f.get(), geometry, sizeof(geometry), path);
+      const std::uint32_t rowsPerBlock = geometry[0];
+      const std::uint32_t stride = geometry[1];
+      if (rowsPerBlock == 0 || stride < dim || stride - dim >= 16)
+        throw std::runtime_error("loadCheckpoint: corrupt block geometry in " + path);
+      const std::uint32_t blocks = numRows == 0 ? 0 : (numRows + rowsPerBlock - 1) / rowsPerBlock;
+      std::vector<float> block(static_cast<std::size_t>(rowsPerBlock) * stride);
+      for (std::uint32_t b = 0; b < blocks; ++b) {
+        readOrThrow(f.get(), block.data(), block.size() * sizeof(float), path);
+        const std::uint32_t lo = b * rowsPerBlock;
+        const std::uint32_t hi = std::min(numRows, lo + rowsPerBlock);
+        for (std::uint32_t n = lo; n < hi; ++n) {
+          auto row = ck.model.untrackedRow(static_cast<Label>(l), n);
+          std::memcpy(row.data(), block.data() + static_cast<std::size_t>(n - lo) * stride,
+                      row.size_bytes());
+        }
+      }
+    }
+  } else {
+    for (int l = 0; l < kNumLabels; ++l) {
+      for (std::uint32_t n = 0; n < ck.model.numNodes(); ++n) {
+        auto row = ck.model.untrackedRow(static_cast<Label>(l), n);
+        readOrThrow(f.get(), row.data(), row.size_bytes(), path);
+      }
     }
   }
   // Any trailing bytes indicate corruption.

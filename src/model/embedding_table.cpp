@@ -1,9 +1,12 @@
 #include "model/embedding_table.h"
 
+#include <cstring>
+
 namespace gw2v::model {
 
 void EmbeddingTable::init(std::uint32_t numRows, std::uint32_t dim) {
   if (dim == 0) throw std::invalid_argument("EmbeddingTable: dim must be >= 1");
+  store_.reset();
   numRows_ = numRows;
   dim_ = dim;
   stride_ = static_cast<std::uint32_t>(util::rowStrideFloats(dim));
@@ -18,6 +21,47 @@ void EmbeddingTable::clearDirty() noexcept {
   dirty_.reset();
   log_.rewind();
   version_.v.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EmbeddingTable::attachStore(std::unique_ptr<RowStoreBackend> backend) {
+  if (backend == nullptr) throw std::invalid_argument("attachStore: null backend");
+  store_ = std::move(backend);
+  // Release the matrix: residency now belongs to the backend. swap (not
+  // clear) so the capacity is returned to the allocator immediately.
+  util::AlignedVector<float>().swap(data_);
+}
+
+void EmbeddingTable::detachStore() {
+  if (store_ == nullptr) return;
+  util::AlignedVector<float> resident(static_cast<std::size_t>(numRows_) * stride_, 0.0f);
+  for (std::uint32_t r = 0; r < numRows_; ++r) {
+    std::memcpy(resident.data() + static_cast<std::size_t>(r) * stride_,
+                store_->resolveRow(r, /*forWrite=*/false), stride_ * sizeof(float));
+  }
+  data_ = std::move(resident);
+  store_.reset();
+}
+
+void EmbeddingTable::copyFrom(const EmbeddingTable& o) {
+  numRows_ = o.numRows_;
+  dim_ = o.dim_;
+  stride_ = o.stride_;
+  dirty_ = o.dirty_;
+  log_ = o.log_;
+  rowVersion_ = o.rowVersion_;
+  version_ = o.version_;
+  store_.reset();
+  if (o.store_ != nullptr) {
+    // Materialize a spilled source as a plain in-RAM copy; the backend
+    // (cache state, file handle) stays with the source.
+    data_.assign(static_cast<std::size_t>(numRows_) * stride_, 0.0f);
+    for (std::uint32_t r = 0; r < numRows_; ++r) {
+      std::memcpy(data_.data() + static_cast<std::size_t>(r) * stride_,
+                  o.store_->resolveRow(r, /*forWrite=*/false), stride_ * sizeof(float));
+    }
+  } else {
+    data_ = o.data_;
+  }
 }
 
 }  // namespace gw2v::model

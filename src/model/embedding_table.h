@@ -41,11 +41,23 @@
 // exact and sync payloads are bit-identical to the dense-baseline
 // implementation.
 
+// Out-of-core mode (src/store/): attachStore() hands row residency to a
+// RowStoreBackend and releases the in-RAM matrix; every row-pointer
+// derivation then routes through the backend's resolveRow(), which faults
+// the row's block into a bounded cache (read-through) and marks written
+// blocks for write-back before eviction. The change-tracking state — dirty
+// bits, DeltaLog captures, row versions — always stays in RAM (it is O(rows)
+// bits + O(dirty) rows), so sync, codecs, the parameter server, and serving
+// observe the exact same protocol whether the matrix is resident or spilled:
+// a faulted row's bytes round-trip the block file bit-for-bit.
+
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 
 #include "model/delta_log.h"
+#include "model/row_store.h"
 #include "util/aligned.h"
 #include "util/bitvector.h"
 
@@ -56,6 +68,18 @@ class EmbeddingTable {
   EmbeddingTable() = default;
   EmbeddingTable(std::uint32_t numRows, std::uint32_t dim) { init(numRows, dim); }
 
+  /// Deep copy. A spilled source is copied as a plain in-RAM table: rows are
+  /// read back through its backend (the backend itself — cache, file handle —
+  /// is not duplicated; spill the copy again if it should be out-of-core).
+  EmbeddingTable(const EmbeddingTable& o) { copyFrom(o); }
+  EmbeddingTable& operator=(const EmbeddingTable& o) {
+    if (this != &o) copyFrom(o);
+    return *this;
+  }
+  EmbeddingTable(EmbeddingTable&&) = default;
+  EmbeddingTable& operator=(EmbeddingTable&&) = default;
+
+  /// Discards any attached store backend.
   void init(std::uint32_t numRows, std::uint32_t dim);
 
   std::uint32_t numRows() const noexcept { return numRows_; }
@@ -71,12 +95,12 @@ class EmbeddingTable {
     return rowVersion_[row].v.load(std::memory_order_relaxed);
   }
 
-  std::span<const float> row(std::uint32_t row) const noexcept { return {rowPtr(row), dim_}; }
+  std::span<const float> row(std::uint32_t row) const noexcept { return {readPtr(row), dim_}; }
 
   /// Tracked training update: first touch per round claims the dirty bit and
   /// snapshots the pre-touch bits into the DeltaLog.
   std::span<float> mutableRow(std::uint32_t row) noexcept {
-    float* p = rowPtr(row);
+    float* p = writePtr(row);
     if (!dirty_.test(row) && !dirty_.testAndSet(row)) {
       log_.capture(row, p);
       rowVersion_[row].v.store(version_.v.load(std::memory_order_relaxed),
@@ -92,13 +116,13 @@ class EmbeddingTable {
   std::span<float> overwriteRow(std::uint32_t row) noexcept {
     rowVersion_[row].v.store(version_.v.load(std::memory_order_relaxed),
                              std::memory_order_relaxed);
-    return {util::checkedRow(rowPtr(row)), dim_};
+    return {util::checkedRow(writePtr(row)), dim_};
   }
 
   /// No tracking at all: bulk init, checkpoint load, result composition.
   /// Incremental snapshot publishes are not valid across untracked rewrites.
   std::span<float> untrackedRow(std::uint32_t row) noexcept {
-    return {util::checkedRow(rowPtr(row)), dim_};
+    return {util::checkedRow(writePtr(row)), dim_};
   }
 
   /// Same first-touch capture as mutableRow without returning the span.
@@ -106,7 +130,7 @@ class EmbeddingTable {
   /// except through mutableRow(), or the captured baseline is already stale.
   void markDirty(std::uint32_t row) noexcept {
     if (!dirty_.test(row) && !dirty_.testAndSet(row)) {
-      log_.capture(row, rowPtr(row));
+      log_.capture(row, writePtr(row));
       rowVersion_[row].v.store(version_.v.load(std::memory_order_relaxed),
                                std::memory_order_relaxed);
     }
@@ -120,7 +144,7 @@ class EmbeddingTable {
   /// dirty rows, the row itself (unchanged since) for clean ones.
   std::span<const float> baselineRow(std::uint32_t row) const noexcept {
     if (dirty_.test(row)) return {log_.oldRow(row), dim_};
-    return {rowPtr(row), dim_};
+    return {readPtr(row), dim_};
   }
 
   /// fn(row, old, current) for every dirty row in [lo, hi), ascending.
@@ -129,7 +153,7 @@ class EmbeddingTable {
     dirty_.forEachSetInRange(lo, hi, [&](std::size_t n) {
       const auto r = static_cast<std::uint32_t>(n);
       fn(r, std::span<const float>(log_.oldRow(r), dim_),
-         std::span<const float>(rowPtr(r), dim_));
+         std::span<const float>(readPtr(r), dim_));
     });
   }
 
@@ -149,13 +173,34 @@ class EmbeddingTable {
   /// set stays empty), spelled so call sites read as what they mean.
   void advanceVersion() noexcept { clearDirty(); }
 
+  // ---- Out-of-core storage (src/store/ attaches here). ---------------------
+
+  /// Hand row residency to `backend` and release the in-RAM matrix. The
+  /// backend must already hold every row's current bits (store::spillTable
+  /// writes them to the block file before attaching). Change tracking is
+  /// unaffected: dirty bits, DeltaLog captures, and versions carry over, so
+  /// attaching mid-round is safe.
+  void attachStore(std::unique_ptr<RowStoreBackend> backend);
+
+  /// Rematerialize the matrix in RAM (reading every row back through the
+  /// backend) and drop the backend. No-op when not spilled.
+  void detachStore();
+
+  bool spilled() const noexcept { return store_ != nullptr; }
+  /// The attached backend (nullptr when in-RAM) — downcast for counters.
+  RowStoreBackend* store() const noexcept { return store_.get(); }
+
  private:
-  const float* rowPtr(std::uint32_t row) const noexcept {
+  const float* readPtr(std::uint32_t row) const noexcept {
+    if (store_ != nullptr) return store_->resolveRow(row, /*forWrite=*/false);
     return data_.data() + static_cast<std::size_t>(row) * stride_;
   }
-  float* rowPtr(std::uint32_t row) noexcept {
+  float* writePtr(std::uint32_t row) noexcept {
+    if (store_ != nullptr) return store_->resolveRow(row, /*forWrite=*/true);
     return data_.data() + static_cast<std::size_t>(row) * stride_;
   }
+
+  void copyFrom(const EmbeddingTable& o);
 
   std::uint32_t numRows_ = 0;
   std::uint32_t dim_ = 0;
@@ -165,6 +210,10 @@ class EmbeddingTable {
   DeltaLog log_;
   std::vector<detail::RelaxedCell<std::uint64_t>> rowVersion_;
   detail::RelaxedCell<std::uint64_t> version_;
+  /// Non-null = spilled: row residency delegated to the out-of-core tier.
+  /// mutable because faulting a block on a const read does not change the
+  /// table's logical contents.
+  mutable std::unique_ptr<RowStoreBackend> store_;
 };
 
 }  // namespace gw2v::model

@@ -1,0 +1,40 @@
+#pragma once
+
+// The seam between model::EmbeddingTable and the out-of-core storage tier
+// (src/store/). A table normally owns its row matrix in RAM; attachStore()
+// hands row residency to a RowStoreBackend instead, and every row-pointer
+// derivation in the table routes through resolveRow(). The backend decides
+// what "resident" means — the store:: implementation keeps a bounded budget
+// of fixed-size row blocks cached over a durable block file, faulting blocks
+// in on demand and writing dirty blocks back before eviction.
+//
+// The interface lives in model/ (not store/) so the table keeps zero
+// knowledge of block formats, files, or eviction policy; store/ depends on
+// model/, never the reverse.
+
+#include <cstdint>
+
+namespace gw2v::model {
+
+class RowStoreBackend {
+ public:
+  virtual ~RowStoreBackend() = default;
+
+  /// Pointer to the row's current bits (util::rowStrideFloats(dim) floats,
+  /// 64B-aligned), faulting its block resident if needed. forWrite marks the
+  /// block dirty: its bytes are written back to the backing file before its
+  /// frame is ever reused.
+  ///
+  /// Lifetime contract: the pointer stays valid until later resolves have
+  /// faulted enough *distinct* blocks to cycle the entire cache budget.
+  /// Callers in this codebase hold at most a handful of row spans at once
+  /// (SGNS: one context + one target per table; pack/apply/snapshot loops:
+  /// one), and store::spillTable floors attached budgets at several blocks,
+  /// so a held span is never evicted out from under its holder.
+  ///
+  /// I/O failure while faulting or writing back has no recovery path
+  /// mid-training; implementations abort via the noexcept row accessors.
+  virtual float* resolveRow(std::uint32_t row, bool forWrite) noexcept = 0;
+};
+
+}  // namespace gw2v::model

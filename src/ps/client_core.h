@@ -6,7 +6,7 @@
 //
 //   packGets    turn the round's predicted access set into per-server Get
 //               bodies. Each row is looked up in the version-keyed LRU row
-//               cache (serve/lru_cache.h); hits ship their cached versions so
+//               cache (util/lru_cache.h); hits ship their cached versions so
 //               the server can answer "unchanged", misses ship kNoVersion.
 //               Hit entries are *claimed* — moved out of the cache into a
 //               flat per-row slot — so later cache puts (or evictions,
@@ -36,7 +36,7 @@
 #include "graph/partition.h"
 #include "model/embedding_table.h"
 #include "ps/protocol.h"
-#include "serve/lru_cache.h"
+#include "util/lru_cache.h"
 
 namespace gw2v::ps {
 
@@ -79,7 +79,7 @@ class ClientCore {
 
   PsConfig cfg_;
   graph::BlockedPartition part_;
-  serve::LruCache<std::uint32_t, CacheEntry> cache_;
+  util::LruCache<std::uint32_t, CacheEntry> cache_;
 
   // Pinned reads, per round: claimed_[row] flags a claim whose entry sits in
   // claimSlot_[row] (flat O(numRows) slots — same memory class as the

@@ -41,7 +41,7 @@
 
 #include "comm/collectives.h"
 #include "comm/transport.h"
-#include "serve/lru_cache.h"
+#include "util/lru_cache.h"
 #include "serve/metrics.h"
 #include "serve/sharded_index.h"
 #include "serve/snapshot.h"
@@ -152,7 +152,7 @@ class QueryEngine {
   bool stopping_ = false;
 
   std::mutex cacheMu_;
-  LruCache<CacheKey, QueryResult, CacheKeyHash> cache_;
+  util::LruCache<CacheKey, QueryResult, CacheKeyHash> cache_;
 };
 
 }  // namespace gw2v::serve

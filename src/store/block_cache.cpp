@@ -1,0 +1,120 @@
+#include "store/block_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gw2v::store {
+
+const char* evictionPolicyName(EvictionPolicy p) noexcept {
+  switch (p) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kZipfPinned: return "zipf-pinned";
+  }
+  return "?";
+}
+
+BlockCache::BlockCache(BlockFile& file, std::size_t budgetBlocks, EvictionPolicy policy,
+                       double pinnedFraction, StoreMetrics* sink)
+    : file_(file), policy_(policy), lru_(0), sink_(sink) {
+  const std::size_t total = file.numBlocks();
+  frames_ = std::clamp<std::size_t>(budgetBlocks, 1, std::max<std::size_t>(total, 1));
+  if (policy == EvictionPolicy::kZipfPinned && frames_ > 1) {
+    const auto want = static_cast<std::size_t>(pinnedFraction * static_cast<double>(frames_));
+    // At least one LRU frame must remain or cold blocks could never fault.
+    pinnedFrames_ = std::min({want, frames_ - 1, total});
+  }
+  arena_.assign(frames_ * file.blockFloats(), 0.0f);
+  pinnedFrameOf_.assign(pinnedFrames_, -1);
+  lru_ = util::LruCache<std::uint32_t, std::uint32_t>(frames_ - pinnedFrames_);
+  freeFrames_.reserve(frames_ - pinnedFrames_);
+  // Hand out high frames first so pinned blocks land on the low, stable ones.
+  for (std::size_t i = frames_; i > pinnedFrames_; --i)
+    freeFrames_.push_back(static_cast<std::uint32_t>(i - 1));
+  dirty_.assign(frames_, false);
+  blockOfFrame_.assign(frames_, 0);
+}
+
+float* BlockCache::resolveRow(std::uint32_t row, bool forWrite) noexcept {
+  const std::uint32_t block = file_.blockOfRow(row);
+  const std::size_t rowOffset =
+      static_cast<std::size_t>(row % file_.rowsPerBlock()) * file_.strideFloats();
+  std::lock_guard<std::mutex> lock(mu_);
+  float* base = faultLocked(block, forWrite);
+  return base + rowOffset;
+}
+
+float* BlockCache::faultLocked(std::uint32_t block, bool forWrite) noexcept {
+  const auto count = [&](auto member) {
+    (metrics_.*member).fetch_add(1, std::memory_order_relaxed);
+    if (sink_ != nullptr) (sink_->*member).fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Pinned section: dedicated frame, faulted once, never evicted.
+  if (block < pinnedFrames_) {
+    const std::uint32_t f = block;  // frames [0, pinnedFrames_) mirror block ids
+    if (pinnedFrameOf_[block] < 0) {
+      file_.readBlock(block, frame(f));
+      pinnedFrameOf_[block] = static_cast<std::int32_t>(f);
+      blockOfFrame_[f] = block;
+      count(&StoreMetrics::misses);
+      count(&StoreMetrics::pinnedResident);
+    } else {
+      count(&StoreMetrics::hits);
+    }
+    if (forWrite) dirty_[f] = true;
+    return frame(f);
+  }
+
+  if (const auto hit = lru_.get(block)) {
+    if (forWrite) dirty_[*hit] = true;
+    count(&StoreMetrics::hits);
+    return frame(*hit);
+  }
+
+  std::uint32_t f;
+  if (!freeFrames_.empty()) {
+    f = freeFrames_.back();
+    freeFrames_.pop_back();
+  } else {
+    // Full: take the LRU victim *before* inserting the newcomer, writing its
+    // bytes back first when dirty — the write-back-before-eviction ordering.
+    const auto victimBlock = lru_.lruKey();
+    assert(victimBlock.has_value() && "cache has neither free frames nor entries");
+    f = *lru_.take(*victimBlock);
+    if (dirty_[f]) {
+      file_.writeBlock(*victimBlock, frame(f));
+      dirty_[f] = false;
+      count(&StoreMetrics::writeBacks);
+    }
+    count(&StoreMetrics::evictions);
+  }
+  file_.readBlock(block, frame(f));
+  blockOfFrame_[f] = block;
+  dirty_[f] = forWrite;
+  lru_.put(block, f);
+  count(&StoreMetrics::misses);
+  return frame(f);
+}
+
+void BlockCache::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t flushed = 0;
+  for (std::size_t f = 0; f < frames_; ++f) {
+    if (!dirty_[f]) continue;
+    file_.writeBlock(blockOfFrame_[f], frame(f));
+    dirty_[f] = false;
+    ++flushed;
+  }
+  metrics_.writeBacks.fetch_add(flushed, std::memory_order_relaxed);
+  if (sink_ != nullptr) sink_->writeBacks.fetch_add(flushed, std::memory_order_relaxed);
+  file_.sync();
+}
+
+std::size_t BlockCache::residentBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t pinned = 0;
+  for (const auto f : pinnedFrameOf_) pinned += f >= 0 ? 1 : 0;
+  return pinned + lru_.size();
+}
+
+}  // namespace gw2v::store

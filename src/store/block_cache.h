@@ -1,0 +1,84 @@
+#pragma once
+
+// The resident half of the out-of-core tier: a budgeted cache of row blocks
+// over one BlockFile, with a pluggable eviction policy.
+//
+//   kLru        — every frame managed by one util::LruCache (the same
+//                 structure behind the serving query cache and the ps row
+//                 cache); least-recently-faulted block is the victim.
+//   kZipfPinned — Zipfian-aware split: vocabulary ids are frequency-sorted
+//                 (id 0 = hottest word), so the lowest-id blocks carry most
+//                 of a Zipf-skewed access stream. A pinnedFraction share of
+//                 the budget is reserved for blocks 0..P-1, faulted on first
+//                 touch and never evicted; the remaining frames run LRU for
+//                 the long tail.
+//
+// Fault protocol (resolveRow): hit → promote + return; miss → pick a frame
+// (free list, else LRU victim: write the victim back first if dirty, then
+// recycle its frame), read the block from the file, return. Dirtiness is
+// tracked per frame and set by forWrite resolves, so every mutated byte
+// reaches the file before its frame is reused — the write-back-before-
+// eviction ordering the crash tests pin.
+//
+// Returned row pointers stay valid until enough *distinct* blocks fault to
+// cycle the whole budget (see model/row_store.h); spillTable floors attached
+// budgets accordingly. A mutex serializes fault metadata; writes through
+// returned pointers stay lock-free (Hogwild discipline).
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "store/block_file.h"
+#include "store/store_metrics.h"
+#include "util/aligned.h"
+#include "util/lru_cache.h"
+
+namespace gw2v::store {
+
+enum class EvictionPolicy : int { kLru = 0, kZipfPinned = 1 };
+const char* evictionPolicyName(EvictionPolicy p) noexcept;
+
+class BlockCache {
+ public:
+  /// Budget is in *blocks* (≥ 1; callers translate bytes). For kZipfPinned,
+  /// pinnedFraction of the budget (rounded down, capped so at least one
+  /// frame stays in the LRU section) is reserved for the lowest-id blocks.
+  /// `sink`, when non-null, receives every counter update in addition to
+  /// the cache's own metrics (it must outlive the cache).
+  BlockCache(BlockFile& file, std::size_t budgetBlocks, EvictionPolicy policy,
+             double pinnedFraction, StoreMetrics* sink);
+
+  /// Fault the row's block resident and return the row's pointer
+  /// (strideFloats floats, 64B-aligned). forWrite marks the block dirty.
+  float* resolveRow(std::uint32_t row, bool forWrite) noexcept;
+
+  /// Write every dirty resident block back (clearing dirtiness) and fsync.
+  void flush();
+
+  std::size_t budgetBlocks() const noexcept { return frames_; }
+  std::size_t pinnedBudgetBlocks() const noexcept { return pinnedFrames_; }
+  std::size_t residentBlocks() const;
+  EvictionPolicy policy() const noexcept { return policy_; }
+  const StoreMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  float* frame(std::size_t idx) noexcept { return arena_.data() + idx * file_.blockFloats(); }
+  float* faultLocked(std::uint32_t block, bool forWrite) noexcept;
+
+  BlockFile& file_;
+  EvictionPolicy policy_;
+  std::size_t frames_ = 0;        // total budget
+  std::size_t pinnedFrames_ = 0;  // frames [0, pinnedFrames_) reserved for blocks [0, pinnedFrames_)
+  util::AlignedVector<float> arena_;
+  std::vector<std::int32_t> pinnedFrameOf_;  // block -> frame for pinned blocks (-1 = not resident)
+  util::LruCache<std::uint32_t, std::uint32_t> lru_;  // unpinned block -> frame
+  std::vector<std::uint32_t> freeFrames_;             // unpinned frames not yet in use
+  std::vector<bool> dirty_;                           // per frame
+  std::vector<std::uint32_t> blockOfFrame_;           // per frame (for flush)
+  StoreMetrics metrics_;
+  StoreMetrics* sink_ = nullptr;
+  mutable std::mutex mu_;
+};
+
+}  // namespace gw2v::store

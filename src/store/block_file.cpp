@@ -1,0 +1,134 @@
+#include "store/block_file.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace gw2v::store {
+
+namespace {
+
+/// On-disk header, exactly one cache line.
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t dim;
+  std::uint32_t numRows;
+  std::uint32_t rowsPerBlock;
+  std::uint32_t strideFloats;
+  std::uint32_t reserved[9];
+};
+static_assert(sizeof(Header) == BlockFile::kHeaderBytes, "header must be one cache line");
+
+void writeOrThrow(std::FILE* f, const void* data, std::size_t bytes, const std::string& path) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes)
+    throw std::runtime_error("BlockFile: write failed for " + path);
+}
+
+[[noreturn]] void ioAbort(const char* what, const std::string& path) noexcept {
+  std::fprintf(stderr, "BlockFile: fatal %s on %s (errno %d: %s)\n", what, path.c_str(), errno,
+               std::strerror(errno));
+  std::abort();
+}
+
+}  // namespace
+
+BlockFile BlockFile::create(const std::string& path, std::uint32_t numRows, std::uint32_t dim,
+                            std::uint32_t rowsPerBlock, RowReader reader, void* ctx) {
+  if (dim == 0) throw std::invalid_argument("BlockFile::create: dim must be >= 1");
+  if (rowsPerBlock == 0) throw std::invalid_argument("BlockFile::create: rowsPerBlock must be >= 1");
+  const auto stride = static_cast<std::uint32_t>(util::rowStrideFloats(dim));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<std::FILE, FileCloser> f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw std::runtime_error("BlockFile::create: cannot open " + tmp);
+
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = kVersion;
+    h.dim = dim;
+    h.numRows = numRows;
+    h.rowsPerBlock = rowsPerBlock;
+    h.strideFloats = stride;
+    writeOrThrow(f.get(), &h, sizeof(h), tmp);
+
+    // Stage one block at a time: rows copied dim floats each onto a zeroed
+    // padding tail, the last block zero-filled past numRows.
+    std::vector<float> block(static_cast<std::size_t>(rowsPerBlock) * stride, 0.0f);
+    const std::uint32_t blocks = numRows == 0 ? 0 : (numRows + rowsPerBlock - 1) / rowsPerBlock;
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      std::fill(block.begin(), block.end(), 0.0f);
+      const std::uint32_t lo = b * rowsPerBlock;
+      const std::uint32_t hi = std::min(numRows, lo + rowsPerBlock);
+      for (std::uint32_t r = lo; r < hi; ++r) {
+        std::memcpy(block.data() + static_cast<std::size_t>(r - lo) * stride, reader(ctx, r),
+                    static_cast<std::size_t>(dim) * sizeof(float));
+      }
+      writeOrThrow(f.get(), block.data(), block.size() * sizeof(float), tmp);
+    }
+
+    if (std::fflush(f.get()) != 0 || ::fsync(::fileno(f.get())) != 0)
+      throw std::runtime_error("BlockFile::create: fsync failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("BlockFile::create: rename to " + path + " failed");
+  return open(path);
+}
+
+BlockFile BlockFile::open(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "r+b"));
+  if (!f) throw std::runtime_error("BlockFile::open: cannot open " + path);
+
+  Header h{};
+  if (std::fread(&h, 1, sizeof(h), f.get()) != sizeof(h))
+    throw std::runtime_error("BlockFile::open: torn header in " + path);
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("BlockFile::open: bad magic in " + path);
+  if (h.version == 0 || h.version > kVersion)
+    throw std::runtime_error("BlockFile::open: unsupported version in " + path);
+  if (h.dim == 0 || h.rowsPerBlock == 0 ||
+      h.strideFloats != static_cast<std::uint32_t>(util::rowStrideFloats(h.dim))) {
+    throw std::runtime_error("BlockFile::open: corrupt geometry in " + path);
+  }
+
+  const std::uint32_t blocks =
+      h.numRows == 0 ? 0 : (h.numRows + h.rowsPerBlock - 1) / h.rowsPerBlock;
+  const std::size_t blockBytes =
+      static_cast<std::size_t>(h.rowsPerBlock) * h.strideFloats * sizeof(float);
+  const long expected = static_cast<long>(kHeaderBytes + static_cast<std::size_t>(blocks) * blockBytes);
+  if (std::fseek(f.get(), 0, SEEK_END) != 0)
+    throw std::runtime_error("BlockFile::open: seek failed on " + path);
+  if (std::ftell(f.get()) != expected)
+    throw std::runtime_error("BlockFile::open: truncated or oversized file " + path);
+
+  return BlockFile(std::move(f), path, h.numRows, h.dim, h.strideFloats, h.rowsPerBlock);
+}
+
+void BlockFile::readBlock(std::uint32_t b, float* dst) noexcept {
+  if (std::fseek(file_.get(), blockOffset(b), SEEK_SET) != 0 ||
+      std::fread(dst, 1, blockBytes(), file_.get()) != blockBytes()) {
+    ioAbort("block read", path_);
+  }
+}
+
+void BlockFile::writeBlock(std::uint32_t b, const float* src) noexcept {
+  if (std::fseek(file_.get(), blockOffset(b), SEEK_SET) != 0 ||
+      std::fwrite(src, 1, blockBytes(), file_.get()) != blockBytes()) {
+    ioAbort("block write", path_);
+  }
+}
+
+void BlockFile::sync() {
+  if (std::fflush(file_.get()) != 0 || ::fsync(::fileno(file_.get())) != 0)
+    throw std::runtime_error("BlockFile::sync: fsync failed for " + path_);
+}
+
+}  // namespace gw2v::store

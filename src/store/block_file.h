@@ -1,0 +1,105 @@
+#pragma once
+
+// The durable half of the out-of-core tier: a fixed-geometry row-block file.
+//
+// Layout: one 64-byte magic-versioned header, then numBlocks() blocks of
+// rowsPerBlock rows each, every row util::rowStrideFloats(dim) floats
+// (padding bytes are always written as zero, so two files holding the same
+// model are byte-identical). Block b starts at byte 64 + b * blockBytes() —
+// the header is exactly one cache line, so every block (and therefore every
+// row) keeps the 64B alignment contract when mapped or read into an aligned
+// frame. The last block is zero-padded to full size; file size is exact and
+// checked on open, which is what catches truncation.
+//
+// Crash safety: create() builds the whole file at `path + ".tmp"`, fsyncs,
+// and atomically renames over `path` — a crash mid-create leaves either the
+// old file or none, never a torn one (the stray .tmp is ignored by open and
+// harmless to re-create over). In-place writeBlock() during training is
+// deliberately not atomic: the working spill file is scratch state, and
+// durability points go through checkpoints (graph/model_io v3), which use
+// the same write-then-rename protocol.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace gw2v::store {
+
+class BlockFile {
+ public:
+  static constexpr char kMagic[8] = {'G', 'W', '2', 'V', 'B', 'L', 'K', '1'};
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kHeaderBytes = 64;
+
+  BlockFile() = default;
+  BlockFile(BlockFile&&) = default;
+  BlockFile& operator=(BlockFile&&) = default;
+
+  /// Reads one row's current bits (strideFloats() floats) into `dst`; the
+  /// padding tail must be zero (create() writes it so).
+  using RowReader = const float* (*)(void* ctx, std::uint32_t row);
+
+  /// Create the file at `path` (write header + every block to path+".tmp",
+  /// fsync, rename). reader(ctx, row) must return a pointer to at least
+  /// dim floats; the stride padding is zero-filled by create. Throws
+  /// std::runtime_error on I/O failure, std::invalid_argument on bad shape.
+  static BlockFile create(const std::string& path, std::uint32_t numRows, std::uint32_t dim,
+                          std::uint32_t rowsPerBlock, RowReader reader, void* ctx);
+
+  /// Open an existing file read-write, validating magic, version, geometry,
+  /// and exact file size. Throws std::runtime_error on any mismatch.
+  static BlockFile open(const std::string& path);
+
+  /// Read block `b` (blockFloats() floats) into dst. Aborts the process on
+  /// I/O failure — faults happen under noexcept row accessors and have no
+  /// recovery path mid-training.
+  void readBlock(std::uint32_t b, float* dst) noexcept;
+
+  /// Write block `b` from src, in place. Same failure contract as readBlock.
+  void writeBlock(std::uint32_t b, const float* src) noexcept;
+
+  /// fflush + fsync the backing file (flush() durability point).
+  void sync();
+
+  std::uint32_t numRows() const noexcept { return numRows_; }
+  std::uint32_t dim() const noexcept { return dim_; }
+  std::uint32_t strideFloats() const noexcept { return stride_; }
+  std::uint32_t rowsPerBlock() const noexcept { return rowsPerBlock_; }
+  std::uint32_t numBlocks() const noexcept {
+    return (numRows_ + rowsPerBlock_ - 1) / rowsPerBlock_;
+  }
+  std::size_t blockFloats() const noexcept {
+    return static_cast<std::size_t>(rowsPerBlock_) * stride_;
+  }
+  std::size_t blockBytes() const noexcept { return blockFloats() * sizeof(float); }
+  std::uint32_t blockOfRow(std::uint32_t row) const noexcept { return row / rowsPerBlock_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+  };
+
+  BlockFile(std::unique_ptr<std::FILE, FileCloser> f, std::string path, std::uint32_t numRows,
+            std::uint32_t dim, std::uint32_t stride, std::uint32_t rowsPerBlock)
+      : file_(std::move(f)),
+        path_(std::move(path)),
+        numRows_(numRows),
+        dim_(dim),
+        stride_(stride),
+        rowsPerBlock_(rowsPerBlock) {}
+
+  long blockOffset(std::uint32_t b) const noexcept {
+    return static_cast<long>(kHeaderBytes + static_cast<std::size_t>(b) * blockBytes());
+  }
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string path_;
+  std::uint32_t numRows_ = 0;
+  std::uint32_t dim_ = 0;
+  std::uint32_t stride_ = 0;
+  std::uint32_t rowsPerBlock_ = 0;
+};
+
+}  // namespace gw2v::store

@@ -1,0 +1,47 @@
+#pragma once
+
+// Out-of-core cache telemetry, ServeMetrics-style (serve/metrics.h): plain
+// atomic counters one BlockCache accumulates over its lifetime. A shared
+// sink can additionally be wired through StoreOptions::metrics so counters
+// survive the cache they came from (bench harnesses aggregate across the
+// per-host, per-label caches a training run spills).
+
+#include <atomic>
+#include <cstdint>
+
+namespace gw2v::store {
+
+struct StoreMetrics {
+  std::atomic<std::uint64_t> hits{0};        // row faults served by a resident block
+  std::atomic<std::uint64_t> misses{0};      // row faults that read a block from disk
+  std::atomic<std::uint64_t> evictions{0};   // frames recycled to make room
+  std::atomic<std::uint64_t> writeBacks{0};  // dirty blocks flushed (eviction or flush())
+  std::atomic<std::uint64_t> pinnedResident{0};  // pinned blocks faulted resident (gauge;
+                                                 // pins are never evicted, so it only grows)
+
+  double hitRate() const noexcept {
+    const std::uint64_t h = hits.load(std::memory_order_relaxed);
+    const std::uint64_t m = misses.load(std::memory_order_relaxed);
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+  void reset() noexcept {
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    writeBacks.store(0, std::memory_order_relaxed);
+    pinnedResident.store(0, std::memory_order_relaxed);
+  }
+
+  /// Fold `o` into this sink (for aggregating per-table metrics post-hoc).
+  void add(const StoreMetrics& o) noexcept {
+    hits.fetch_add(o.hits.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    misses.fetch_add(o.misses.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    evictions.fetch_add(o.evictions.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    writeBacks.fetch_add(o.writeBacks.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    pinnedResident.fetch_add(o.pinnedResident.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  }
+};
+
+}  // namespace gw2v::store

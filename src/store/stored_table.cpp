@@ -1,0 +1,54 @@
+#include "store/stored_table.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "graph/model_graph.h"
+
+namespace gw2v::store {
+
+namespace {
+
+const float* readTableRow(void* ctx, std::uint32_t row) {
+  return static_cast<const model::EmbeddingTable*>(ctx)->row(row).data();
+}
+
+std::size_t budgetToBlocks(std::uint64_t budgetBytes, std::size_t blockBytes,
+                           std::size_t floorBlocks) {
+  const auto fromBytes = static_cast<std::size_t>(budgetBytes / blockBytes);
+  return std::max(fromBytes, floorBlocks);
+}
+
+}  // namespace
+
+StoredEmbeddingTable* spillTable(model::EmbeddingTable& table, const StoreOptions& opts) {
+  if (table.numRows() == 0) throw std::invalid_argument("spillTable: empty table");
+  if (opts.path.empty()) throw std::invalid_argument("spillTable: path required");
+
+  BlockFile file = BlockFile::create(opts.path, table.numRows(), table.dim(), opts.rowsPerBlock,
+                                     &readTableRow, &table);
+  const std::size_t budget = budgetToBlocks(opts.budgetBytes, file.blockBytes(),
+                                            StoredEmbeddingTable::kMinAttachedBlocks);
+  std::unique_ptr<StoredEmbeddingTable> backend(
+      new StoredEmbeddingTable(std::move(file), budget, opts.policy, opts.pinnedFraction,
+                               opts.metrics));
+  StoredEmbeddingTable* raw = backend.get();
+  table.attachStore(std::move(backend));
+  return raw;
+}
+
+ModelSpill spillModel(graph::ModelGraph& model, const std::string& dir, StoreOptions opts) {
+  std::filesystem::create_directories(dir);
+  // Both labels are the same shape, so the model budget splits evenly.
+  opts.budgetBytes /= 2;
+
+  ModelSpill spill;
+  opts.path = dir + "/embedding.blocks";
+  spill.embedding = spillTable(model.table(graph::Label::kEmbedding), opts);
+  opts.path = dir + "/training.blocks";
+  spill.training = spillTable(model.table(graph::Label::kTraining), opts);
+  return spill;
+}
+
+}  // namespace gw2v::store

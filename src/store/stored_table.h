@@ -1,0 +1,104 @@
+#pragma once
+
+// StoredEmbeddingTable — the out-of-core backend model::EmbeddingTable
+// delegates row residency to (model/row_store.h), plus the spill helpers
+// that move a live table/model onto it.
+//
+// spillTable() writes the table's current rows to a BlockFile (crash-safe
+// create: tmp + fsync + rename), wraps it in a budgeted BlockCache, and
+// attaches the backend; from then on every row access in the table — a
+// training mutableRow, a sync pack, a snapshot build, a checkpoint save —
+// read-throughs on row fault and write-back happens on dirty-block eviction
+// and flush(). The table's change tracking (dirty set, DeltaLog first-touch
+// capture, clearDirty rebaseline, row versions) stays in RAM and untouched,
+// so the sync engine, wire codecs, the parameter server, and incremental
+// EmbeddingSnapshot::fromModel all run unchanged on top, bit-identically to
+// the in-RAM table: faulted bytes round-trip the file exactly.
+//
+// The backend is owned by the table (attachStore takes a unique_ptr) and
+// dies with it — or with detachStore(), which rematerializes the matrix in
+// RAM. Wire StoreOptions::metrics to a caller-owned sink when the counters
+// must outlive the table (bench aggregation across a training run's
+// per-host replicas).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/embedding_table.h"
+#include "model/row_store.h"
+#include "store/block_cache.h"
+#include "store/block_file.h"
+#include "store/store_metrics.h"
+
+namespace gw2v::graph {
+class ModelGraph;
+}
+
+namespace gw2v::store {
+
+struct StoreOptions {
+  /// Backing block file path (created by spill, reopened by the cache).
+  std::string path;
+  /// Rows per block. Default 64 rows ≈ 32 KB blocks at dim 100.
+  std::uint32_t rowsPerBlock = 64;
+  /// Cache budget in bytes; translated to blocks (floor 1, and spillTable
+  /// floors attached-to-a-live-table budgets at kMinAttachedBlocks so spans
+  /// handed to training kernels are never evicted while held).
+  std::uint64_t budgetBytes = 0;
+  EvictionPolicy policy = EvictionPolicy::kLru;
+  /// kZipfPinned: share of the budget reserved for the hottest (lowest-id,
+  /// i.e. most frequent vocabulary) blocks.
+  double pinnedFraction = 0.5;
+  /// Optional external counter sink, additionally updated on every event.
+  /// Not owned; must outlive the cache.
+  StoreMetrics* metrics = nullptr;
+};
+
+class StoredEmbeddingTable final : public model::RowStoreBackend {
+ public:
+  /// Callers in this codebase hold at most a couple of row spans per table
+  /// at once (model/row_store.h); eight blocks of slack keeps every held
+  /// span resident even under a few Hogwild workers.
+  static constexpr std::size_t kMinAttachedBlocks = 8;
+
+  float* resolveRow(std::uint32_t row, bool forWrite) noexcept override {
+    return cache_.resolveRow(row, forWrite);
+  }
+
+  /// Write every dirty resident block back and fsync the backing file —
+  /// after this the file alone holds the current model bits.
+  void flush() { cache_.flush(); }
+
+  const StoreMetrics& metrics() const noexcept { return cache_.metrics(); }
+  const BlockCache& cache() const noexcept { return cache_; }
+  const BlockFile& file() const noexcept { return file_; }
+
+ private:
+  friend StoredEmbeddingTable* spillTable(model::EmbeddingTable&, const StoreOptions&);
+
+  StoredEmbeddingTable(BlockFile file, std::size_t budgetBlocks, EvictionPolicy policy,
+                       double pinnedFraction, StoreMetrics* sink)
+      : file_(std::move(file)),
+        cache_(file_, budgetBlocks, policy, pinnedFraction, sink) {}
+
+  BlockFile file_;
+  BlockCache cache_;
+};
+
+/// Spill `table`'s current rows to opts.path and attach the block-cached
+/// backend. Returns the backend (owned by the table) for counter access.
+/// The table must outlive any spans already handed out (spill between
+/// rounds, not mid-kernel).
+StoredEmbeddingTable* spillTable(model::EmbeddingTable& table, const StoreOptions& opts);
+
+/// Both labels of a ModelGraph spilled under `dir` (created if missing) as
+/// embedding.blocks / training.blocks. opts.budgetBytes is the budget for
+/// the whole model, split across the labels proportionally to their bytes.
+struct ModelSpill {
+  StoredEmbeddingTable* embedding = nullptr;
+  StoredEmbeddingTable* training = nullptr;
+};
+ModelSpill spillModel(graph::ModelGraph& model, const std::string& dir, StoreOptions opts);
+
+}  // namespace gw2v::store

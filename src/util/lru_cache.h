@@ -1,0 +1,84 @@
+#pragma once
+
+// Small intrusive-list LRU shared by the serving query cache
+// (serve/query_engine.h), the parameter-server client row cache
+// (ps/client_core.h), and the out-of-core block cache (store/block_cache.h).
+// Not thread-safe — every owner guards it with its own mutex (the cache sits
+// on request/fault paths, never inside the collectives).
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace gw2v::util {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  /// capacity 0 disables the cache (get misses, put is a no-op).
+  explicit LruCache(std::size_t capacity) : cap_(capacity) {}
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t size() const noexcept { return map_.size(); }
+
+  /// Returns the cached value and promotes the entry to most-recent.
+  std::optional<V> get(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Removes the entry and returns its value by move — the copy-free
+  /// counterpart of get() for callers that will put() the value back (or a
+  /// replacement) shortly, e.g. claim-then-refresh round caches.
+  std::optional<V> take(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    std::optional<V> out(std::move(it->second->second));
+    order_.erase(it->second);
+    map_.erase(it);
+    return out;
+  }
+
+  /// Inserts (or overwrites) and returns whatever value this displaced — the
+  /// overwritten value, the evicted LRU victim, or `value` itself when
+  /// capacity is 0 — so callers can recycle heap-heavy value storage.
+  std::optional<V> put(const K& key, V value) {
+    if (cap_ == 0) return std::optional<V>(std::move(value));
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      std::optional<V> old(std::move(it->second->second));
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return old;
+    }
+    std::optional<V> victim;
+    if (map_.size() >= cap_) {
+      victim.emplace(std::move(order_.back().second));
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+    return victim;
+  }
+
+  /// Key of the least-recently-used entry, without promoting it. Lets owners
+  /// that must act on a victim *before* displacing it (write dirty state
+  /// back, recycle its storage) pick it with take() ahead of the put() — the
+  /// block cache's write-back-before-eviction protocol.
+  std::optional<K> lruKey() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.back().first;
+  }
+
+ private:
+  std::size_t cap_;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> map_;
+};
+
+}  // namespace gw2v::util

@@ -4,8 +4,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <vector>
 
 #include "text/vocabulary.h"
 
@@ -211,6 +213,122 @@ TEST(ModelIo, ZeroNodeModelRoundTrips) {
   EXPECT_EQ(loaded.numNodes(), 0u);
   EXPECT_EQ(loaded.dim(), 3u);
   std::remove(path.c_str());
+}
+
+// ---- crash safety: atomic tmp+rename saves ----
+
+std::vector<char> fileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(ModelIoCrash, TornHeaderThrows) {
+  // A file cut mid-header (valid magic, incomplete version field) — the
+  // state a non-atomic writer could have left behind.
+  const std::string path = tempPath("gw2v_ckpt_torn.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("GW2VCKPT\x02", 9);
+  }
+  EXPECT_THROW(loadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCrash, SaveLeavesNoTmpBehind) {
+  ModelGraph model(6, 3);
+  model.randomizeEmbeddings(4);
+  const std::string path = tempPath("gw2v_ckpt_atomic.bin");
+  saveCheckpoint(path, model);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  saveCheckpointV3(path, model);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCrash, PartialWriteThenRenameRecovery) {
+  // Simulated crash mid-save: a good checkpoint at `path` plus a partial
+  // .tmp from a writer that died before its rename. The good file must load
+  // untouched, and a fresh save must clobber the stray .tmp.
+  ModelGraph model(6, 3);
+  model.randomizeEmbeddings(4);
+  const std::string path = tempPath("gw2v_ckpt_crash.bin");
+  saveCheckpoint(path, model);
+  const auto goodBytes = fileBytes(path);
+  {
+    std::ofstream out(path + ".tmp", std::ios::binary);
+    out.write("GW2VCKPT\x02\x00\x00\x00 partial", 20);
+  }
+  EXPECT_EQ(loadCheckpoint(path).numNodes(), 6u);
+  EXPECT_EQ(fileBytes(path), goodBytes);
+
+  saveCheckpoint(path, model);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(fileBytes(path), goodBytes);
+  std::remove(path.c_str());
+}
+
+// ---- v3: blocked payload ----
+
+TEST(ModelIoV3, RoundTripWithVocabAndPadding) {
+  ModelGraph model(10, 3);  // stride pads 3 -> 16, last block partial
+  model.randomizeEmbeddings(17);
+  const text::Vocabulary vocab = makeVocab(10);
+  const std::string path = tempPath("gw2v_ckpt_v3.bin");
+  saveCheckpointV3(path, model, &vocab, 4);
+  const Checkpoint ck = loadCheckpointFull(path);
+  ASSERT_TRUE(ck.vocab.has_value());
+  EXPECT_EQ(ck.vocab->size(), 10u);
+  for (int l = 0; l < kNumLabels; ++l) {
+    for (std::uint32_t n = 0; n < 10; ++n) {
+      const auto a = model.row(static_cast<Label>(l), n);
+      const auto b = ck.model.row(static_cast<Label>(l), n);
+      for (std::uint32_t d = 0; d < 3; ++d) ASSERT_EQ(a[d], b[d]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV3, CorruptGeometryThrows) {
+  ModelGraph model(4, 2);
+  const std::string path = tempPath("gw2v_ckpt_v3_geom.bin");
+  saveCheckpointV3(path, model, nullptr, 2);
+  // First label's rowsPerBlock sits right after the 24-byte preamble.
+  const std::uint32_t zero = 0;
+  patchBytes(path, 24, &zero, sizeof(zero));
+  EXPECT_THROW(loadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV3, TruncatedBlockPayloadThrows) {
+  ModelGraph model(9, 4);
+  model.randomizeEmbeddings(1);
+  const std::string path = tempPath("gw2v_ckpt_v3_trunc.bin");
+  saveCheckpointV3(path, model, nullptr, 4);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_EQ(truncate(path.c_str(), size - 10), 0);
+  EXPECT_THROW(loadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV3, TrailingBytesThrow) {
+  ModelGraph model(4, 2);
+  const std::string path = tempPath("gw2v_ckpt_v3_trailing.bin");
+  saveCheckpointV3(path, model);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_THROW(loadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV3, RejectsZeroRowsPerBlock) {
+  ModelGraph model(4, 2);
+  EXPECT_THROW(saveCheckpointV3(tempPath("gw2v_ckpt_v3_bad.bin"), model, nullptr, 0),
+               std::invalid_argument);
 }
 
 }  // namespace

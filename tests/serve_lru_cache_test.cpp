@@ -1,4 +1,4 @@
-#include "serve/lru_cache.h"
+#include "util/lru_cache.h"
 
 #include <gtest/gtest.h>
 
@@ -11,7 +11,7 @@
 // copy contract that makes "pinned reads" (claims that survive eviction)
 // sound.
 
-namespace gw2v::serve {
+namespace gw2v::util {
 namespace {
 
 /// The shape the ps client caches: per-label versions + values.
@@ -124,5 +124,26 @@ TEST(LruCache, PutReturnsDisplacedValue) {
   EXPECT_EQ(*bounced, "x");
 }
 
+TEST(LruCache, LruKeyTracksColdestWithoutPromoting) {
+  LruCache<int, int> cache(3);
+  EXPECT_FALSE(cache.lruKey().has_value());
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  ASSERT_TRUE(cache.lruKey().has_value());
+  EXPECT_EQ(*cache.lruKey(), 1);
+  // get() promotes; lruKey() itself must not.
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_EQ(*cache.lruKey(), 2);
+  EXPECT_EQ(*cache.lruKey(), 2);
+  // take(lruKey) + put is the write-back-before-eviction protocol: the
+  // victim leaves before the newcomer lands, so put never self-evicts.
+  const auto victim = cache.take(*cache.lruKey());
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 20);
+  EXPECT_FALSE(cache.put(4, 40).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
 }  // namespace
-}  // namespace gw2v::serve
+}  // namespace gw2v::util

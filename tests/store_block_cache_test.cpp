@@ -1,0 +1,217 @@
+#include "store/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "store/block_file.h"
+
+namespace gw2v::store {
+namespace {
+
+std::string tempPath(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+/// row r holds value r*100 + d in each of its dim slots.
+struct RowSource {
+  std::uint32_t dim;
+  mutable std::vector<float> scratch;
+
+  static const float* read(void* ctx, std::uint32_t row) {
+    auto* self = static_cast<const RowSource*>(ctx);
+    for (std::uint32_t d = 0; d < self->dim; ++d)
+      self->scratch[d] = static_cast<float>(row) * 100.0f + static_cast<float>(d);
+    return self->scratch.data();
+  }
+};
+
+/// 16 rows of dim 4, 2 rows per block -> 8 blocks.
+BlockFile makeFile(const std::string& path, std::uint32_t numRows = 16, std::uint32_t dim = 4,
+                   std::uint32_t rowsPerBlock = 2) {
+  RowSource src{dim, std::vector<float>(dim)};
+  return BlockFile::create(path, numRows, dim, rowsPerBlock, &RowSource::read, &src);
+}
+
+float expectVal(std::uint32_t row, std::uint32_t d) {
+  return static_cast<float>(row) * 100.0f + static_cast<float>(d);
+}
+
+TEST(BlockCache, PolicyNames) {
+  EXPECT_STREQ(evictionPolicyName(EvictionPolicy::kLru), "lru");
+  EXPECT_STREQ(evictionPolicyName(EvictionPolicy::kZipfPinned), "zipf-pinned");
+}
+
+TEST(BlockCache, BudgetExactlyOneBlock) {
+  const std::string path = tempPath("bc_one.blocks");
+  BlockFile file = makeFile(path);
+  BlockCache cache(file, 1, EvictionPolicy::kLru, 0.0, nullptr);
+  EXPECT_EQ(cache.budgetBlocks(), 1u);
+  EXPECT_EQ(cache.pinnedBudgetBlocks(), 0u);
+
+  // Alternate two rows from different blocks: every fault evicts the other.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(cache.resolveRow(0, false)[1], expectVal(0, 1));
+    EXPECT_EQ(cache.resolveRow(5, false)[3], expectVal(5, 3));
+    EXPECT_LE(cache.residentBlocks(), 1u);
+  }
+  const StoreMetrics& m = cache.metrics();
+  EXPECT_EQ(m.misses.load(), 6u);
+  EXPECT_EQ(m.hits.load(), 0u);
+  EXPECT_EQ(m.evictions.load(), 5u);  // first fault fills the free frame
+  EXPECT_EQ(m.writeBacks.load(), 0u);  // reads never dirty
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, HitOnResidentBlock) {
+  const std::string path = tempPath("bc_hit.blocks");
+  BlockFile file = makeFile(path);
+  BlockCache cache(file, 4, EvictionPolicy::kLru, 0.0, nullptr);
+  const float* a = cache.resolveRow(6, false);  // block 3: miss
+  const float* b = cache.resolveRow(7, false);  // block 3: hit, same frame
+  EXPECT_EQ(b, a + file.strideFloats());
+  EXPECT_EQ(cache.metrics().misses.load(), 1u);
+  EXPECT_EQ(cache.metrics().hits.load(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, ReFaultIsValueIdentical) {
+  const std::string path = tempPath("bc_refault.blocks");
+  BlockFile file = makeFile(path);
+  BlockCache cache(file, 1, EvictionPolicy::kLru, 0.0, nullptr);
+
+  float* row2 = cache.resolveRow(2, true);
+  for (std::uint32_t d = 0; d < 4; ++d) row2[d] = 7000.0f + static_cast<float>(d);
+  cache.resolveRow(9, false);  // evicts (and writes back) block 1
+  cache.resolveRow(14, false); // evicts block 4
+  const float* again = cache.resolveRow(2, false);
+  for (std::uint32_t d = 0; d < 4; ++d) EXPECT_EQ(again[d], 7000.0f + static_cast<float>(d));
+  // Untouched rows round-trip the original bits.
+  EXPECT_EQ(cache.resolveRow(3, false)[2], expectVal(3, 2));
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, DirtyBlockWrittenBackBeforeEviction) {
+  const std::string path = tempPath("bc_writeback.blocks");
+  BlockFile file = makeFile(path);
+  BlockCache cache(file, 1, EvictionPolicy::kLru, 0.0, nullptr);
+
+  cache.resolveRow(0, true)[0] = -1.0f;  // dirty block 0
+  // On-disk bytes are still the originals until the eviction forces them out.
+  std::vector<float> block(file.blockFloats());
+  file.readBlock(0, block.data());
+  EXPECT_EQ(block[0], expectVal(0, 0));
+
+  cache.resolveRow(4, false);  // evicts block 0 -> must write back first
+  file.readBlock(0, block.data());
+  EXPECT_EQ(block[0], -1.0f);
+  EXPECT_EQ(cache.metrics().writeBacks.load(), 1u);
+  EXPECT_EQ(cache.metrics().evictions.load(), 1u);
+
+  // The clean eviction that follows does not write.
+  cache.resolveRow(8, false);
+  EXPECT_EQ(cache.metrics().writeBacks.load(), 1u);
+  EXPECT_EQ(cache.metrics().evictions.load(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, FlushWritesAllDirtyFrames) {
+  const std::string path = tempPath("bc_flush.blocks");
+  BlockFile file = makeFile(path);
+  BlockCache cache(file, 4, EvictionPolicy::kLru, 0.0, nullptr);
+  cache.resolveRow(0, true)[0] = 11.0f;
+  cache.resolveRow(4, true)[0] = 22.0f;
+  cache.resolveRow(8, false);  // clean
+  cache.flush();
+  std::vector<float> block(file.blockFloats());
+  file.readBlock(0, block.data());
+  EXPECT_EQ(block[0], 11.0f);
+  file.readBlock(2, block.data());
+  EXPECT_EQ(block[0], 22.0f);
+  EXPECT_EQ(cache.metrics().writeBacks.load(), 2u);
+  // A second flush has nothing dirty left.
+  cache.flush();
+  EXPECT_EQ(cache.metrics().writeBacks.load(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, PinnedBlockNeverEvicted) {
+  const std::string path = tempPath("bc_pinned.blocks");
+  BlockFile file = makeFile(path);
+  // Budget 2, half pinned: block 0 pinned, one LRU frame for the other 7.
+  BlockCache cache(file, 2, EvictionPolicy::kZipfPinned, 0.5, nullptr);
+  EXPECT_EQ(cache.pinnedBudgetBlocks(), 1u);
+
+  const float* pinnedRow = cache.resolveRow(0, false);
+  EXPECT_EQ(pinnedRow[0], expectVal(0, 0));
+  // Thrash every tail block through the single LRU frame.
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t r = 2; r < 16; r += 2) cache.resolveRow(r, false);
+  }
+  // Block 0 is still resident at the same address, and re-access is a hit.
+  const std::uint64_t missesBefore = cache.metrics().misses.load();
+  EXPECT_EQ(cache.resolveRow(1, false), pinnedRow + file.strideFloats());
+  EXPECT_EQ(cache.metrics().misses.load(), missesBefore);
+  EXPECT_EQ(cache.metrics().pinnedResident.load(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, PinnedDirtyRowsReachDiskOnFlush) {
+  const std::string path = tempPath("bc_pinned_flush.blocks");
+  BlockFile file = makeFile(path);
+  BlockCache cache(file, 2, EvictionPolicy::kZipfPinned, 0.5, nullptr);
+  cache.resolveRow(1, true)[3] = -5.0f;  // block 0, pinned
+  cache.flush();
+  std::vector<float> block(file.blockFloats());
+  file.readBlock(0, block.data());
+  EXPECT_EQ(block[file.strideFloats() + 3], -5.0f);
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, ZipfPinnedKeepsOneLruFrame) {
+  const std::string path = tempPath("bc_allpinned.blocks");
+  BlockFile file = makeFile(path);
+  // pinnedFraction 1.0 must be capped: cold blocks still need a frame.
+  BlockCache cache(file, 4, EvictionPolicy::kZipfPinned, 1.0, nullptr);
+  EXPECT_EQ(cache.pinnedBudgetBlocks(), 3u);
+  for (std::uint32_t r = 0; r < 16; ++r)
+    EXPECT_EQ(cache.resolveRow(r, false)[1], expectVal(r, 1));
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, BudgetClampedToFileBlocks) {
+  const std::string path = tempPath("bc_clamp.blocks");
+  BlockFile file = makeFile(path);  // 8 blocks
+  BlockCache cache(file, 1000, EvictionPolicy::kLru, 0.0, nullptr);
+  EXPECT_EQ(cache.budgetBlocks(), 8u);
+  for (std::uint32_t r = 0; r < 16; ++r) cache.resolveRow(r, false);
+  EXPECT_EQ(cache.metrics().evictions.load(), 0u);
+  EXPECT_EQ(cache.residentBlocks(), 8u);
+  std::remove(path.c_str());
+}
+
+TEST(BlockCache, SinkReceivesEveryCount) {
+  const std::string path = tempPath("bc_sink.blocks");
+  BlockFile file = makeFile(path);
+  StoreMetrics sink;
+  {
+    BlockCache cache(file, 1, EvictionPolicy::kLru, 0.0, &sink);
+    cache.resolveRow(0, true);
+    cache.resolveRow(0, false);
+    cache.resolveRow(4, false);  // evicts + writes back block 0
+    EXPECT_EQ(sink.hits.load(), cache.metrics().hits.load());
+    EXPECT_EQ(sink.misses.load(), cache.metrics().misses.load());
+    EXPECT_EQ(sink.evictions.load(), cache.metrics().evictions.load());
+    EXPECT_EQ(sink.writeBacks.load(), cache.metrics().writeBacks.load());
+  }
+  // The sink outlives the cache with the counts intact.
+  EXPECT_EQ(sink.hits.load(), 1u);
+  EXPECT_EQ(sink.misses.load(), 2u);
+  EXPECT_EQ(sink.writeBacks.load(), 1u);
+  EXPECT_DOUBLE_EQ(sink.hitRate(), 1.0 / 3.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gw2v::store

@@ -1,0 +1,186 @@
+#include "store/block_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace gw2v::store {
+namespace {
+
+std::string tempPath(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+/// Row source backed by a dense (row, dim) matrix with exact stride dim.
+struct DenseRows {
+  std::uint32_t dim;
+  std::vector<float> data;
+
+  DenseRows(std::uint32_t numRows, std::uint32_t d) : dim(d), data(std::size_t(numRows) * d) {
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i) * 0.5f - 3.0f;
+  }
+
+  static const float* read(void* ctx, std::uint32_t row) {
+    auto* self = static_cast<DenseRows*>(ctx);
+    return self->data.data() + std::size_t(row) * self->dim;
+  }
+};
+
+std::vector<char> fileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(BlockFile, CreateOpenRoundTrip) {
+  const std::string path = tempPath("bf_roundtrip.blocks");
+  DenseRows rows(10, 5);
+  BlockFile f = BlockFile::create(path, 10, 5, 4, &DenseRows::read, &rows);
+  EXPECT_EQ(f.numRows(), 10u);
+  EXPECT_EQ(f.dim(), 5u);
+  EXPECT_EQ(f.rowsPerBlock(), 4u);
+  EXPECT_EQ(f.strideFloats(), static_cast<std::uint32_t>(util::rowStrideFloats(5)));
+  EXPECT_EQ(f.numBlocks(), 3u);  // ceil(10/4)
+
+  std::vector<float> block(f.blockFloats());
+  for (std::uint32_t b = 0; b < f.numBlocks(); ++b) {
+    f.readBlock(b, block.data());
+    for (std::uint32_t r = b * 4; r < std::min(10u, b * 4 + 4); ++r) {
+      const float* got = block.data() + std::size_t(r - b * 4) * f.strideFloats();
+      for (std::uint32_t d = 0; d < 5; ++d)
+        EXPECT_EQ(got[d], rows.data[std::size_t(r) * 5 + d]) << "row " << r << " dim " << d;
+      // Stride padding must be written as zero (deterministic file bytes).
+      for (std::uint32_t d = 5; d < f.strideFloats(); ++d) EXPECT_EQ(got[d], 0.0f);
+    }
+  }
+  // The trailing rows of the last, partial block are zero-filled.
+  f.readBlock(2, block.data());
+  for (std::size_t i = 2 * f.strideFloats(); i < f.blockFloats(); ++i) EXPECT_EQ(block[i], 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFile, CreateIsDeterministic) {
+  const std::string a = tempPath("bf_det_a.blocks");
+  const std::string b = tempPath("bf_det_b.blocks");
+  DenseRows rows(13, 7);
+  BlockFile::create(a, 13, 7, 4, &DenseRows::read, &rows);
+  BlockFile::create(b, 13, 7, 4, &DenseRows::read, &rows);
+  EXPECT_EQ(fileBytes(a), fileBytes(b));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(BlockFile, WriteBlockRoundTrips) {
+  const std::string path = tempPath("bf_write.blocks");
+  DenseRows rows(8, 4);
+  BlockFile f = BlockFile::create(path, 8, 4, 4, &DenseRows::read, &rows);
+  std::vector<float> block(f.blockFloats(), 42.5f);
+  f.writeBlock(1, block.data());
+  std::vector<float> got(f.blockFloats());
+  f.readBlock(1, got.data());
+  EXPECT_EQ(got, block);
+  // Block 0 untouched.
+  f.readBlock(0, got.data());
+  EXPECT_EQ(got[0], rows.data[0]);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFile, RejectsBadShape) {
+  DenseRows rows(4, 4);
+  EXPECT_THROW(BlockFile::create(tempPath("bf_bad.blocks"), 4, 0, 4, &DenseRows::read, &rows),
+               std::invalid_argument);
+  EXPECT_THROW(BlockFile::create(tempPath("bf_bad.blocks"), 4, 4, 0, &DenseRows::read, &rows),
+               std::invalid_argument);
+}
+
+TEST(BlockFile, MissingFileThrows) {
+  EXPECT_THROW(BlockFile::open("/nonexistent/gw2v.blocks"), std::runtime_error);
+}
+
+TEST(BlockFile, TruncatedFileThrows) {
+  const std::string path = tempPath("bf_trunc.blocks");
+  DenseRows rows(10, 5);
+  BlockFile::create(path, 10, 5, 4, &DenseRows::read, &rows);
+  const auto bytes = fileBytes(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 10));
+  }
+  EXPECT_THROW(BlockFile::open(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFile, OversizedFileThrows) {
+  const std::string path = tempPath("bf_oversize.blocks");
+  DenseRows rows(10, 5);
+  BlockFile::create(path, 10, 5, 4, &DenseRows::read, &rows);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_THROW(BlockFile::open(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFile, TornHeaderThrows) {
+  const std::string path = tempPath("bf_torn.blocks");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GW2VBLK1short";  // valid magic, header cut off mid-way
+  }
+  EXPECT_THROW(BlockFile::open(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFile, BadMagicThrows) {
+  const std::string path = tempPath("bf_magic.blocks");
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::vector<char> junk(256, 'x');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  EXPECT_THROW(BlockFile::open(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFile, CorruptGeometryThrows) {
+  const std::string path = tempPath("bf_geom.blocks");
+  DenseRows rows(10, 5);
+  BlockFile::create(path, 10, 5, 4, &DenseRows::read, &rows);
+  // Patch strideFloats (header offset 24) to disagree with dim.
+  {
+    std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(24);
+    const std::uint32_t badStride = 999;
+    io.write(reinterpret_cast<const char*>(&badStride), sizeof(badStride));
+  }
+  EXPECT_THROW(BlockFile::open(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFile, PartialWriteThenRenameRecovery) {
+  // The crash scenario the tmp+rename protocol exists for: a previous
+  // create died mid-write, leaving a partial .tmp next to a good file.
+  const std::string path = tempPath("bf_crash.blocks");
+  DenseRows rows(10, 5);
+  BlockFile::create(path, 10, 5, 4, &DenseRows::read, &rows);
+  const auto goodBytes = fileBytes(path);
+  {
+    std::ofstream out(path + ".tmp", std::ios::binary);
+    out << "GW2VBLK1 partial garbage from a crashed writer";
+  }
+  // The stray .tmp neither corrupts open() nor blocks a fresh create.
+  BlockFile f = BlockFile::open(path);
+  EXPECT_EQ(f.numRows(), 10u);
+  BlockFile::create(path, 10, 5, 4, &DenseRows::read, &rows);
+  EXPECT_EQ(fileBytes(path), goodBytes);
+  std::filesystem::remove(path + ".tmp");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gw2v::store
