@@ -28,7 +28,11 @@ if [[ "$SANITIZE" == *thread* ]]; then
   # model/bitvector tests, and the async parameter server (PsTrain.*: one
   # thread per rank pushing/serving concurrently; each rank's model is
   # thread-private and VirtualTimeBoard stamps are atomics, so the async
-  # push path must be race-free, not benignly racy) — must be race-free.
+  # push path must be race-free, not benignly racy), and the streaming
+  # corpus rings (Streaming.* / StreamTrain.*: one producer thread per
+  # shard publishing chunks under the ring mutex while trainer hosts
+  # drain them; epoch replay and destructor shutdown cross generations)
+  # — must be race-free.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" -E 'Hogwild'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

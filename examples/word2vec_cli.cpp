@@ -19,6 +19,10 @@
 //                 files under D (src/store/), training bit-identical
 //   -cache-mb N   block-cache budget per replica in MB (default 64;
 //                 only meaningful with -spill-dir)
+//   -stream 1   stream the corpus from disk each epoch through bounded
+//               per-host rings instead of materializing it in RAM; same
+//               token streams, so same model bits (shuffle differs — see
+//               TrainOptions::shuffleEachEpoch)
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +34,7 @@
 #include "eval/embedding_view.h"
 #include "eval/vectors_io.h"
 #include "text/corpus.h"
+#include "text/streaming.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
 
@@ -43,7 +48,7 @@ int usage() {
                "  word2vec_cli train <corpus.txt> <vectors.txt> [-size N] [-window N]\n"
                "                [-negative N] [-sample F] [-alpha F] [-iter N]\n"
                "                [-min-count N] [-hosts N] [-cbow 1]\n"
-               "                [-spill-dir D] [-cache-mb N]\n"
+               "                [-spill-dir D] [-cache-mb N] [-stream 1]\n"
                "  word2vec_cli nn <vectors.txt> <word> [k]\n");
   return 2;
 }
@@ -60,6 +65,7 @@ int runTrain(int argc, char** argv) {
   std::uint64_t minCount = 5;
   std::string spillDir;
   std::uint64_t cacheMb = 64;
+  bool stream = false;
   for (int i = 4; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const char* val = argv[i + 1];
@@ -73,6 +79,7 @@ int runTrain(int argc, char** argv) {
     else if (flag == "-hosts") opts.numHosts = static_cast<unsigned>(std::atoi(val));
     else if (flag == "-spill-dir") spillDir = val;
     else if (flag == "-cache-mb") cacheMb = static_cast<std::uint64_t>(std::atoll(val));
+    else if (flag == "-stream") stream = std::atoi(val) != 0;
     else if (flag == "-cbow" && std::atoi(val) != 0)
       opts.sgns.architecture = core::Architecture::kCbow;
     else {
@@ -95,14 +102,18 @@ int runTrain(int argc, char** argv) {
                  static_cast<unsigned long long>(minCount));
     return 1;
   }
-  // Pass 2: encode.
+  // Pass 2: encode into RAM — or, with -stream, skip materialization and let
+  // per-host producer threads re-read + encode the file every epoch.
   std::vector<text::WordId> corpus;
-  corpus.reserve(rawTokens);
-  text::forEachFileToken(corpusPath, [&](std::string_view tok) {
-    if (const auto id = vocab.idOf(tok)) corpus.push_back(*id);
-  });
-  std::printf("vocab %u words, %zu/%llu tokens kept\n", vocab.size(), corpus.size(),
-              static_cast<unsigned long long>(rawTokens));
+  if (!stream) {
+    corpus.reserve(rawTokens);
+    text::forEachFileToken(corpusPath, [&](std::string_view tok) {
+      if (const auto id = vocab.idOf(tok)) corpus.push_back(*id);
+    });
+  }
+  std::printf("vocab %u words, %llu/%llu tokens kept%s\n", vocab.size(),
+              static_cast<unsigned long long>(vocab.totalTokens()),
+              static_cast<unsigned long long>(rawTokens), stream ? " (streaming)" : "");
 
   // Out-of-core mode: every replica trains against a block-cached spill
   // file instead of an in-RAM matrix — same model bits, bounded memory.
@@ -120,14 +131,26 @@ int runTrain(int argc, char** argv) {
   }
 
   const core::GraphWord2Vec trainer(vocab, opts);
-  const auto result =
-      trainer.train(corpus, [](const core::EpochStats& st, const graph::ModelGraph&) {
-        std::printf("epoch %2u  loss %.4f  alpha %.5f\n", st.epoch, st.avgLoss,
-                    static_cast<double>(st.alphaEnd));
-      });
+  const auto observer = [](const core::EpochStats& st, const graph::ModelGraph&) {
+    std::printf("epoch %2u  loss %.4f  alpha %.5f\n", st.epoch, st.avgLoss,
+                static_cast<double>(st.alphaEnd));
+  };
+  core::TrainResult result;
+  if (stream) {
+    const auto source =
+        text::streamTextFile(corpusPath, vocab, vocab.totalTokens(), opts.numHosts);
+    result = trainer.train(*source, observer);
+  } else {
+    result = trainer.train(corpus, observer);
+  }
   std::printf("trained %llu examples on %u host(s); simulated time %.2fs\n",
               static_cast<unsigned long long>(result.totalExamples), opts.numHosts,
               result.cluster.simulatedSeconds());
+  if (stream) {
+    std::printf("peak resident corpus: %llu bytes (materialized would be %llu)\n",
+                static_cast<unsigned long long>(result.corpusResidentBytesPeak),
+                static_cast<unsigned long long>(vocab.totalTokens() * sizeof(text::WordId)));
+  }
   if (!spillDir.empty()) {
     std::printf("store: hit-rate %.4f (%llu hits, %llu misses, %llu write-backs)\n",
                 storeMetrics.hitRate(),

@@ -64,6 +64,14 @@ for b in /root/repo/build/bench/*; do
       GW2V_STORE_JSON=/root/repo/bench_results/BENCH_store.json "$b"
       rm -rf /root/repo/bench_results/store_spill
       ;;
+    graph_embeddings)
+      # Random-walk node-embedding workload: walk throughput, per-ingestion-
+      # path wall time and peak resident corpus bytes, held-out recall@10 /
+      # link AUC. Gates bit-identity across paths, recall@10 >= 0.5 (random
+      # <= 0.05), AUC >= 0.9, and pipelined peak corpus <= 25% of
+      # materialized (nonzero exit on failure).
+      GW2V_GRAPHEMB_JSON=/root/repo/bench_results/BENCH_graphemb.json "$b"
+      ;;
     *)
       "$b"
       ;;

@@ -60,7 +60,124 @@ GraphWord2Vec::GraphWord2Vec(const text::Vocabulary& vocab, TrainOptions opts)
     opts_.syncRoundsPerEpoch = defaultSyncRounds(opts_.numHosts);
 }
 
+namespace {
+
+/// Assembles per-sync-round token spans from a streaming CorpusShard's
+/// chunks. Round s of an epoch covers the blockRange(total, rounds, s) slice
+/// of the shard's declared tokensPerEpoch; whenever that slice lies inside
+/// the currently-pulled chunk it is returned zero-copy, otherwise it is
+/// stitched into a scratch buffer bounded by the round size (corpus /
+/// (hosts * rounds) tokens — the trainer-side share of streaming memory).
+/// Chunk ids are validated at pull time; with chunk shuffling on, each chunk
+/// is re-ordered in a private copy, deterministic per
+/// (seed, host, epoch, chunk index).
+class RoundFeeder {
+ public:
+  RoundFeeder(text::CorpusShard& shard, unsigned rounds, std::uint32_t vocabSize,
+              bool shuffleChunks, std::uint64_t seed, unsigned host)
+      : shard_(shard),
+        rounds_(rounds),
+        total_(shard.tokensPerEpoch()),
+        vocabSize_(vocabSize),
+        shuffleChunks_(shuffleChunks),
+        seed_(seed),
+        host_(host) {}
+
+  void beginEpoch(unsigned epoch) {
+    shard_.beginEpoch(epoch);
+    epoch_ = epoch;
+    chunkIdx_ = 0;
+    cur_ = {};
+    off_ = 0;
+  }
+
+  /// Tokens of round `s`; rounds must be requested in order 0..rounds-1.
+  /// The span is valid until the next round()/beginEpoch() call.
+  std::span<const text::WordId> round(unsigned s) {
+    const auto [lo, hi] = runtime::blockRange(total_, rounds_, s);
+    const std::uint64_t need = hi - lo;
+    if (need == 0) return {};
+    if (off_ == cur_.size()) pullOrThrow();
+    if (cur_.size() - off_ >= need) {
+      const auto out = cur_.subspan(off_, need);
+      off_ += need;
+      return out;
+    }
+    buf_.clear();
+    buf_.reserve(need);
+    while (buf_.size() < need) {
+      if (off_ == cur_.size()) pullOrThrow();
+      const std::uint64_t take =
+          std::min<std::uint64_t>(need - buf_.size(), cur_.size() - off_);
+      const auto piece = cur_.subspan(off_, take);
+      buf_.insert(buf_.end(), piece.begin(), piece.end());
+      off_ += take;
+    }
+    return buf_;
+  }
+
+  /// Scratch this feeder holds onto (round-assembly + chunk-shuffle copies).
+  std::uint64_t bufferedBytesPeak() const noexcept {
+    return (buf_.capacity() + copy_.capacity()) * sizeof(text::WordId);
+  }
+
+ private:
+  void pullOrThrow() {
+    const auto chunk = shard_.nextChunk();
+    if (chunk.empty()) {
+      throw std::runtime_error(
+          "GraphWord2Vec: corpus shard under-delivered its declared tokensPerEpoch");
+    }
+    for (const text::WordId w : chunk) {
+      if (w >= vocabSize_)
+        throw std::out_of_range("GraphWord2Vec: corpus id out of vocabulary");
+    }
+    if (shuffleChunks_ && chunk.size() > 1) {
+      copy_.assign(chunk.begin(), chunk.end());
+      std::uint64_t x = util::hash64(seed_ ^ (0xC0FFEEULL + host_));
+      x = util::hash64(x ^ ((static_cast<std::uint64_t>(epoch_) << 32) | chunkIdx_));
+      util::Rng rng(x);
+      for (std::size_t i = copy_.size(); i > 1; --i) {
+        std::swap(copy_[i - 1], copy_[rng.bounded(i)]);
+      }
+      cur_ = copy_;
+    } else {
+      cur_ = chunk;
+    }
+    off_ = 0;
+    ++chunkIdx_;
+  }
+
+  text::CorpusShard& shard_;
+  const unsigned rounds_;
+  const std::uint64_t total_;
+  const std::uint32_t vocabSize_;
+  const bool shuffleChunks_;
+  const std::uint64_t seed_;
+  const unsigned host_;
+  unsigned epoch_ = 0;
+  std::uint64_t chunkIdx_ = 0;
+  std::span<const text::WordId> cur_;
+  std::uint64_t off_ = 0;
+  std::vector<text::WordId> buf_;
+  std::vector<text::WordId> copy_;
+};
+
+}  // namespace
+
 TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
+                                 const EpochObserver& observer) const {
+  // Validate before launching anything — the exact pre-streaming API error
+  // behavior for materialized corpora.
+  for (const text::WordId w : corpus) {
+    if (w >= vocab_.size())
+      throw std::out_of_range("GraphWord2Vec: corpus id out of vocabulary");
+  }
+  text::SpanCorpusSource source(corpus, opts_.numHosts);
+  return train(source, observer);
+}
+
+TrainResult GraphWord2Vec::train(text::CorpusSource& source,
                                  const EpochObserver& observer) const {
   const unsigned numHosts = opts_.numHosts;
   const unsigned rounds = opts_.syncRoundsPerEpoch;
@@ -69,8 +186,8 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
   const std::uint32_t dim = opts_.sgns.dim;
   const bool pull = opts_.strategy == comm::SyncStrategy::kPullModel;
 
-  for (const text::WordId w : corpus) {
-    if (w >= vocabSize) throw std::out_of_range("GraphWord2Vec: corpus id out of vocabulary");
+  if (source.numShards() != numHosts) {
+    throw std::invalid_argument("GraphWord2Vec: corpus source shard count != numHosts");
   }
 
   // Shared read-only state; real hosts would build identical copies from
@@ -86,7 +203,6 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
   SgnsParams driverParams = opts_.sgns;
   if (hs) driverParams.negatives = 0;
 
-  const std::vector<std::vector<text::WordId>> parts = text::partitionCorpus(corpus, numHosts);
   const graph::BlockedPartition partition(vocabSize, numHosts);
 
   // Full replica per host, identically initialized (deterministic per-node
@@ -115,6 +231,7 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
 
   std::vector<EpochStats> epochStats(epochs);
   std::vector<std::uint64_t> perHostExamples(numHosts, 0);
+  std::vector<std::uint64_t> perHostScratchPeak(numHosts, 0);
 
   const auto body = [&](sim::HostContext& ctx) {
     const unsigned host = ctx.id();
@@ -123,12 +240,30 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
                           opts_.sync);
     comm::SimTransport transport(ctx.network());
     comm::Collectives coll(transport, host, comm::TagSpace::kTrainer);
-    // With shuffling on, the host re-permutes a private copy each epoch.
+
+    text::CorpusShard& shard = source.shard(host);
+    const auto wholeEpoch = shard.materializedEpoch();
+
+    // Materialized path: the shard's stable epoch span, exactly the
+    // pre-streaming worklist slice. With shuffling on, the host re-permutes
+    // a private copy each epoch (cumulatively — the epoch-e order composes
+    // the shuffles of epochs 1..e, as the span API always has).
     std::vector<text::WordId> shuffled;
-    if (opts_.shuffleEachEpoch) shuffled = parts[host];
-    const std::span<const text::WordId> tokens =
-        opts_.shuffleEachEpoch ? std::span<const text::WordId>(shuffled)
-                               : std::span<const text::WordId>(parts[host]);
+    std::span<const text::WordId> tokens;
+    if (wholeEpoch.has_value()) {
+      for (const text::WordId w : *wholeEpoch) {
+        if (w >= vocabSize)
+          throw std::out_of_range("GraphWord2Vec: corpus id out of vocabulary");
+      }
+      if (opts_.shuffleEachEpoch) {
+        shuffled.assign(wholeEpoch->begin(), wholeEpoch->end());
+        tokens = shuffled;
+      } else {
+        tokens = *wholeEpoch;
+      }
+    }
+    // Streaming path: rounds are assembled on demand from producer chunks.
+    RoundFeeder feeder(shard, rounds, vocabSize, opts_.shuffleEachEpoch, opts_.seed, host);
     const unsigned numThreads = ctx.pool().numThreads();
 
     const bool cbow = opts_.sgns.architecture == Architecture::kCbow;
@@ -160,16 +295,11 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
       x = util::hash64(x ^ (0x7777ULL + t));
       return x;
     };
-    const auto chunkOf = [&](unsigned s) {
-      const auto [lo, hi] = runtime::blockRange(tokens.size(), rounds, s);
-      return tokens.subspan(lo, hi - lo);
-    };
-
     // PullModel inspection: dry-run the edge stream of round (epoch, s) with
     // the exact RNG seeds compute will use, recording every node accessed.
-    const auto inspect = [&](unsigned epoch, unsigned s) {
+    const auto inspect = [&](std::span<const text::WordId> chunk, unsigned epoch,
+                             unsigned s) {
       willAccess.reset();
-      const auto chunk = chunkOf(s);
       for (unsigned t = 0; t < numThreads; ++t) {
         const auto [lo, hi] = runtime::blockRange(chunk.size(), numThreads, t);
         util::Rng rng(threadSeed(epoch, s, t));
@@ -204,7 +334,10 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
 
     std::uint64_t hostExamples = 0;
     for (unsigned epoch = 0; epoch < epochs; ++epoch) {
-      if (opts_.shuffleEachEpoch) {
+      if (!wholeEpoch.has_value()) {
+        // Streaming: rewind/kick the producer for this epoch's stream.
+        feeder.beginEpoch(epoch);
+      } else if (opts_.shuffleEachEpoch) {
         ctx.computeTimer().start();
         util::Rng rng(util::hash64(opts_.seed ^ 0xf00dULL ^
                                    ((static_cast<std::uint64_t>(host) << 32) | epoch)));
@@ -217,17 +350,28 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
       runtime::PerThread<std::uint64_t> exampleAcc(numThreads, 0);
 
       for (unsigned s = 0; s < rounds; ++s) {
+        // The round's worklist: zero-copy subspan on the materialized path,
+        // bounded chunk drain (charged as host compute) on the streaming one.
+        std::span<const text::WordId> chunk;
+        if (wholeEpoch.has_value()) {
+          const auto [lo, hi] = runtime::blockRange(tokens.size(), rounds, s);
+          chunk = tokens.subspan(lo, hi - lo);
+        } else {
+          ctx.computeTimer().start();
+          chunk = feeder.round(s);
+          ctx.computeTimer().stop();
+        }
+
         if (pull) {
           // Inspection is host CPU work — it is PullModel's overhead and is
           // charged to compute time, as in the paper's accounting.
           ctx.computeTimer().start();
-          inspect(epoch, s);
+          inspect(chunk, epoch, s);
           ctx.computeTimer().stop();
           sync.sync(willAccess);  // reduces the previous round, pulls this one
         }
 
         const float alpha = alphaFor(static_cast<std::uint64_t>(epoch) * rounds + s);
-        const auto chunk = chunkOf(s);
         ctx.computeTimer().start();
         ctx.pool().onEach([&](unsigned t) {
           const auto [lo, hi] = runtime::blockRange(chunk.size(), numThreads, t);
@@ -304,6 +448,8 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
       sync.sync(none);
     }
     perHostExamples[host] = hostExamples;
+    perHostScratchPeak[host] =
+        feeder.bufferedBytesPeak() + shuffled.capacity() * sizeof(text::WordId);
   };
 
   sim::ClusterOptions copts;
@@ -327,6 +473,8 @@ TrainResult GraphWord2Vec::train(std::span<const text::WordId> corpus,
     }
   }
   for (const auto e : perHostExamples) result.totalExamples += e;
+  result.corpusResidentBytesPeak = source.bufferedBytesPeak();
+  for (const auto b : perHostScratchPeak) result.corpusResidentBytesPeak += b;
   return result;
 }
 

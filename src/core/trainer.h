@@ -21,6 +21,7 @@
 #include "core/sgns.h"
 #include "graph/model_graph.h"
 #include "sim/cluster.h"
+#include "text/corpus_source.h"
 #include "text/vocabulary.h"
 
 namespace gw2v::core {
@@ -46,8 +47,18 @@ struct TrainOptions {
   std::uint64_t seed = 42;
   /// Collect SGNS loss during training (small overhead; on by default).
   bool trackLoss = true;
-  /// Shuffle each host's worklist before every epoch (the standard SGD trick
-  /// Section 2.2 mentions). Deterministic per (seed, host, epoch).
+  /// Shuffle training order before every epoch (the standard SGD trick
+  /// Section 2.2 mentions). Contract, by ingestion path:
+  ///  - Materialized (span / SpanCorpusSource) shards: the host's whole
+  ///    worklist is Fisher-Yates shuffled in place before each epoch,
+  ///    deterministic per (seed, host, epoch) and cumulative across epochs —
+  ///    unchanged from the pre-streaming API, bit-for-bit.
+  ///  - Streaming shards: a full-worklist shuffle would require materializing
+  ///    the epoch, so each pulled chunk is shuffled *within itself* instead,
+  ///    deterministic per (seed, host, epoch, chunk index). Training bits
+  ///    therefore depend on the producer's chunk size when this is set (with
+  ///    it off, streaming is bit-identical to the materialized path at any
+  ///    chunk size).
   bool shuffleEachEpoch = false;
   /// Learning-rate floor as a fraction of the initial rate (word2vec.c: 1e-4).
   float minAlphaFraction = 1e-4f;
@@ -90,15 +101,32 @@ struct TrainResult {
   /// Canonical final model, composed from each host's master range.
   graph::ModelGraph model;
   std::uint64_t totalExamples = 0;
+  /// Upper bound on corpus bytes resident at once during training: the
+  /// source's own buffers (ring slots / full corpus if materialized) plus
+  /// every host's round-assembly scratch. The streaming-vs-materialized
+  /// memory gate in bench/graph_embeddings compares this across paths.
+  std::uint64_t corpusResidentBytesPeak = 0;
 };
 
 class GraphWord2Vec {
  public:
   GraphWord2Vec(const text::Vocabulary& vocab, TrainOptions opts);
 
-  /// Train on an id-encoded corpus (Algorithm 1 end-to-end: partition,
-  /// replicate, train, synchronize). Thread-safe w.r.t. other instances.
+  /// Train on a materialized id-encoded corpus (Algorithm 1 end-to-end:
+  /// partition, replicate, train, synchronize). Thread-safe w.r.t. other
+  /// instances. Wraps the corpus in a SpanCorpusSource; bit-identical to the
+  /// pre-streaming API.
   TrainResult train(std::span<const text::WordId> corpus,
+                    const EpochObserver& observer = nullptr) const;
+
+  /// Train from a pull-based corpus source (one shard per host; shard h
+  /// feeds host h's worklist). Each sync round consumes its blockRange share
+  /// of the shard's tokensPerEpoch(), assembled from whatever chunks the
+  /// source yields — materialized shards take the exact pre-streaming code
+  /// path (round = zero-copy subspan), streaming shards are drained
+  /// concurrently with production (bounded scratch, backpressure upstream).
+  /// The source is reused across epochs via CorpusShard::beginEpoch.
+  TrainResult train(text::CorpusSource& source,
                     const EpochObserver& observer = nullptr) const;
 
   const TrainOptions& options() const noexcept { return opts_; }

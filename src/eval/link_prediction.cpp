@@ -1,0 +1,98 @@
+#include "eval/link_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace gw2v::eval {
+
+namespace {
+
+float cosine(const EmbeddingView& view, text::WordId a, text::WordId b) {
+  // Rows are unit-normalized by the view, so the dot product is the cosine.
+  const auto va = view.vectorOf(a);
+  const auto vb = view.vectorOf(b);
+  float dot = 0.0f;
+  for (std::size_t i = 0; i < va.size(); ++i) dot += va[i] * vb[i];
+  return dot;
+}
+
+bool hasEdge(const graph::CSRGraph& g, graph::NodeId u, graph::NodeId v) {
+  const auto nbrs = g.neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+}  // namespace
+
+EdgeSplit splitEdges(std::span<const graph::Edge> undirected, double heldFraction,
+                     std::uint64_t seed) {
+  if (heldFraction < 0.0 || heldFraction > 1.0)
+    throw std::invalid_argument("splitEdges: heldFraction must be in [0, 1]");
+  EdgeSplit out;
+  std::vector<graph::Edge> all(undirected.begin(), undirected.end());
+  util::Rng rng(util::hash64(seed ^ 0x11A8ED6E5ULL));
+  for (std::size_t i = all.size(); i > 1; --i)
+    std::swap(all[i - 1], all[rng.bounded(i)]);
+  const auto heldCount = static_cast<std::size_t>(
+      std::llround(heldFraction * static_cast<double>(all.size())));
+  out.held.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(heldCount));
+  out.train.assign(all.begin() + static_cast<std::ptrdiff_t>(heldCount), all.end());
+  return out;
+}
+
+double neighborRecallAtK(const EmbeddingView& view, const graph::NodeVocabulary& nodes,
+                         std::span<const graph::Edge> held, unsigned k) {
+  std::uint64_t hits = 0;
+  std::uint64_t total = 0;
+  auto tryDirection = [&](graph::NodeId src, graph::NodeId dst) {
+    const auto ws = nodes.wordOfNode[src];
+    const auto wd = nodes.wordOfNode[dst];
+    if (ws == text::kInvalidWord || wd == text::kInvalidWord) return;
+    ++total;
+    for (const Neighbor& n : view.nearestTo(ws, k)) {
+      if (n.word == wd) {
+        ++hits;
+        return;
+      }
+    }
+  };
+  for (const graph::Edge& e : held) {
+    tryDirection(e.src, e.dst);
+    tryDirection(e.dst, e.src);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double linkAuc(const EmbeddingView& view, const graph::NodeVocabulary& nodes,
+               const graph::CSRGraph& trainGraph, std::span<const graph::Edge> held,
+               std::uint64_t seed) {
+  util::Rng rng(util::hash64(seed ^ 0xA0CC0FFEEULL));
+  const graph::NodeId numNodes = trainGraph.numNodes();
+  double score = 0.0;
+  std::uint64_t total = 0;
+  for (const graph::Edge& e : held) {
+    const auto wu = nodes.wordOfNode[e.src];
+    const auto wv = nodes.wordOfNode[e.dst];
+    if (wu == text::kInvalidWord || wv == text::kInvalidWord) continue;
+    // Rejection-sample a non-neighbor of u that is in the vocabulary.
+    text::WordId wx = text::kInvalidWord;
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto x = static_cast<graph::NodeId>(rng.bounded(numNodes));
+      if (x == e.src || x == e.dst || hasEdge(trainGraph, e.src, x)) continue;
+      if (nodes.wordOfNode[x] == text::kInvalidWord) continue;
+      wx = nodes.wordOfNode[x];
+      break;
+    }
+    if (wx == text::kInvalidWord) continue;  // near-complete graph; skip pair
+    ++total;
+    const float pos = cosine(view, wu, wv);
+    const float neg = cosine(view, wu, wx);
+    score += pos > neg ? 1.0 : pos == neg ? 0.5 : 0.0;
+  }
+  return total == 0 ? 0.5 : score / static_cast<double>(total);
+}
+
+}  // namespace gw2v::eval

@@ -1,0 +1,52 @@
+#pragma once
+
+// Link-prediction evaluation for node embeddings: hold out a fraction of a
+// graph's edges, train on the remainder, and measure whether the embedding
+// geometry recovers the held-out structure. Two standard metrics:
+//
+//  - neighbor-recall@k: fraction of held-out edges (u, v) where v appears in
+//    the top-k cosine neighbors of u. Random vectors score ~k/|V|.
+//  - link AUC: probability that a held-out edge outscores (by cosine) a
+//    sampled non-edge with the same source endpoint.
+//
+// Both run over an eval::EmbeddingView, so they use the same normalized
+// snapshot + top-k code path as the analogy/word-sim suites and the serving
+// tier.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eval/embedding_view.h"
+#include "graph/csr.h"
+#include "graph/random_walks.h"
+
+namespace gw2v::eval {
+
+struct EdgeSplit {
+  std::vector<graph::Edge> train;  ///< symmetrize + build the training graph from these
+  std::vector<graph::Edge> held;   ///< evaluation edges (one direction each)
+};
+
+/// Hold out round(heldFraction * |edges|) edges uniformly at random,
+/// deterministic per seed. `undirected` is the one-direction-per-edge list
+/// (pre-symmetrize); both returned lists are in that form.
+EdgeSplit splitEdges(std::span<const graph::Edge> undirected, double heldFraction,
+                     std::uint64_t seed);
+
+/// Fraction of held edges (u, v) — counting both endpoints' directions —
+/// where the other endpoint's word ranks in the top-k cosine neighbors.
+/// Edge directions whose source or destination is missing from the
+/// vocabulary (isolated in the training graph) are skipped.
+double neighborRecallAtK(const EmbeddingView& view, const graph::NodeVocabulary& nodes,
+                         std::span<const graph::Edge> held, unsigned k);
+
+/// AUC over (held edge, sampled non-edge) pairs: for each held edge (u, v),
+/// sample x uniformly with (u, x) not an edge of `trainGraph`, x != u, and
+/// score 1 / 0.5 / 0 for cos(u,v) > / = / < cos(u,x). Deterministic per
+/// seed. ~0.5 for random embeddings, -> 1 as geometry recovers structure.
+double linkAuc(const EmbeddingView& view, const graph::NodeVocabulary& nodes,
+               const graph::CSRGraph& trainGraph, std::span<const graph::Edge> held,
+               std::uint64_t seed);
+
+}  // namespace gw2v::eval

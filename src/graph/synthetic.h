@@ -1,0 +1,77 @@
+#pragma once
+
+// Synthetic graphs for the node-embedding workload: a planted-partition
+// ("community") generator whose ground truth makes embedding quality
+// checkable without external data. Nodes split into k equal communities;
+// each node draws many more edges inside its community than across, so a
+// good embedding places same-community nodes near each other — the
+// neighbor-recall / link-prediction gates in bench/graph_embeddings.cpp
+// measure exactly that against the planted structure.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace gw2v::graph {
+
+struct CommunityGraphSpec {
+  unsigned communities = 16;
+  unsigned nodesPerCommunity = 64;
+  /// Undirected intra-community edges drawn per node (>= 1 so no node is
+  /// isolated). Multi-edges are possible and act as edge weights.
+  unsigned intraEdgesPerNode = 8;
+  /// Undirected cross-community edges drawn per node (noise).
+  unsigned interEdgesPerNode = 1;
+  std::uint64_t seed = 1;
+};
+
+struct CommunityGraph {
+  /// Symmetrized directed edge list (both directions of every drawn edge).
+  std::vector<Edge> edges;
+  std::vector<unsigned> communityOf;  // size numNodes
+  NodeId numNodes = 0;
+
+  CSRGraph csr() const { return CSRGraph(numNodes, edges); }
+};
+
+inline CommunityGraph makeCommunityGraph(const CommunityGraphSpec& spec) {
+  if (spec.communities == 0 || spec.nodesPerCommunity < 2)
+    throw std::invalid_argument("makeCommunityGraph: need >= 1 community of >= 2 nodes");
+  if (spec.intraEdgesPerNode == 0)
+    throw std::invalid_argument("makeCommunityGraph: intraEdgesPerNode must be >= 1");
+  CommunityGraph g;
+  g.numNodes = spec.communities * spec.nodesPerCommunity;
+  g.communityOf.resize(g.numNodes);
+  util::Rng rng(util::hash64(spec.seed ^ 0xC0337C0337ULL));
+  std::vector<Edge> undirected;
+  undirected.reserve(static_cast<std::size_t>(g.numNodes) *
+                     (spec.intraEdgesPerNode + spec.interEdgesPerNode));
+  for (NodeId u = 0; u < g.numNodes; ++u) {
+    const unsigned cu = u / spec.nodesPerCommunity;
+    g.communityOf[u] = cu;
+    const NodeId base = cu * spec.nodesPerCommunity;
+    for (unsigned e = 0; e < spec.intraEdgesPerNode; ++e) {
+      // Uniform community member != u.
+      NodeId v = base + static_cast<NodeId>(rng.bounded(spec.nodesPerCommunity - 1));
+      if (v >= u) ++v;
+      undirected.push_back({u, v, 1.0f});
+    }
+    if (spec.communities > 1) {
+      for (unsigned e = 0; e < spec.interEdgesPerNode; ++e) {
+        // Uniform node of a different community.
+        unsigned cv = static_cast<unsigned>(rng.bounded(spec.communities - 1));
+        if (cv >= cu) ++cv;
+        const NodeId v = cv * spec.nodesPerCommunity +
+                         static_cast<NodeId>(rng.bounded(spec.nodesPerCommunity));
+        undirected.push_back({u, v, 1.0f});
+      }
+    }
+  }
+  g.edges = symmetrize(undirected);
+  return g;
+}
+
+}  // namespace gw2v::graph

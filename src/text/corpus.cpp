@@ -1,5 +1,6 @@
 #include "text/corpus.h"
 
+#include "text/corpus_source.h"
 #include "text/tokenizer.h"
 
 namespace gw2v::text {
@@ -14,13 +15,8 @@ std::vector<WordId> encode(std::string_view body, const Vocabulary& vocab) {
 
 std::vector<std::vector<WordId>> partitionCorpus(std::span<const WordId> corpus,
                                                  unsigned numHosts) {
-  std::vector<std::vector<WordId>> parts(numHosts);
-  for (unsigned h = 0; h < numHosts; ++h) {
-    const auto [lo, hi] = hostSlice(corpus.size(), numHosts, h);
-    parts[h].assign(corpus.begin() + static_cast<std::ptrdiff_t>(lo),
-                    corpus.begin() + static_cast<std::ptrdiff_t>(hi));
-  }
-  return parts;
+  SpanCorpusSource source(corpus, numHosts);
+  return materializeShards(source);
 }
 
 }  // namespace gw2v::text

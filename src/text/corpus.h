@@ -6,6 +6,11 @@
 // contiguous chunks, one per host, each read in parallel (Section 4.1). Our
 // corpora are id-encoded token vectors; partitioning stays contiguous so
 // each host's worklist is a slice of the original word stream.
+//
+// Since the streaming-ingestion refactor these helpers are thin veneers over
+// text::CorpusSource (corpus_source.h): SpanCorpusSource slices a
+// materialized corpus with hostSlice, and partitionCorpus materializes its
+// shards — new code should consume a CorpusSource directly.
 
 #include <cstdint>
 #include <span>

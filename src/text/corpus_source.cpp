@@ -1,0 +1,47 @@
+#include "text/corpus_source.h"
+
+#include "text/corpus.h"
+
+namespace gw2v::text {
+
+std::uint64_t CorpusSource::totalTokensPerEpoch() const {
+  std::uint64_t total = 0;
+  auto* self = const_cast<CorpusSource*>(this);
+  for (unsigned s = 0; s < numShards(); ++s) total += self->shard(s).tokensPerEpoch();
+  return total;
+}
+
+SpanCorpusSource::SpanCorpusSource(std::span<const WordId> corpus, unsigned numShards) {
+  shards_.reserve(numShards);
+  for (unsigned h = 0; h < numShards; ++h) {
+    const auto [lo, hi] = hostSlice(corpus.size(), numShards, h);
+    shards_.emplace_back(corpus.subspan(lo, hi - lo));
+  }
+}
+
+SpanCorpusSource::SpanCorpusSource(std::vector<std::vector<WordId>> parts)
+    : owned_(std::move(parts)) {
+  shards_.reserve(owned_.size());
+  for (const auto& p : owned_) shards_.emplace_back(std::span<const WordId>(p));
+}
+
+std::uint64_t SpanCorpusSource::bufferedBytesPeak() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.tokensPerEpoch() * sizeof(WordId);
+  return total;
+}
+
+std::vector<std::vector<WordId>> materializeShards(CorpusSource& source) {
+  std::vector<std::vector<WordId>> parts(source.numShards());
+  for (unsigned s = 0; s < source.numShards(); ++s) {
+    CorpusShard& shard = source.shard(s);
+    parts[s].reserve(shard.tokensPerEpoch());
+    shard.beginEpoch(0);
+    for (auto chunk = shard.nextChunk(); !chunk.empty(); chunk = shard.nextChunk()) {
+      parts[s].insert(parts[s].end(), chunk.begin(), chunk.end());
+    }
+  }
+  return parts;
+}
+
+}  // namespace gw2v::text

@@ -1,0 +1,250 @@
+#include "text/streaming.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace gw2v::text {
+
+// One producer thread + one consumer (the training host) per shard. All ring
+// state is guarded by a mutex; the chunks are large (default 64Ki tokens), so
+// the lock is cold compared to the memcpy/compute it brackets.
+class StreamingCorpus::Shard final : public CorpusShard {
+ public:
+  Shard(unsigned id, std::uint64_t tokensPerEpoch, const Producer& producer,
+        const Options& opts)
+      : id_(id),
+        tokens_(tokensPerEpoch),
+        producer_(producer),
+        chunkTokens_(std::max<std::size_t>(1, opts.chunkTokens)),
+        slots_(std::max<std::size_t>(1, opts.ringChunks)) {
+    thread_ = std::thread([this] { producerLoop(); });
+  }
+
+  ~Shard() override {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      shutdown_ = true;
+      ++generation_;
+      cvProd_.notify_all();
+      cvCons_.notify_all();
+    }
+    thread_.join();
+  }
+
+  std::uint64_t tokensPerEpoch() const noexcept override { return tokens_; }
+
+  void beginEpoch(unsigned epoch) override {
+    std::lock_guard<std::mutex> lk(m_);
+    ++generation_;
+    requestedEpoch_ = epoch;
+    epochRequested_ = true;
+    published_ = consumed_ = released_ = 0;
+    epochDone_ = false;
+    residentBytes_ = 0;
+    cvProd_.notify_all();
+  }
+
+  std::span<const WordId> nextChunk() override {
+    std::unique_lock<std::mutex> lk(m_);
+    if (consumed_ > released_) {
+      // Free the slot handed out by the previous call.
+      residentBytes_ -= slots_[released_ % slots_.size()].size() * sizeof(WordId);
+      ++released_;
+      cvProd_.notify_all();
+    }
+    cvCons_.wait(lk, [&] { return shutdown_ || published_ > consumed_ || epochDone_; });
+    if (published_ > consumed_) {
+      const auto& slot = slots_[consumed_ % slots_.size()];
+      ++consumed_;
+      return slot;
+    }
+    return {};  // epoch exhausted (or shutting down)
+  }
+
+  std::uint64_t peakBytes() const noexcept {
+    std::lock_guard<std::mutex> lk(m_);
+    return peakBytes_;
+  }
+
+ private:
+  class EpochSink final : public Sink {
+   public:
+    EpochSink(Shard& shard, std::uint64_t gen) : shard_(shard), gen_(gen) {
+      pending_.reserve(shard.chunkTokens_);
+    }
+
+    bool push(std::span<const WordId> tokens) override {
+      if (dead_) return false;
+      std::size_t at = 0;
+      while (at < tokens.size()) {
+        const std::size_t take =
+            std::min(tokens.size() - at, shard_.chunkTokens_ - pending_.size());
+        pending_.insert(pending_.end(), tokens.begin() + static_cast<std::ptrdiff_t>(at),
+                        tokens.begin() + static_cast<std::ptrdiff_t>(at + take));
+        at += take;
+        if (pending_.size() == shard_.chunkTokens_ && !flush()) return false;
+      }
+      return true;
+    }
+
+    /// Publish any partial trailing chunk; returns false if abandoned.
+    bool flush() {
+      if (pending_.empty()) return !dead_;
+      if (!shard_.publish(pending_, gen_)) {
+        dead_ = true;
+        return false;
+      }
+      pending_.clear();
+      return true;
+    }
+
+   private:
+    Shard& shard_;
+    std::uint64_t gen_;
+    std::vector<WordId> pending_;
+    bool dead_ = false;
+  };
+
+  bool publish(std::span<const WordId> chunk, std::uint64_t gen) {
+    std::unique_lock<std::mutex> lk(m_);
+    cvProd_.wait(lk, [&] {
+      return shutdown_ || generation_ != gen || published_ - released_ < slots_.size();
+    });
+    if (shutdown_ || generation_ != gen) return false;
+    auto& slot = slots_[published_ % slots_.size()];
+    slot.assign(chunk.begin(), chunk.end());
+    residentBytes_ += slot.size() * sizeof(WordId);
+    peakBytes_ = std::max(peakBytes_, residentBytes_);
+    ++published_;
+    cvCons_.notify_all();
+    return true;
+  }
+
+  void producerLoop() {
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+      cvProd_.wait(lk, [&] { return shutdown_ || (epochRequested_ && startedGen_ != generation_); });
+      if (shutdown_) return;
+      const std::uint64_t gen = generation_;
+      const unsigned epoch = requestedEpoch_;
+      startedGen_ = gen;
+      lk.unlock();
+      {
+        EpochSink sink(*this, gen);
+        producer_(id_, epoch, sink);
+        sink.flush();
+      }
+      lk.lock();
+      if (generation_ == gen && !shutdown_) {
+        epochDone_ = true;
+        cvCons_.notify_all();
+      }
+    }
+  }
+
+  const unsigned id_;
+  const std::uint64_t tokens_;
+  const Producer& producer_;
+  const std::size_t chunkTokens_;
+
+  mutable std::mutex m_;
+  std::condition_variable cvProd_;
+  std::condition_variable cvCons_;
+  std::vector<std::vector<WordId>> slots_;
+  std::uint64_t generation_ = 0;   // bumped by beginEpoch/shutdown: abandons production
+  std::uint64_t startedGen_ = 0;   // generation the producer thread last served
+  unsigned requestedEpoch_ = 0;
+  bool epochRequested_ = false;
+  bool epochDone_ = false;
+  bool shutdown_ = false;
+  std::uint64_t published_ = 0;  // chunks pushed into the ring
+  std::uint64_t consumed_ = 0;   // chunks handed to the consumer
+  std::uint64_t released_ = 0;   // chunks the consumer has moved past
+  std::uint64_t residentBytes_ = 0;
+  std::uint64_t peakBytes_ = 0;
+  std::thread thread_;
+};
+
+StreamingCorpus::StreamingCorpus(std::vector<std::uint64_t> shardTokensPerEpoch,
+                                 Producer producer, Options opts)
+    : opts_(opts), producer_(std::move(producer)) {
+  if (shardTokensPerEpoch.empty())
+    throw std::invalid_argument("StreamingCorpus: need at least one shard");
+  if (!producer_) throw std::invalid_argument("StreamingCorpus: null producer");
+  shards_.reserve(shardTokensPerEpoch.size());
+  for (unsigned s = 0; s < shardTokensPerEpoch.size(); ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(s, shardTokensPerEpoch[s], producer_, opts_));
+  }
+}
+
+StreamingCorpus::StreamingCorpus(std::vector<std::uint64_t> shardTokensPerEpoch,
+                                 Producer producer)
+    : StreamingCorpus(std::move(shardTokensPerEpoch), std::move(producer), Options{}) {}
+
+StreamingCorpus::~StreamingCorpus() = default;
+
+CorpusShard& StreamingCorpus::shard(unsigned s) { return *shards_[s]; }
+
+std::uint64_t StreamingCorpus::bufferedBytesPeak() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->peakBytes();
+  return total;
+}
+
+std::unique_ptr<StreamingCorpus> streamTextFile(std::string path, const Vocabulary& vocab,
+                                                std::uint64_t keptTokens, unsigned numShards,
+                                                StreamingCorpus::Options opts) {
+  if (numShards == 0) throw std::invalid_argument("streamTextFile: numShards must be >= 1");
+  std::vector<std::uint64_t> per(numShards);
+  for (unsigned h = 0; h < numShards; ++h) {
+    const auto [lo, hi] = hostSlice(keptTokens, numShards, h);
+    per[h] = hi - lo;
+  }
+  auto producer = [path = std::move(path), &vocab, keptTokens, numShards](
+                      unsigned shard, unsigned /*epoch*/, StreamingCorpus::Sink& sink) {
+    const auto [lo, hi] = hostSlice(keptTokens, numShards, shard);
+    constexpr std::size_t kBatch = 4096;
+    std::vector<WordId> batch;
+    batch.reserve(kBatch);
+    std::uint64_t idx = 0;
+    bool live = true;
+    forEachFileToken(path, [&](std::string_view tok) {
+      if (!live || idx >= hi) return;  // shard slice done (file read runs out)
+      const auto id = vocab.idOf(tok);
+      if (!id) return;
+      if (idx >= lo) {
+        batch.push_back(*id);
+        if (batch.size() >= kBatch) {
+          live = sink.push(batch);
+          batch.clear();
+        }
+      }
+      ++idx;
+    });
+    if (live && !batch.empty()) sink.push(batch);
+  };
+  return std::make_unique<StreamingCorpus>(std::move(per), std::move(producer), opts);
+}
+
+std::unique_ptr<StreamingCorpus> streamSource(CorpusSource& inner,
+                                              StreamingCorpus::Options opts) {
+  std::vector<std::uint64_t> per(inner.numShards());
+  for (unsigned s = 0; s < inner.numShards(); ++s) per[s] = inner.shard(s).tokensPerEpoch();
+  // Each producer thread owns exactly one inner shard, so the inner source
+  // needs no locking of its own.
+  auto producer = [&inner](unsigned shard, unsigned epoch, StreamingCorpus::Sink& sink) {
+    CorpusShard& sh = inner.shard(shard);
+    sh.beginEpoch(epoch);
+    for (auto c = sh.nextChunk(); !c.empty(); c = sh.nextChunk()) {
+      if (!sink.push(c)) return;
+    }
+  };
+  return std::make_unique<StreamingCorpus>(std::move(per), std::move(producer), opts);
+}
+
+}  // namespace gw2v::text

@@ -1,0 +1,92 @@
+#pragma once
+
+// Bounded-buffer streaming corpus: a producer thread per shard fills a small
+// SPSC ring of token chunks while the training host drains it through the
+// CorpusShard pull interface. The ring gives backpressure (the producer
+// blocks when all slots are full) so peak corpus memory is
+// ringChunks * chunkTokens * 4 bytes per shard regardless of corpus size.
+// Epoch replay re-runs the producer (beginEpoch abandons any half-produced
+// epoch: outstanding Sink::push calls return false and the producer
+// callback is expected to return promptly).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "text/corpus_source.h"
+
+namespace gw2v::text {
+
+class StreamingCorpus final : public CorpusSource {
+ public:
+  /// Producer-side outlet. push() appends tokens to the epoch's stream and
+  /// blocks while the ring is full; it returns false once the epoch has been
+  /// abandoned (replay/shutdown) — stop producing and return.
+  class Sink {
+   public:
+    virtual ~Sink() = default;
+    virtual bool push(std::span<const WordId> tokens) = 0;
+  };
+
+  /// Generates shard `shard`'s epoch `epoch` by pushing its tokens in order.
+  /// Runs on the shard's producer thread; must push exactly the shard's
+  /// declared tokensPerEpoch (the trainer treats a short epoch as an error).
+  using Producer = std::function<void(unsigned shard, unsigned epoch, Sink& sink)>;
+
+  struct Options {
+    std::size_t chunkTokens = std::size_t{1} << 16;  ///< tokens per ring slot
+    std::size_t ringChunks = 4;                      ///< slots per shard
+  };
+
+  StreamingCorpus(std::vector<std::uint64_t> shardTokensPerEpoch, Producer producer,
+                  Options opts);
+  StreamingCorpus(std::vector<std::uint64_t> shardTokensPerEpoch, Producer producer);
+  ~StreamingCorpus() override;
+
+  StreamingCorpus(const StreamingCorpus&) = delete;
+  StreamingCorpus& operator=(const StreamingCorpus&) = delete;
+
+  unsigned numShards() const noexcept override {
+    return static_cast<unsigned>(shards_.size());
+  }
+  CorpusShard& shard(unsigned s) override;
+
+  /// Upper bound on peak resident corpus bytes: the sum of each shard ring's
+  /// peak occupancy (published + held chunks).
+  std::uint64_t bufferedBytesPeak() const noexcept override;
+
+  const Options& options() const noexcept { return opts_; }
+
+ private:
+  class Shard;
+  Options opts_;
+  Producer producer_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Stream an on-disk whitespace-tokenized corpus through a StreamingCorpus:
+/// each shard's producer re-reads the file and emits the vocab-encoded
+/// tokens of its contiguous slice hostSlice(keptTokens, shards, shard).
+/// `vocab` must outlive the returned source, and keptTokens must equal the
+/// number of file tokens present in the vocabulary — when the vocabulary was
+/// built from this exact file, that is vocab.totalTokens().
+std::unique_ptr<StreamingCorpus> streamTextFile(std::string path, const Vocabulary& vocab,
+                                                std::uint64_t keptTokens, unsigned numShards,
+                                                StreamingCorpus::Options opts = {});
+
+/// Pipeline another corpus source through producer threads + bounded rings:
+/// each inner shard is driven to exhaustion on its producer thread, so chunk
+/// generation (random walks, decode, transforms) overlaps training instead
+/// of running inline on the consuming host. Token streams are unchanged.
+/// `inner` must outlive the returned corpus and must not be consumed
+/// elsewhere while it is attached.
+std::unique_ptr<StreamingCorpus> streamSource(CorpusSource& inner,
+                                              StreamingCorpus::Options opts = {});
+
+}  // namespace gw2v::text

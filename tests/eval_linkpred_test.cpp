@@ -1,0 +1,146 @@
+// Link-prediction metrics: edge splitting, recall@k / AUC on hand-placed
+// embeddings, and an end-to-end smoke run — walks -> training -> geometry
+// that recovers the planted community structure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/trainer.h"
+#include "eval/link_prediction.h"
+#include "graph/random_walks.h"
+#include "graph/synthetic.h"
+#include "util/rng.h"
+
+namespace gw2v::eval {
+namespace {
+
+bool sameEdge(const graph::Edge& a, const graph::Edge& b) {
+  return a.src == b.src && a.dst == b.dst;
+}
+
+TEST(SplitEdges, DeterministicPartition) {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId i = 0; i < 40; ++i) edges.push_back({i, (i + 1) % 40u});
+  const auto a = splitEdges(edges, 0.25, 77);
+  const auto b = splitEdges(edges, 0.25, 77);
+  ASSERT_EQ(a.held.size(), 10u);
+  ASSERT_EQ(a.train.size(), 30u);
+  for (std::size_t i = 0; i < a.held.size(); ++i)
+    EXPECT_TRUE(sameEdge(a.held[i], b.held[i]));
+  // Union is the original edge multiset (each edge lands on exactly one side).
+  std::vector<unsigned> hitCount(40, 0);
+  for (const auto& e : a.held) ++hitCount[e.src];
+  for (const auto& e : a.train) ++hitCount[e.src];
+  for (unsigned c : hitCount) EXPECT_EQ(c, 1u);
+  // Different seed, different split (overwhelmingly likely).
+  const auto c = splitEdges(edges, 0.25, 78);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.held.size(); ++i)
+    differs = differs || !sameEdge(a.held[i], c.held[i]);
+  EXPECT_TRUE(differs);
+}
+
+/// Two planted clusters {0,1} and {2,3} embedded on orthogonal axes.
+struct HandSetup {
+  graph::CSRGraph g;
+  graph::NodeVocabulary nodes;
+  graph::ModelGraph model;
+
+  HandSetup() {
+    const auto edges =
+        graph::symmetrize(std::vector<graph::Edge>{{0, 1}, {2, 3}, {0, 2}});
+    g.build(4, edges);
+    nodes = graph::degreeVocabulary(g);
+    model.init(nodes.vocab.size(), 4);
+    const float axes[4][4] = {
+        {1.0f, 0.05f, 0.0f, 0.0f},   // node 0
+        {1.0f, -0.05f, 0.0f, 0.0f},  // node 1
+        {0.0f, 0.05f, 1.0f, 0.0f},   // node 2
+        {0.0f, -0.05f, 1.0f, 0.0f},  // node 3
+    };
+    for (graph::NodeId n = 0; n < 4; ++n) {
+      auto row = model.table(graph::Label::kEmbedding).overwriteRow(nodes.wordOfNode[n]);
+      std::copy(axes[n], axes[n] + 4, row.begin());
+    }
+  }
+};
+
+TEST(LinkPred, RecallAndAucOnHandEmbeddings) {
+  HandSetup s;
+  const EmbeddingView view(s.model, s.nodes.vocab);
+  const std::vector<graph::Edge> held{{0, 1}, {2, 3}};
+  // Each endpoint's nearest neighbor is its cluster partner.
+  EXPECT_DOUBLE_EQ(neighborRecallAtK(view, s.nodes, held, 1), 1.0);
+  // The cross-cluster "edge" is never the top neighbor.
+  const std::vector<graph::Edge> cross{{1, 2}};
+  EXPECT_DOUBLE_EQ(neighborRecallAtK(view, s.nodes, cross, 1), 0.0);
+  EXPECT_GT(linkAuc(view, s.nodes, s.g, held, 5), 0.9);
+}
+
+TEST(LinkPred, SkipsEndpointsOutsideVocabulary) {
+  HandSetup s;
+  const EmbeddingView view(s.model, s.nodes.vocab);
+  // Rebuild over 5 nodes: node 4 is isolated, absent from the vocabulary.
+  graph::CSRGraph g5(5, graph::symmetrize(std::vector<graph::Edge>{{0, 1}, {2, 3}}));
+  auto nodes5 = graph::degreeVocabulary(g5);
+  graph::ModelGraph m5(nodes5.vocab.size(), 4);
+  const std::vector<graph::Edge> held{{0, 4}, {4, 2}};
+  EXPECT_DOUBLE_EQ(neighborRecallAtK(EmbeddingView(m5, nodes5.vocab), nodes5, held, 1), 0.0);
+}
+
+TEST(LinkPred, EndToEndWalksRecoverCommunities) {
+  graph::CommunityGraphSpec spec;
+  spec.communities = 4;
+  spec.nodesPerCommunity = 16;
+  spec.intraEdgesPerNode = 6;
+  spec.interEdgesPerNode = 1;
+  spec.seed = 21;
+  const auto cg = graph::makeCommunityGraph(spec);
+  const auto g = cg.csr();
+  const auto nodes = graph::degreeVocabulary(g);
+
+  graph::WalkOptions wopts;
+  wopts.walksPerNode = 6;
+  wopts.walkLength = 20;
+  wopts.seed = 2;
+  graph::RandomWalkCorpus walks(g, nodes, wopts, 2);
+
+  core::TrainOptions topts;
+  topts.sgns.dim = 16;
+  topts.sgns.window = 4;
+  topts.sgns.negatives = 4;
+  topts.sgns.subsample = 0;
+  topts.epochs = 4;
+  topts.numHosts = 2;
+  topts.trackLoss = false;
+  const auto result = core::GraphWord2Vec(nodes.vocab, topts).train(walks);
+
+  const EmbeddingView view(result.model, nodes.vocab);
+  // Same-community nodes should dominate each node's neighborhood.
+  std::uint64_t same = 0, total = 0;
+  for (graph::NodeId n = 0; n < g.numNodes(); ++n) {
+    for (const auto& nb : view.nearestTo(nodes.wordOfNode[n], 5)) {
+      same += cg.communityOf[nodes.nodeOfWord[nb.word]] == cg.communityOf[n] ? 1 : 0;
+      ++total;
+    }
+  }
+  const double purity = static_cast<double>(same) / static_cast<double>(total);
+  EXPECT_GT(purity, 0.6) << "community purity " << purity;  // random: ~0.25
+
+  // Held-out edges are recovered far above the random baseline.
+  std::vector<graph::Edge> held;
+  util::Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.bounded(g.numNodes()));
+    const auto nbrs = g.neighbors(u);
+    held.push_back({u, nbrs[rng.bounded(nbrs.size())]});
+  }
+  const double recall = neighborRecallAtK(view, nodes, held, 10);
+  EXPECT_GT(recall, 0.3) << "recall@10 " << recall;  // random: 10/64
+  EXPECT_GT(linkAuc(view, nodes, g, held, 4), 0.7);
+}
+
+}  // namespace
+}  // namespace gw2v::eval
