@@ -18,11 +18,28 @@
 //   GW2V_SERVE_CACHE      rank-0 LRU entries, 0 disables (default 512)
 //   GW2V_SERVE_ZIPF       Zipf exponent of the traffic (default 0.99)
 //   GW2V_SERVE_JSON       also write the JSON report to this path
+//
+// A second workload then measures the ANN serving mode on a synthetic
+// clustered matrix (big enough that cluster pruning has something to prune —
+// the trained bench model is deliberately tiny). It publishes one snapshot
+// with a publish-time IVF index and sweeps nprobe, reporting recall@10
+// against the exact engine answers plus the per-stage scoring speedup from
+// ServeMetrics. Exit gate: some swept nprobe must reach both thresholds.
+//   GW2V_SERVE_ANN            0 skips the ANN sweep entirely (default 1)
+//   GW2V_SERVE_ANN_ROWS       synthetic matrix rows (default 65536)
+//   GW2V_SERVE_ANN_DIM        synthetic matrix dim (default 64)
+//   GW2V_SERVE_ANN_LISTS      IVF posting lists (default 256)
+//   GW2V_SERVE_ANN_QUERIES    queries per swept point (default 256)
+//   GW2V_SERVE_ANN_SWEEP      comma-separated nprobe values (default 2,4,8,16)
+//   GW2V_SERVE_ANN_RECALL_GATE   recall@10 floor (default 0.95)
+//   GW2V_SERVE_ANN_SPEEDUP_GATE  scoring speedup floor (default 10)
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -30,6 +47,7 @@
 #include "bench/common.h"
 #include "comm/transport.h"
 #include "graph/model_io.h"
+#include "runtime/thread_pool.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
 #include "sim/cluster.h"
@@ -79,8 +97,29 @@ struct LoadgenReport {
   double roundsPerQuery = 0.0;
 };
 
+/// One swept ANN operating point, measured on its own engine instance so the
+/// latency histogram and per-stage counters are per-mode.
+struct AnnPoint {
+  unsigned nprobe = 0;
+  double recallAt10 = 0.0;
+  double scanUsPerQuery = 0.0;   // centroid scan + candidate scoring, rank 0
+  double scoringSpeedup = 0.0;   // exact scan µs/query over this point's
+  double candidateRatio = 0.0;
+  double probesAvg = 0.0;
+  double p50 = 0.0, p99 = 0.0;
+};
+
+struct AnnReport {
+  std::uint32_t rows = 0, dim = 0, lists = 0;
+  double buildMillis = 0.0;
+  double indexMiB = 0.0;
+  double exactScanUsPerQuery = 0.0;
+  double exactP50 = 0.0, exactP99 = 0.0;
+  std::vector<AnnPoint> sweep;
+};
+
 void printJson(std::FILE* f, const LoadgenReport& r, unsigned hosts, unsigned clients,
-               const serve::ServeOptions& opts, double zipf) {
+               const serve::ServeOptions& opts, double zipf, const AnnReport* ann) {
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"serve_loadgen\",\n"
@@ -101,14 +140,140 @@ void printJson(std::FILE* f, const LoadgenReport& r, unsigned hosts, unsigned cl
                "  \"bytes_per_query\": %.1f,\n"
                "  \"snapshot_swaps_observed\": %llu,\n"
                "  \"version_after_swap\": %llu,\n"
-               "  \"recall_at_10\": %.4f\n"
-               "}\n",
+               "  \"recall_at_10\": %.4f",
                hosts, clients, opts.maxBatch, opts.batchWindowMicros, opts.cacheCapacity,
                zipf, static_cast<unsigned long long>(r.queries), r.wallSeconds, r.qps,
                r.p50, r.p95, r.p99, r.mean, static_cast<unsigned long long>(r.rounds),
                r.roundsPerQuery, r.batchOccupancy, r.cacheHitRate, r.bytesPerQuery,
                static_cast<unsigned long long>(r.swapsObserved),
                static_cast<unsigned long long>(r.versionAfterSwap), r.recallAt10);
+  if (ann == nullptr) {
+    std::fprintf(f, "\n}\n");
+    return;
+  }
+  std::fprintf(f,
+               ",\n"
+               "  \"ann\": {\n"
+               "    \"rows\": %u,\n"
+               "    \"dim\": %u,\n"
+               "    \"lists\": %u,\n"
+               "    \"build_ms\": %.1f,\n"
+               "    \"index_mib\": %.2f,\n"
+               "    \"exact\": {\"scan_us_per_query\": %.2f, \"p50\": %.1f, \"p99\": %.1f},\n"
+               "    \"sweep\": [",
+               ann->rows, ann->dim, ann->lists, ann->buildMillis, ann->indexMiB,
+               ann->exactScanUsPerQuery, ann->exactP50, ann->exactP99);
+  for (std::size_t i = 0; i < ann->sweep.size(); ++i) {
+    const AnnPoint& p = ann->sweep[i];
+    std::fprintf(f,
+                 "%s\n      {\"nprobe\": %u, \"recall_at_10\": %.4f, "
+                 "\"scan_us_per_query\": %.2f, \"scoring_speedup_x\": %.2f, "
+                 "\"candidate_ratio\": %.4f, \"probes_avg\": %.1f, "
+                 "\"p50\": %.1f, \"p99\": %.1f}",
+                 i == 0 ? "" : ",", p.nprobe, p.recallAt10, p.scanUsPerQuery,
+                 p.scoringSpeedup, p.candidateRatio, p.probesAvg, p.p50, p.p99);
+  }
+  std::fprintf(f, "\n    ]\n  }\n}\n");
+}
+
+std::vector<unsigned> parseSweep(const char* s, std::vector<unsigned> fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  std::vector<unsigned> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    if (v > 0) out.push_back(static_cast<unsigned>(v));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out.empty() ? fallback : out;
+}
+
+/// Synthetic clustered matrix: `rows` points scattered around
+/// sqrt-ish many random unit centers. Structure the IVF can exploit, shaped
+/// like a converged embedding table (tight cosine neighbourhoods).
+graph::ModelGraph makeClusteredModel(std::uint32_t rows, std::uint32_t dim,
+                                     std::uint32_t clusters, float noise,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> centers(static_cast<std::size_t>(clusters) * dim);
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    double n2 = 0.0;
+    float* ctr = centers.data() + static_cast<std::size_t>(c) * dim;
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      ctr[d] = static_cast<float>(rng.normal());
+      n2 += static_cast<double>(ctr[d]) * ctr[d];
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(n2));
+    for (std::uint32_t d = 0; d < dim; ++d) ctr[d] *= inv;
+  }
+  graph::ModelGraph model(rows, dim);
+  for (std::uint32_t w = 0; w < rows; ++w) {
+    // Random cluster per row (not round-robin): keeps the deterministic
+    // strided k-means seeds from all landing in one mixture component.
+    const float* ctr =
+        centers.data() + static_cast<std::size_t>(rng.bounded(clusters)) * dim;
+    auto row = model.mutableRow(graph::Label::kEmbedding, w);
+    for (std::uint32_t d = 0; d < dim; ++d)
+      row[d] = ctr[d] + noise * static_cast<float>(rng.normal());
+  }
+  return model;
+}
+
+/// Drive `numQueries` strided queryWord calls through a fresh engine on a
+/// fresh cluster, collecting per-query neighbour ids and the rank-0 engine
+/// metrics. One call per operating point keeps histograms per-mode.
+struct PhaseResult {
+  std::vector<std::vector<text::WordId>> ids;
+  double scanUsPerQuery = 0.0;
+  double centroidUsPerQuery = 0.0;
+  double candidateRatio = 0.0;
+  double probesAvg = 0.0;
+  double p50 = 0.0, p99 = 0.0;
+};
+
+PhaseResult runAnnPhase(const serve::SnapshotStore& store, unsigned hosts,
+                        unsigned numQueries, std::uint32_t rows,
+                        const serve::QueryOptions& qo) {
+  PhaseResult out;
+  out.ids.resize(numQueries);
+  sim::ClusterOptions copts;
+  copts.numHosts = hosts;
+  serve::ServeOptions opts;
+  opts.cacheCapacity = 0;  // measure scoring, not the front-end cache
+  sim::runCluster(copts, [&](sim::HostContext& ctx) {
+    comm::SimTransport transport(ctx.network());
+    serve::QueryEngine engine(transport, ctx.id(), store, opts);
+    if (ctx.id() != 0) {
+      engine.run();
+      return;
+    }
+    std::thread driver([&] {
+      const std::uint32_t stride = std::max<std::uint32_t>(1, rows / numQueries);
+      for (unsigned q = 0; q < numQueries; ++q) {
+        const auto res =
+            engine.queryWord(static_cast<text::WordId>((q * stride) % rows), 10, qo);
+        out.ids[q].reserve(res.neighbors.size());
+        for (const auto& c : res.neighbors) out.ids[q].push_back(c.id);
+      }
+      const auto& m = engine.metrics();
+      out.scanUsPerQuery = qo.mode == serve::QueryMode::kAnn ? m.annScanMicrosPerQuery()
+                                                             : m.exactScanMicrosPerQuery();
+      out.candidateRatio = m.annCandidateRatio();
+      const std::uint64_t annQ = m.annQueries.load();
+      out.centroidUsPerQuery =
+          annQ == 0 ? 0.0
+                    : static_cast<double>(m.annCentroidMicros.load()) / static_cast<double>(annQ);
+      out.probesAvg =
+          annQ == 0 ? 0.0 : static_cast<double>(m.annProbeCount.load()) / annQ;
+      out.p50 = m.latency.quantileMicros(0.50);
+      out.p99 = m.latency.quantileMicros(0.99);
+      engine.shutdown();
+    });
+    engine.run();
+    driver.join();
+  });
+  return out;
 }
 
 }  // namespace
@@ -233,10 +398,71 @@ int main() {
   rep.roundsPerQuery =
       served > 0 ? static_cast<double>(rep.rounds) / static_cast<double>(served) : 0.0;
 
-  printJson(stdout, rep, hosts, clients, opts, zipf);
+  // ---- ANN sweep on a synthetic clustered matrix. --------------------------
+  AnnReport ann;
+  const bool runAnn = bench::envUnsigned("GW2V_SERVE_ANN", 1) != 0;
+  if (runAnn) {
+    ann.rows = bench::envUnsigned("GW2V_SERVE_ANN_ROWS", 65536);
+    ann.dim = bench::envUnsigned("GW2V_SERVE_ANN_DIM", 64);
+    ann.lists = bench::envUnsigned("GW2V_SERVE_ANN_LISTS", 256);
+    const unsigned annQueries = bench::envUnsigned("GW2V_SERVE_ANN_QUERIES", 256);
+    const auto sweep = parseSweep(std::getenv("GW2V_SERVE_ANN_SWEEP"), {2, 4, 8, 16});
+
+    const auto annModel = makeClusteredModel(ann.rows, ann.dim, ann.lists, 0.08f, 0xa115eedULL);
+    serve::AnnBuildOptions bopts;
+    bopts.numLists = ann.lists;
+    runtime::ThreadPool pool;
+    serve::SnapshotStore annStore(std::max(hosts, 1u) + 1);
+    annStore.publish(serve::EmbeddingSnapshot::fromModel(annModel, nullptr, 1, bopts, &pool));
+    {
+      const auto* idx = annStore.current()->annIndex();
+      ann.buildMillis = static_cast<double>(idx->buildMicros()) / 1000.0;
+      ann.indexMiB = static_cast<double>(idx->memoryBytes()) / (1024.0 * 1024.0);
+    }
+    std::printf("ann index: rows=%u dim=%u lists=%u build=%.0fms\n", ann.rows, ann.dim,
+                ann.lists, ann.buildMillis);
+
+    serve::QueryOptions exactQo;  // the oracle run
+    const PhaseResult exact = runAnnPhase(annStore, hosts, annQueries, ann.rows, exactQo);
+    ann.exactScanUsPerQuery = exact.scanUsPerQuery;
+    ann.exactP50 = exact.p50;
+    ann.exactP99 = exact.p99;
+
+    for (const unsigned nprobe : sweep) {
+      serve::QueryOptions qo;
+      qo.mode = serve::QueryMode::kAnn;
+      qo.nprobe = nprobe;
+      const PhaseResult got = runAnnPhase(annStore, hosts, annQueries, ann.rows, qo);
+      AnnPoint pt;
+      pt.nprobe = nprobe;
+      std::uint64_t hitSum = 0, wantSum = 0;
+      for (unsigned q = 0; q < annQueries; ++q) {
+        wantSum += exact.ids[q].size();
+        for (const auto id : exact.ids[q]) {
+          hitSum += std::find(got.ids[q].begin(), got.ids[q].end(), id) != got.ids[q].end();
+        }
+      }
+      pt.recallAt10 = wantSum == 0 ? 0.0 : static_cast<double>(hitSum) / wantSum;
+      pt.scanUsPerQuery = got.scanUsPerQuery;
+      pt.scoringSpeedup =
+          got.scanUsPerQuery > 0.0 ? exact.scanUsPerQuery / got.scanUsPerQuery : 0.0;
+      pt.candidateRatio = got.candidateRatio;
+      pt.probesAvg = got.probesAvg;
+      pt.p50 = got.p50;
+      pt.p99 = got.p99;
+      ann.sweep.push_back(pt);
+      std::printf(
+          "ann nprobe=%-3u recall@10=%.4f scan_us=%.2f (centroid %.2f) speedup=%.1fx "
+          "ratio=%.3f\n",
+          pt.nprobe, pt.recallAt10, pt.scanUsPerQuery, got.centroidUsPerQuery,
+          pt.scoringSpeedup, pt.candidateRatio);
+    }
+  }
+
+  printJson(stdout, rep, hosts, clients, opts, zipf, runAnn ? &ann : nullptr);
   if (const char* jsonPath = std::getenv("GW2V_SERVE_JSON")) {
     if (std::FILE* f = std::fopen(jsonPath, "w")) {
-      printJson(f, rep, hosts, clients, opts, zipf);
+      printJson(f, rep, hosts, clients, opts, zipf, runAnn ? &ann : nullptr);
       std::fclose(f);
     }
   }
@@ -249,6 +475,21 @@ int main() {
     std::fprintf(stderr, "FAIL: post-swap version = %llu (expected 2)\n",
                  static_cast<unsigned long long>(rep.versionAfterSwap));
     gateFailed = true;
+  }
+  if (runAnn) {
+    const double recallGate = bench::envDouble("GW2V_SERVE_ANN_RECALL_GATE", 0.95);
+    const double speedupGate = bench::envDouble("GW2V_SERVE_ANN_SPEEDUP_GATE", 10.0);
+    const bool anyPoint =
+        std::any_of(ann.sweep.begin(), ann.sweep.end(), [&](const AnnPoint& p) {
+          return p.recallAt10 >= recallGate && p.scoringSpeedup >= speedupGate;
+        });
+    if (!anyPoint) {
+      std::fprintf(stderr,
+                   "FAIL: no swept nprobe reached recall@10 >= %.2f at >= %.1fx scoring "
+                   "speedup\n",
+                   recallGate, speedupGate);
+      gateFailed = true;
+    }
   }
   return gateFailed ? 1 : 0;
 }

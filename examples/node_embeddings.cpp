@@ -16,18 +16,31 @@
 //   -p F / -q F      node2vec return / in-out bias  (default 1 1 = DeepWalk)
 //   -held F          fraction of edges held out     (default 0.1)
 //   -stream 1        pipeline walk generation through bounded rings
+//   -nprobe N        IVF lists probed per ANN query (default 8)
+//
+// After training, the embedding is published as a serving snapshot carrying
+// a publish-time IVF index, and nearest-neighbour queries are answered twice
+// through the sharded QueryEngine — exact (the recall oracle) and ANN — to
+// print the approximate path's recall against brute force.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "comm/transport.h"
 #include "core/trainer.h"
 #include "eval/embedding_view.h"
 #include "eval/link_prediction.h"
 #include "graph/random_walks.h"
 #include "graph/synthetic.h"
+#include "runtime/thread_pool.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "sim/cluster.h"
 #include "text/streaming.h"
 #include "util/rng.h"
 
@@ -39,7 +52,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: node_embeddings [-communities N] [-nodes N] [-hosts N] [-iter N]\n"
                "                       [-size N] [-walks N] [-length N] [-p F] [-q F]\n"
-               "                       [-held F] [-stream 1]\n");
+               "                       [-held F] [-stream 1] [-nprobe N]\n");
   return 2;
 }
 
@@ -64,6 +77,7 @@ int main(int argc, char** argv) {
   topts.trackLoss = false;
   double heldFraction = 0.1;
   bool stream = false;
+  std::uint32_t nprobe = 8;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
@@ -79,6 +93,7 @@ int main(int argc, char** argv) {
     else if (flag == "-q") wopts.q = static_cast<float>(std::atof(val));
     else if (flag == "-held") heldFraction = std::atof(val);
     else if (flag == "-stream") stream = std::atoi(val) != 0;
+    else if (flag == "-nprobe") nprobe = static_cast<std::uint32_t>(std::atoi(val));
     else {
       std::fprintf(stderr, "unknown option %s\n", flag.c_str());
       return usage();
@@ -133,5 +148,64 @@ int main(int argc, char** argv) {
               recall, 10.0 / nodes.vocab.size(), auc,
               static_cast<double>(same) / static_cast<double>(total),
               1.0 / spec.communities);
+
+  // Serve the embedding: publish one snapshot with a publish-time IVF index
+  // (auto list count = √N) and answer each sampled node's nearest-neighbour
+  // query twice through the sharded engine — exact, then ANN. Candidate
+  // scores are bit-exact between the modes, so the only possible difference
+  // is coverage, reported below as recall against the exact oracle.
+  runtime::ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  serve::SnapshotStore store(topts.numHosts + 1);
+  store.publish(serve::EmbeddingSnapshot::fromModel(result.model, nullptr, 1,
+                                                    serve::AnnBuildOptions{}, &pool));
+
+  constexpr unsigned kNN = 10;
+  const auto numWords = static_cast<std::uint32_t>(nodes.vocab.size());
+  const std::uint32_t numQueries = std::min<std::uint32_t>(numWords, 64);
+  double recallSum = 0.0;
+  double probesAvg = 0.0, candRatio = 0.0;
+  sim::ClusterOptions copts;
+  copts.numHosts = topts.numHosts;
+  sim::runCluster(copts, [&](sim::HostContext& ctx) {
+    comm::SimTransport transport(ctx.network());
+    serve::QueryEngine engine(transport, ctx.id(), store);
+    if (ctx.id() != 0) {
+      engine.run();
+      return;
+    }
+    std::thread driver([&] {
+      serve::QueryOptions qo;
+      qo.mode = serve::QueryMode::kAnn;
+      qo.nprobe = nprobe;
+      const std::uint32_t stride = std::max<std::uint32_t>(1, numWords / numQueries);
+      for (std::uint32_t i = 0; i < numQueries; ++i) {
+        const auto w = static_cast<text::WordId>((i * stride) % numWords);
+        const auto exact = engine.queryWord(w, kNN);
+        const auto approx = engine.queryWord(w, kNN, qo);
+        if (exact.neighbors.empty()) continue;
+        unsigned hit = 0;
+        for (const auto& c : approx.neighbors)
+          for (const auto& e : exact.neighbors)
+            if (c.id == e.id) {
+              ++hit;
+              break;
+            }
+        recallSum += static_cast<double>(hit) / static_cast<double>(exact.neighbors.size());
+      }
+      const auto& m = engine.metrics();
+      const std::uint64_t annQ = m.annQueries.load();
+      probesAvg = annQ == 0 ? 0.0
+                            : static_cast<double>(m.annProbeCount.load()) /
+                                  static_cast<double>(annQ);
+      candRatio = m.annCandidateRatio();
+      engine.shutdown();
+    });
+    engine.run();
+    driver.join();
+  });
+  std::printf("serve: ANN recall@%u vs exact %.3f over %u queries on %u host(s)  "
+              "(nprobe %u, avg probes %.1f, candidate ratio %.3f)\n",
+              kNN, recallSum / numQueries, numQueries, topts.numHosts, nprobe, probesAvg,
+              candRatio);
   return 0;
 }

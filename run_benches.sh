@@ -52,6 +52,10 @@ for b in /root/repo/build/bench/*; do
     serve_loadgen)
       # Serving bench: QPS, p50/p99 latency, batch occupancy, bytes/query,
       # plus the recall@10 == 1.0 determinism gate (nonzero exit on failure).
+      # GW2V_SERVE_ANN=1 adds the IVF nprobe sweep (recall@10 / scan cost /
+      # p50/p99 per point in the JSON "ann" block) and its recall >= 0.95 at
+      # >= 10x scoring-speedup gate.
+      GW2V_SERVE_ANN=1 \
       GW2V_SERVE_JSON=/root/repo/bench_results/BENCH_serve.json "$b"
       ;;
     store_hitrate)

@@ -85,6 +85,45 @@ struct ServeMetrics {
   std::atomic<std::uint64_t> cacheMisses{0};
   std::atomic<std::uint64_t> snapshotSwaps{0};  // repins observed by this rank
 
+  // Per-stage scoring wall time on this rank's shard (brute-force scan vs
+  // the ANN centroid-scan/candidate-scoring split vs the coordinator's
+  // merge) plus the ANN work counters — what the loadgen's scoring-speedup
+  // and candidate-ratio columns are computed from.
+  std::atomic<std::uint64_t> exactScanMicros{0};   // brute-force shard scans
+  std::atomic<std::uint64_t> exactScanQueries{0};  // queries scored brute force
+  std::atomic<std::uint64_t> annCentroidMicros{0};  // centroid scan + probe pick
+  std::atomic<std::uint64_t> annScoreMicros{0};     // candidate gather + scoring
+  std::atomic<std::uint64_t> annQueries{0};         // queries answered via ANN
+  std::atomic<std::uint64_t> annProbeCount{0};      // posting lists scanned
+  std::atomic<std::uint64_t> annCandidates{0};      // rows exactly scored via ANN
+  std::atomic<std::uint64_t> annRowsTotal{0};       // shard rows per ANN query (denominator)
+  std::atomic<std::uint64_t> annFallbacks{0};       // kAnn requests served brute force
+  std::atomic<std::uint64_t> mergeMicros{0};        // coordinator partial-list merges
+
+  /// Fraction of shard rows an average ANN query actually scored (candidate
+  /// scan + centroid scan, the two per-query costs) — the pruning factor.
+  double annCandidateRatio() const noexcept {
+    const std::uint64_t total = annRowsTotal.load(std::memory_order_relaxed);
+    if (total == 0) return 0.0;
+    return static_cast<double>(annCandidates.load(std::memory_order_relaxed)) /
+           static_cast<double>(total);
+  }
+
+  double exactScanMicrosPerQuery() const noexcept {
+    const std::uint64_t q = exactScanQueries.load(std::memory_order_relaxed);
+    return q == 0 ? 0.0
+                  : static_cast<double>(exactScanMicros.load(std::memory_order_relaxed)) /
+                        static_cast<double>(q);
+  }
+
+  double annScanMicrosPerQuery() const noexcept {
+    const std::uint64_t q = annQueries.load(std::memory_order_relaxed);
+    if (q == 0) return 0.0;
+    return static_cast<double>(annCentroidMicros.load(std::memory_order_relaxed) +
+                               annScoreMicros.load(std::memory_order_relaxed)) /
+           static_cast<double>(q);
+  }
+
   double cacheHitRate() const noexcept {
     const std::uint64_t h = cacheHits.load(std::memory_order_relaxed);
     const std::uint64_t m = cacheMisses.load(std::memory_order_relaxed);

@@ -67,19 +67,21 @@ void QueryEngine::run() {
 }
 
 QueryResult QueryEngine::query(std::vector<float> vec, unsigned k,
-                               std::vector<text::WordId> exclude) {
+                               std::vector<text::WordId> exclude, QueryOptions qopts) {
   Request req;
   req.vec = normalizedCopy(vec);
   req.k = k;
   req.exclude = std::move(exclude);
+  req.qopts = qopts;
   return submit(std::move(req));
 }
 
-QueryResult QueryEngine::queryWord(text::WordId w, unsigned k) {
+QueryResult QueryEngine::queryWord(text::WordId w, unsigned k, QueryOptions qopts) {
   Request req;
   req.word = w;
   req.k = k;
   req.exclude = {w};
+  req.qopts = qopts;
   return submit(std::move(req));
 }
 
@@ -89,10 +91,16 @@ QueryResult QueryEngine::submit(Request req) {
   req.submitted = Clock::now();
   std::sort(req.exclude.begin(), req.exclude.end());
   req.exclude.erase(std::unique(req.exclude.begin(), req.exclude.end()), req.exclude.end());
+  // Canonicalize so identical exact requests share one cache entry no matter
+  // what ANN knobs the caller left set.
+  if (req.qopts.mode == QueryMode::kExact) {
+    req.qopts.nprobe = 0;
+    req.qopts.refine = 0;
+  }
 
   if (opts_.cacheCapacity > 0) {
     req.cacheable = true;
-    req.key = keyOf(req.vec, req.word, req.k, req.exclude, store_.currentVersion());
+    req.key = keyOf(req.vec, req.word, req.k, req.exclude, req.qopts, store_.currentVersion());
     std::lock_guard<std::mutex> lock(cacheMu_);
     if (auto hit = cache_.get(req.key)) {
       metrics_.cacheHits.fetch_add(1, std::memory_order_relaxed);
@@ -202,11 +210,15 @@ void QueryEngine::runCoordinator() {
     }
     if (live.empty()) continue;
 
-    // Pack the round: query matrix first, then per-query k + exclude list.
+    // Pack the round: query matrix first, then per-query k + mode/ANN knobs
+    // + exclude list.
     comm::ByteWriter w;
     for (const auto& r : live) w.putSpan<float>(r.vec);
     for (const auto& r : live) {
       w.put<std::uint32_t>(r.k);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(r.qopts.mode));
+      w.put<std::uint32_t>(r.qopts.nprobe);
+      w.put<std::uint32_t>(r.qopts.refine);
       w.put<std::uint32_t>(static_cast<std::uint32_t>(r.exclude.size()));
       w.putSpan<text::WordId>(r.exclude);
     }
@@ -225,15 +237,21 @@ void QueryEngine::runCoordinator() {
     metrics_.batchedQueries.fetch_add(live.size(), std::memory_order_relaxed);
 
     std::vector<TopKQuery> queries;
+    std::vector<QueryOptions> qopts;
     queries.reserve(live.size());
-    for (const auto& r : live) queries.push_back({r.vec.data(), r.k, r.exclude});
-    const auto mine = index.topk(queries);
+    qopts.reserve(live.size());
+    for (const auto& r : live) {
+      queries.push_back({r.vec.data(), r.k, r.exclude});
+      qopts.push_back(r.qopts);
+    }
+    const auto mine = scoreLocal(index, queries, qopts);
 
     const auto perRank =
         coll_.gatherv(serializeParts(mine), 0, sim::CommPhase::kReduce);
     std::vector<std::vector<std::vector<Candidate>>> parts(numRanks_);
     for (unsigned r = 0; r < numRanks_; ++r) parts[r] = parseParts(perRank[r], live.size());
 
+    const auto mergeStart = Clock::now();
     std::vector<std::vector<Candidate>> shardLists(numRanks_);
     for (std::size_t q = 0; q < live.size(); ++q) {
       for (unsigned r = 0; r < numRanks_; ++r) shardLists[r] = std::move(parts[r][q]);
@@ -248,7 +266,8 @@ void QueryEngine::runCoordinator() {
         const std::span<const float> keyVec =
             live[q].word != text::kInvalidWord ? std::span<const float>{}
                                                : std::span<const float>(live[q].vec);
-        const CacheKey key = keyOf(keyVec, live[q].word, live[q].k, live[q].exclude, res.version);
+        const CacheKey key = keyOf(keyVec, live[q].word, live[q].k, live[q].exclude,
+                                   live[q].qopts, res.version);
         std::lock_guard<std::mutex> lock(cacheMu_);
         cache_.put(key, res);
       }
@@ -256,7 +275,51 @@ void QueryEngine::runCoordinator() {
       metrics_.latency.record(elapsedMicros(live[q].submitted));
       live[q].promise.set_value(std::move(res));
     }
+    metrics_.mergeMicros.fetch_add(elapsedMicros(mergeStart), std::memory_order_relaxed);
   }
+}
+
+std::vector<std::vector<Candidate>> QueryEngine::scoreLocal(
+    const ShardedIndex& index, std::span<const TopKQuery> queries,
+    std::span<const QueryOptions> qopts) {
+  std::vector<std::vector<Candidate>> out(queries.size());
+
+  // Split the round: exact requests (plus kAnn fallbacks against an
+  // index-less snapshot) keep the batched four-queries-per-row scan; ANN
+  // requests probe the index one query at a time (each carries its own
+  // nprobe/refine).
+  std::vector<std::size_t> exactIdx;
+  exactIdx.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (qopts[q].mode == QueryMode::kAnn) {
+      if (!index.hasAnn()) {
+        metrics_.annFallbacks.fetch_add(1, std::memory_order_relaxed);
+        exactIdx.push_back(q);
+        continue;
+      }
+      AnnSearchStats stats;
+      out[q] = index.annTopk(queries[q], qopts[q].nprobe, qopts[q].refine, &stats);
+      metrics_.annQueries.fetch_add(1, std::memory_order_relaxed);
+      metrics_.annProbeCount.fetch_add(stats.probes, std::memory_order_relaxed);
+      metrics_.annCandidates.fetch_add(stats.candidates, std::memory_order_relaxed);
+      metrics_.annRowsTotal.fetch_add(index.numRows(), std::memory_order_relaxed);
+      metrics_.annCentroidMicros.fetch_add(stats.centroidMicros, std::memory_order_relaxed);
+      metrics_.annScoreMicros.fetch_add(stats.scoreMicros, std::memory_order_relaxed);
+    } else {
+      exactIdx.push_back(q);
+    }
+  }
+  if (!exactIdx.empty()) {
+    std::vector<TopKQuery> exactQ;
+    exactQ.reserve(exactIdx.size());
+    for (const std::size_t q : exactIdx) exactQ.push_back(queries[q]);
+    const auto t0 = Clock::now();
+    auto exactOut = index.topk(exactQ);
+    metrics_.exactScanMicros.fetch_add(elapsedMicros(t0), std::memory_order_relaxed);
+    metrics_.exactScanQueries.fetch_add(exactIdx.size(), std::memory_order_relaxed);
+    for (std::size_t i = 0; i < exactIdx.size(); ++i) out[exactIdx[i]] = std::move(exactOut[i]);
+  }
+  return out;
 }
 
 void QueryEngine::runWorker() {
@@ -279,23 +342,32 @@ void QueryEngine::runWorker() {
     comm::ByteReader rd(payload);
     const auto matrix = rd.view<float>(static_cast<std::size_t>(h.count) * h.dim);
     std::vector<TopKQuery> queries;
+    std::vector<QueryOptions> qopts;
     queries.reserve(h.count);
+    qopts.reserve(h.count);
     for (std::uint32_t q = 0; q < h.count; ++q) {
       TopKQuery tq;
       tq.vec = matrix.data() + static_cast<std::size_t>(q) * h.dim;
       tq.k = rd.get<std::uint32_t>();
+      QueryOptions qo;
+      qo.mode = static_cast<QueryMode>(rd.get<std::uint32_t>());
+      qo.nprobe = rd.get<std::uint32_t>();
+      qo.refine = rd.get<std::uint32_t>();
       const std::uint32_t exLen = rd.get<std::uint32_t>();
       tq.sortedExclude = rd.view<text::WordId>(exLen);
       queries.push_back(tq);
+      qopts.push_back(qo);
     }
     if (!rd.done()) throw std::runtime_error("QueryEngine: trailing bytes in query batch");
 
-    coll_.gatherv(serializeParts(index.topk(queries)), 0, sim::CommPhase::kReduce);
+    coll_.gatherv(serializeParts(scoreLocal(index, queries, qopts)), 0,
+                  sim::CommPhase::kReduce);
   }
 }
 
 QueryEngine::CacheKey QueryEngine::keyOf(std::span<const float> vec, text::WordId word,
                                          unsigned k, std::span<const text::WordId> exclude,
+                                         const QueryOptions& qopts,
                                          std::uint64_t version) noexcept {
   CacheKey key{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
   const auto mix = [&key](std::uint64_t v) noexcept {
@@ -305,6 +377,9 @@ QueryEngine::CacheKey QueryEngine::keyOf(std::span<const float> vec, text::WordI
   mix(word == text::kInvalidWord ? 0x1ULL : 0x2ULL);  // domain-separate vec/word keys
   mix(word);
   mix(k);
+  mix(static_cast<std::uint64_t>(qopts.mode));
+  mix(qopts.nprobe);
+  mix(qopts.refine);
   mix(version);
   mix(vec.size());
   for (const float f : vec) mix(std::bit_cast<std::uint32_t>(f));

@@ -59,6 +59,25 @@ struct ServeOptions {
   std::size_t cacheCapacity = 1024;
 };
 
+/// kExact scans every shard row (the recall oracle, and the default). kAnn
+/// probes the snapshot's IVF index instead — candidate scores stay bit-exact
+/// with brute force, only coverage is approximate. kAnn requests against a
+/// snapshot published without an index fall back to exact scoring (counted
+/// in ServeMetrics::annFallbacks).
+enum class QueryMode : std::uint8_t { kExact = 0, kAnn = 1 };
+
+/// Per-request knobs; meaningful only in kAnn mode (exact requests are
+/// canonicalized to nprobe = refine = 0, so the cache treats all exact
+/// requests for the same query alike).
+struct QueryOptions {
+  QueryMode mode = QueryMode::kExact;
+  /// Posting lists probed per query (clamped to the index's list count).
+  std::uint32_t nprobe = 8;
+  /// When > 0: keep probing past nprobe until refine·k global candidates are
+  /// covered — a recall floor for queries landing in small clusters.
+  std::uint32_t refine = 0;
+};
+
 struct QueryResult {
   std::vector<Candidate> neighbors;  // sorted by `better`
   std::uint64_t version = 0;         // snapshot version that served it
@@ -83,11 +102,11 @@ class QueryEngine {
   /// Rank 0, thread-safe, blocking. `vec` must have snapshot dim elements;
   /// it is L2-normalized internally, `exclude` need not be sorted.
   QueryResult query(std::vector<float> vec, unsigned k,
-                    std::vector<text::WordId> exclude = {});
+                    std::vector<text::WordId> exclude = {}, QueryOptions qopts = {});
 
   /// Rank 0: top-k neighbours of word `w` (excluding itself). Unknown ids
   /// resolve to an empty result.
-  QueryResult queryWord(text::WordId w, unsigned k);
+  QueryResult queryWord(text::WordId w, unsigned k, QueryOptions qopts = {});
 
   /// Rank 0, thread-safe: stop accepting queries, serve what is queued, then
   /// broadcast stop so every rank's run() returns.
@@ -113,6 +132,7 @@ class QueryEngine {
     text::WordId word = text::kInvalidWord;    // valid for by-word requests
     unsigned k = 0;
     std::vector<text::WordId> exclude;         // sorted, deduped
+    QueryOptions qopts;                        // canonicalized in submit()
     std::chrono::steady_clock::time_point submitted;
     CacheKey key{};
     bool cacheable = false;
@@ -136,8 +156,17 @@ class QueryEngine {
   std::vector<Request> nextBatch();
   void refreshPin(SnapshotStore::Pin& pin, ShardedIndex& index);
 
+  /// Score one round's queries against this rank's shard: exact requests go
+  /// through the batched brute-force scan, kAnn requests through the
+  /// snapshot's IVF index (falling back to exact when the snapshot carries
+  /// none). Records the per-stage timing/counter metrics for both paths.
+  std::vector<std::vector<Candidate>> scoreLocal(const ShardedIndex& index,
+                                                 std::span<const TopKQuery> queries,
+                                                 std::span<const QueryOptions> qopts);
+
   static CacheKey keyOf(std::span<const float> vec, text::WordId word, unsigned k,
-                        std::span<const text::WordId> exclude, std::uint64_t version) noexcept;
+                        std::span<const text::WordId> exclude, const QueryOptions& qopts,
+                        std::uint64_t version) noexcept;
 
   comm::RankId me_;
   unsigned numRanks_;

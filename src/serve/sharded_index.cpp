@@ -22,4 +22,11 @@ std::vector<std::vector<Candidate>> ShardedIndex::topk(
                    snap_->rowStride(), numRows(), lo_, snap_->dim(), queries);
 }
 
+std::vector<Candidate> ShardedIndex::annTopk(const TopKQuery& q, std::uint32_t nprobe,
+                                             std::uint32_t refine,
+                                             AnnSearchStats* stats) const {
+  if (!hasAnn()) throw std::logic_error("ShardedIndex::annTopk: snapshot has no ANN index");
+  return snap_->annIndex()->search(q, nprobe, refine, lo_, hi_, stats);
+}
+
 }  // namespace gw2v::serve

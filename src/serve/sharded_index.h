@@ -30,6 +30,16 @@ class ShardedIndex {
   /// Local top-k of every query over this shard's rows (global word ids).
   std::vector<std::vector<Candidate>> topk(std::span<const TopKQuery> queries) const;
 
+  /// True when the pinned snapshot carries an ANN index (publish-time build).
+  bool hasAnn() const noexcept { return snap_ != nullptr && snap_->annIndex() != nullptr; }
+
+  /// Approximate local top-k: restrict the snapshot's global ANN index to
+  /// this shard's row range. Requires hasAnn(). Candidate scores are
+  /// bit-identical to topk()'s for the same rows, so a mergeTopK over shards
+  /// equals a single-host ANN search with the same knobs.
+  std::vector<Candidate> annTopk(const TopKQuery& q, std::uint32_t nprobe,
+                                 std::uint32_t refine, AnnSearchStats* stats = nullptr) const;
+
  private:
   const EmbeddingSnapshot* snap_ = nullptr;
   std::uint32_t lo_ = 0;

@@ -10,11 +10,12 @@ namespace gw2v::serve {
 
 EmbeddingSnapshot::EmbeddingSnapshot(const graph::ModelGraph& model,
                                      const text::Vocabulary* vocab, std::uint64_t version)
-    : EmbeddingSnapshot(model, vocab, version, nullptr) {}
+    : EmbeddingSnapshot(model, vocab, version, nullptr, nullptr, nullptr) {}
 
 EmbeddingSnapshot::EmbeddingSnapshot(const graph::ModelGraph& model,
                                      const text::Vocabulary* vocab, std::uint64_t version,
-                                     const EmbeddingSnapshot* prev)
+                                     const EmbeddingSnapshot* prev,
+                                     const AnnBuildOptions* ann, runtime::ThreadPool* pool)
     : numWords_(model.numNodes()),
       dim_(model.dim()),
       stride_(util::rowStrideFloats(model.dim())),
@@ -40,15 +41,44 @@ EmbeddingSnapshot::EmbeddingSnapshot(const graph::ModelGraph& model,
   // a bitwise no-op: renormalizing every row with rowVersion >= the previous
   // snapshot's table version (an over-approximation of "changed since") is
   // bit-identical to a from-scratch build.
+  bool incremental = false;
+  std::vector<std::uint32_t> changed;  // only tracked when an ANN build wants it
   if (prev != nullptr && prev->numWords_ == numWords_ && prev->dim_ == dim_ &&
       prev->tableVersion_ <= tableVersion_ && prev->tableVersion_ > 0) {
+    incremental = true;
     data_ = prev->data_;
     for (std::uint32_t w = 0; w < numWords_; ++w) {
-      if (table.rowVersion(w) >= prev->tableVersion_) renormalize(w);
+      if (table.rowVersion(w) >= prev->tableVersion_) {
+        renormalize(w);
+        if (ann != nullptr) changed.push_back(w);  // ascending by construction
+      }
     }
   } else {
     data_.assign(static_cast<std::size_t>(numWords_) * stride_, 0.0f);
     for (std::uint32_t w = 0; w < numWords_; ++w) renormalize(w);
+  }
+
+  if (ann != nullptr) {
+    // The index points into data_, which never reallocates past this point.
+    // Reuse prev's centroids when the matrix itself was built incrementally,
+    // the predecessor carries a compatible index, and the changed fraction is
+    // below the retrain threshold; otherwise k-means from scratch.
+    const IvfIndex* prevIdx =
+        (incremental && prev != nullptr) ? prev->ann_.get() : nullptr;
+    const bool sameShape = prevIdx != nullptr && prevIdx->numRows() == numWords_ &&
+                           prevIdx->dim() == dim_ &&
+                           (ann->numLists == 0 ||
+                            std::min(ann->numLists, numWords_) == prevIdx->numLists());
+    const bool belowThreshold =
+        static_cast<double>(changed.size()) <=
+        static_cast<double>(ann->retrainThreshold) * static_cast<double>(numWords_);
+    if (sameShape && belowThreshold) {
+      ann_ = std::make_unique<const IvfIndex>(*prevIdx, data_.data(), stride_, numWords_,
+                                              dim_, version_, changed, pool);
+    } else {
+      ann_ = std::make_unique<const IvfIndex>(data_.data(), stride_, numWords_, dim_,
+                                              version_, *ann, pool);
+    }
   }
 }
 
@@ -61,7 +91,21 @@ std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromModel(
     const graph::ModelGraph& model, const text::Vocabulary* vocab, std::uint64_t version,
     const EmbeddingSnapshot& prev) {
   return std::shared_ptr<const EmbeddingSnapshot>(
-      new EmbeddingSnapshot(model, vocab, version, &prev));
+      new EmbeddingSnapshot(model, vocab, version, &prev, nullptr, nullptr));
+}
+
+std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromModel(
+    const graph::ModelGraph& model, const text::Vocabulary* vocab, std::uint64_t version,
+    const AnnBuildOptions& ann, runtime::ThreadPool* pool) {
+  return std::shared_ptr<const EmbeddingSnapshot>(
+      new EmbeddingSnapshot(model, vocab, version, nullptr, &ann, pool));
+}
+
+std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromModel(
+    const graph::ModelGraph& model, const text::Vocabulary* vocab, std::uint64_t version,
+    const EmbeddingSnapshot& prev, const AnnBuildOptions& ann, runtime::ThreadPool* pool) {
+  return std::shared_ptr<const EmbeddingSnapshot>(
+      new EmbeddingSnapshot(model, vocab, version, &prev, &ann, pool));
 }
 
 std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromCheckpointFile(
@@ -74,6 +118,20 @@ std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromCheckpointFile(
         "snapshot; re-save it with graph::saveCheckpoint(path, model, &vocab)");
   }
   return std::make_shared<const EmbeddingSnapshot>(ck.model, &*ck.vocab, version);
+}
+
+std::shared_ptr<const EmbeddingSnapshot> EmbeddingSnapshot::fromCheckpointFile(
+    const std::string& path, std::uint64_t version, const AnnBuildOptions& ann,
+    runtime::ThreadPool* pool) {
+  graph::Checkpoint ck = graph::loadCheckpointFull(path);
+  if (!ck.vocab.has_value()) {
+    throw std::runtime_error(
+        "EmbeddingSnapshot: " + path +
+        " has no vocabulary section (v1 checkpoint?) — serving needs a self-contained "
+        "snapshot; re-save it with graph::saveCheckpoint(path, model, &vocab)");
+  }
+  return std::shared_ptr<const EmbeddingSnapshot>(
+      new EmbeddingSnapshot(ck.model, &*ck.vocab, version, nullptr, &ann, pool));
 }
 
 const text::Vocabulary& EmbeddingSnapshot::vocab() const {

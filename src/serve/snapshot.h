@@ -27,8 +27,13 @@
 #include <vector>
 
 #include "graph/model_graph.h"
+#include "serve/ann_index.h"
 #include "text/vocabulary.h"
 #include "util/aligned.h"
+
+namespace gw2v::runtime {
+class ThreadPool;
+}
 
 namespace gw2v::serve {
 
@@ -60,11 +65,35 @@ class EmbeddingSnapshot {
                                                             std::uint64_t version,
                                                             const EmbeddingSnapshot& prev);
 
+  /// fromModel variants that additionally build the ANN index (§5k) as part
+  /// of the snapshot, so it travels through SnapshotStore's hot swap with
+  /// the matrix — readers can never observe an index/matrix version skew.
+  /// `pool` parallelizes the k-means build (null = serial; the result is
+  /// bit-identical either way). The incremental variant reuses the previous
+  /// snapshot's centroids and reassigns only rows changed since (per the
+  /// EmbeddingTable row versions), retraining from scratch past
+  /// AnnBuildOptions::retrainThreshold or when prev carries no index.
+  static std::shared_ptr<const EmbeddingSnapshot> fromModel(const graph::ModelGraph& model,
+                                                            const text::Vocabulary* vocab,
+                                                            std::uint64_t version,
+                                                            const AnnBuildOptions& ann,
+                                                            runtime::ThreadPool* pool = nullptr);
+  static std::shared_ptr<const EmbeddingSnapshot> fromModel(const graph::ModelGraph& model,
+                                                            const text::Vocabulary* vocab,
+                                                            std::uint64_t version,
+                                                            const EmbeddingSnapshot& prev,
+                                                            const AnnBuildOptions& ann,
+                                                            runtime::ThreadPool* pool = nullptr);
+
   /// Rebuild a snapshot from a checkpoint file. The checkpoint must be v2
   /// with a vocabulary section (saveCheckpoint(path, model, &vocab)); a
   /// vocab-less v1 file throws with a message saying how to re-save it.
   static std::shared_ptr<const EmbeddingSnapshot> fromCheckpointFile(const std::string& path,
                                                                      std::uint64_t version);
+  static std::shared_ptr<const EmbeddingSnapshot> fromCheckpointFile(const std::string& path,
+                                                                     std::uint64_t version,
+                                                                     const AnnBuildOptions& ann,
+                                                                     runtime::ThreadPool* pool = nullptr);
 
   std::uint64_t version() const noexcept { return version_; }
 
@@ -86,6 +115,10 @@ class EmbeddingSnapshot {
   /// Throws std::logic_error when the snapshot was built without one.
   const text::Vocabulary& vocab() const;
 
+  /// The ANN index built for this snapshot version, or nullptr when the
+  /// snapshot was published without one (exact-only serving).
+  const AnnIndex* annIndex() const noexcept { return ann_.get(); }
+
   /// Resident bytes of the row matrix (the serving-capacity quantity).
   std::uint64_t matrixBytes() const noexcept {
     return static_cast<std::uint64_t>(numWords_) * stride_ * sizeof(float);
@@ -93,7 +126,8 @@ class EmbeddingSnapshot {
 
  private:
   EmbeddingSnapshot(const graph::ModelGraph& model, const text::Vocabulary* vocab,
-                    std::uint64_t version, const EmbeddingSnapshot* prev);
+                    std::uint64_t version, const EmbeddingSnapshot* prev,
+                    const AnnBuildOptions* ann, runtime::ThreadPool* pool);
 
   std::uint32_t numWords_;
   std::uint32_t dim_;
@@ -102,6 +136,7 @@ class EmbeddingSnapshot {
   std::uint64_t tableVersion_;
   util::AlignedVector<float> data_;
   std::optional<text::Vocabulary> vocab_;
+  std::unique_ptr<const IvfIndex> ann_;  // points into data_; built last
 };
 
 class SnapshotStore {

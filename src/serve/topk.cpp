@@ -78,6 +78,31 @@ std::vector<std::vector<Candidate>> topkScore(const float* rows, std::size_t row
   return out;
 }
 
+std::vector<Candidate> topkScoreIds(const float* rows, std::size_t rowStride,
+                                    std::uint32_t dim, std::span<const text::WordId> ids,
+                                    const TopKQuery& q) {
+  const auto& kern = util::simd::activeKernels();
+  BoundedHeap heap;
+  heap.k = q.k;
+  heap.v.reserve(std::min<std::size_t>(q.k, ids.size()) + 1);
+
+  const auto rowPtr = [&](text::WordId id) {
+    return rows + static_cast<std::size_t>(id) * rowStride;
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= ids.size(); i += 4) {
+    float s[4];
+    kern.dot4(q.vec, rowPtr(ids[i]), rowPtr(ids[i + 1]), rowPtr(ids[i + 2]),
+              rowPtr(ids[i + 3]), dim, s);
+    for (int j = 0; j < 4; ++j) heap.offer(ids[i + j], s[j], q.sortedExclude);
+  }
+  for (; i < ids.size(); ++i) {
+    // Same operand order as topkScore's tail: dot(row, query).
+    heap.offer(ids[i], kern.dot(rowPtr(ids[i]), q.vec, dim), q.sortedExclude);
+  }
+  return heap.sortedTake();
+}
+
 std::vector<Candidate> mergeTopK(std::span<const std::vector<Candidate>> parts, unsigned k) {
   std::vector<Candidate> all;
   std::size_t total = 0;

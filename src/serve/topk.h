@@ -58,6 +58,17 @@ std::vector<std::vector<Candidate>> topkScore(const float* rows, std::size_t row
                                               std::uint32_t dim,
                                               std::span<const TopKQuery> queries);
 
+/// Score one query against an explicit (globally-id'd) candidate row list —
+/// the ANN candidate path. Each candidate's score is bit-identical to what
+/// topkScore computes for the same row: candidates are blocked four rows per
+/// dot4 pass with the query as the shared operand, and dot4(q, r) ==
+/// dot(r, q) bitwise (products commute elementwise and both kernels use the
+/// same index-ordered reduction — locked by serve_ann_test across tiers).
+/// `ids` need not be sorted or unique; duplicates cost a wasted offer only.
+std::vector<Candidate> topkScoreIds(const float* rows, std::size_t rowStride,
+                                    std::uint32_t dim, std::span<const text::WordId> ids,
+                                    const TopKQuery& q);
+
 /// Merge per-shard partial top-k lists (each sorted by `better`) into the
 /// global top-k. Identical to scoring all shards' rows in one pass.
 std::vector<Candidate> mergeTopK(std::span<const std::vector<Candidate>> parts, unsigned k);

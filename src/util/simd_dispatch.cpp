@@ -587,11 +587,14 @@ __attribute__((target("avx512f"))) void fp16ToFp32Avx512(const std::uint16_t* sr
 }
 
 __attribute__((target("avx512f"))) float maxAbsAvx512(const float* x, std::size_t n) {
-  const __m512 absMask = _mm512_castsi512_ps(_mm512_set1_epi32(0x7fffffff));
+  // _mm512_and_ps needs AVX512DQ, which the tier probe does not check; the
+  // integer and is plain AVX512F and clears the sign bit identically.
+  const __m512i absMask = _mm512_set1_epi32(0x7fffffff);
   __m512 vm = _mm512_setzero_ps();
   std::size_t i = 0;
   for (; i + 16 <= n; i += 16) {
-    vm = _mm512_max_ps(vm, _mm512_and_ps(absMask, _mm512_loadu_ps(x + i)));
+    vm = _mm512_max_ps(vm, _mm512_castsi512_ps(_mm512_and_si512(
+                               absMask, _mm512_castps_si512(_mm512_loadu_ps(x + i)))));
   }
   float m = _mm512_reduce_max_ps(vm);
   for (; i < n; ++i) {

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <string>
 
-#include "serve/lru_cache.h"
+#include "util/lru_cache.h"
 
 namespace gw2v::serve {
 namespace {
+
+using util::LruCache;
 
 TEST(LatencyHistogram, SmallValuesAreExact) {
   LatencyHistogram h;
